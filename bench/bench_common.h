@@ -1,0 +1,73 @@
+// Shared calibration for the figure-reproduction benches.
+//
+// The simulator's resource model is calibrated once, here, and shared by
+// every experiment (as the paper uses one OpenStack flavour for all
+// three): 2-vCPU VMs on a virtualised network. Absolute numbers are not
+// expected to match the paper's testbed; the calibration targets the
+// figures' *shape* — per-stream caps, replica saturation points and NIC
+// limits in the same proportions.
+#pragma once
+
+#include <string>
+
+#include "harness/cluster.h"
+#include "harness/kv_cluster.h"
+#include "harness/load_client.h"
+#include "harness/report.h"
+#include "util/logging.h"
+
+namespace epx::bench {
+
+/// VM NIC egress, bits/sec. Sized so a single unthrottled 32 KB-value
+/// stream saturates around the paper's 550 Mbps application throughput
+/// (Fig. 5): the quorum acceptor forwards the ring Accept and fans the
+/// decision out to two replicas, ~96 KB of egress per 32 KB value.
+inline constexpr double kNodeBandwidthBps = 2.2e9;
+
+/// Broadcast workloads: 32 KB values (Figs. 3 and 5). The replica apply
+/// cost sets the saturation point of the vertical-scalability
+/// experiment at roughly 3.6x a single throttled stream.
+inline harness::ClusterOptions broadcast_options() {
+  harness::ClusterOptions options;
+  options.node_bandwidth_bps = kNodeBandwidthBps;
+  options.link = {200 * kMicrosecond, 50 * kMicrosecond};
+  options.params.lambda = 4000.0;                   // paper §VII-A
+  options.params.delta_t = 100 * kMillisecond;      // paper §VII-A
+  options.params.batch_max_bytes = 64 * 1024;
+  options.params.batch_max_delay = 1 * kMillisecond;
+  return options;
+}
+
+/// Replica apply cost for 32 KB broadcast values: ~338 us/value
+/// (50 us fixed + 32 KiB * 9 us/KiB) -> one replica saturates at
+/// ~2.8k ops/s, clamping the fourth stream of Fig. 3 exactly as the
+/// paper's replicas do (2660 ops/s = 3.62x one throttled stream).
+inline void tune_broadcast_replica(elastic::Replica::Config& config) {
+  config.apply_cpu_per_cmd = 50 * kMicrosecond;
+  config.apply_cpu_per_kib = 9 * kMicrosecond;
+}
+
+/// KV workloads: 1 KB puts (Fig. 4). ~72 us/op -> a replica applying the
+/// full command stream saturates near 14k ops/s; 100 closed-loop client
+/// threads then load it to roughly 75% of peak as in the paper.
+inline harness::ClusterOptions kv_options() {
+  harness::ClusterOptions options;
+  options.node_bandwidth_bps = kNodeBandwidthBps;
+  options.link = {200 * kMicrosecond, 50 * kMicrosecond};
+  // The paper's lambda = 4000 counts Paxos INSTANCES per second; one
+  // instance batches ~10+ 1KB commands. Slots here are commands, so the
+  // equivalent virtual-throughput cap is an order of magnitude higher.
+  // Lambda must exceed the per-stream command rate or the stream is
+  // throttled (and merge points become unreachable for new streams).
+  options.params.lambda = 40000.0;
+  options.params.delta_t = 100 * kMillisecond;
+  options.params.batch_max_bytes = 32 * 1024;
+  options.params.batch_max_delay = 1 * kMillisecond;
+  options.apply_cpu_per_cmd = 70 * kMicrosecond;
+  options.apply_cpu_per_kib = 2 * kMicrosecond;
+  return options;
+}
+
+inline void bench_logging() { log::set_level(log::Level::kWarn); }
+
+}  // namespace epx::bench

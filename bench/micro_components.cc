@@ -1,0 +1,194 @@
+// Micro benchmarks (host-hardware throughput of the library's hot
+// components): wire codec, histogram, stream queue, deterministic merge,
+// partitioner, RNG, event queue, and whole-cluster simulation rate.
+#include <benchmark/benchmark.h>
+
+#include "elastic/elastic_merger.h"
+#include "harness/cluster.h"
+#include "harness/load_client.h"
+#include "kvstore/partition_map.h"
+#include "multicast/stream_queue.h"
+#include "net/message.h"
+#include "paxos/messages.h"
+#include "sim/simulation.h"
+#include "util/hash.h"
+#include "util/histogram.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace epx {
+namespace {
+
+void BM_CommandEncode(benchmark::State& state) {
+  paxos::Command cmd;
+  cmd.id = 42;
+  cmd.client = 7;
+  cmd.payload = std::make_shared<const std::string>(std::string(state.range(0), 'x'));
+  for (auto _ : state) {
+    net::Writer w;
+    cmd.encode(w);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(cmd.encoded_size()));
+}
+BENCHMARK(BM_CommandEncode)->Arg(64)->Arg(1024)->Arg(32 * 1024);
+
+void BM_AcceptRoundTrip(benchmark::State& state) {
+  paxos::register_paxos_messages();
+  paxos::AcceptMsg msg;
+  msg.stream = 3;
+  msg.ballot = {1, 9};
+  msg.instance = 77;
+  for (int i = 0; i < 8; ++i) {
+    paxos::Command c;
+    c.id = static_cast<uint64_t>(i);
+    c.payload = std::make_shared<const std::string>(std::string(1024, 'v'));
+    msg.value.commands.push_back(std::move(c));
+  }
+  auto& codec = net::MessageCodec::instance();
+  for (auto _ : state) {
+    auto bytes = codec.encode(msg);
+    auto decoded = codec.decode({reinterpret_cast<const char*>(bytes.data()), bytes.size()});
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_AcceptRoundTrip);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.record(static_cast<Tick>(rng.uniform(10 * kSecond)));
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) h.record(static_cast<Tick>(rng.uniform(kSecond)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.p95());
+  }
+}
+BENCHMARK(BM_HistogramQuantile);
+
+void BM_StreamQueuePushConsume(benchmark::State& state) {
+  multicast::StreamQueue q(1);
+  paxos::SlotIndex slot = 0;
+  paxos::Command cmd;
+  cmd.payload_size = 64;
+  for (auto _ : state) {
+    paxos::Proposal p;
+    p.first_slot = slot;
+    p.commands.push_back(cmd);
+    slot += 1;
+    q.push_proposal(p);
+    q.consume();
+  }
+}
+BENCHMARK(BM_StreamQueuePushConsume);
+
+void BM_MergerPump(benchmark::State& state) {
+  const int num_streams = static_cast<int>(state.range(0));
+  uint64_t delivered = 0;
+  elastic::ElasticMerger merger(
+      1, {[](paxos::StreamId) {}, [](paxos::StreamId) {},
+          [&](const paxos::Command&, paxos::StreamId) { ++delivered; },
+          [](const paxos::Command&) {}});
+  std::vector<paxos::StreamId> streams;
+  for (int s = 1; s <= num_streams; ++s) streams.push_back(static_cast<uint32_t>(s));
+  merger.bootstrap(streams);
+  std::vector<paxos::SlotIndex> pos(static_cast<size_t>(num_streams), 0);
+  paxos::Command cmd;
+  cmd.payload_size = 64;
+  uint64_t id = 0;
+  for (auto _ : state) {
+    for (int s = 0; s < num_streams; ++s) {
+      paxos::Proposal p;
+      p.first_slot = pos[static_cast<size_t>(s)]++;
+      cmd.id = ++id;
+      p.commands.push_back(cmd);
+      merger.queue(streams[static_cast<size_t>(s)]).push_proposal(p);
+    }
+    merger.pump();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(delivered));
+}
+BENCHMARK(BM_MergerPump)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_KeyHash(benchmark::State& state) {
+  std::string key = "key0000012345";
+  for (auto _ : state) {
+    key[12] = static_cast<char>('0' + (state.iterations() % 10));
+    benchmark::DoNotOptimize(key_hash(key));
+  }
+}
+BENCHMARK(BM_KeyHash);
+
+void BM_PartitionLookup(benchmark::State& state) {
+  std::vector<kv::PartitionEntry> entries;
+  const int n = static_cast<int>(state.range(0));
+  const uint64_t span = ~0ULL / static_cast<uint64_t>(n);
+  for (int i = 0; i < n; ++i) {
+    kv::PartitionEntry e;
+    e.partition_id = static_cast<uint32_t>(i + 1);
+    e.hash_lo = static_cast<uint64_t>(i) * span + (i == 0 ? 0 : 1);
+    e.hash_hi = (i + 1 == n) ? ~0ULL : static_cast<uint64_t>(i + 1) * span;
+    e.stream = static_cast<uint32_t>(i + 1);
+    entries.push_back(e);
+  }
+  kv::PartitionMap map(entries);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.lookup_hash(rng.next()));
+  }
+}
+BENCHMARK(BM_PartitionLookup)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_Rng(benchmark::State& state) {
+  Rng rng(11);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Rng);
+
+void BM_EventQueue(benchmark::State& state) {
+  sim::Simulation sim;
+  int sink = 0;
+  for (auto _ : state) {
+    sim.schedule_after(1, [&sink] { ++sink; });
+    sim.step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueue);
+
+/// Whole-cluster rate: one virtual second of a loaded 1-stream cluster
+/// per iteration; items = delivered commands.
+void BM_SimulatedClusterSecond(benchmark::State& state) {
+  log::set_level(log::Level::kOff);
+  harness::Cluster cluster;
+  const auto s1 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1});
+  harness::LoadClient::Config cfg;
+  cfg.threads = 8;
+  cfg.payload_bytes = 1024;
+  cfg.route = [s1] { return s1; };
+  auto* client =
+      cluster.spawn<harness::LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  uint64_t last = 0;
+  for (auto _ : state) {
+    cluster.run_for(kSecond);
+    benchmark::DoNotOptimize(r1->delivered());
+  }
+  last = r1->delivered();
+  state.SetItemsProcessed(static_cast<int64_t>(last));
+}
+BENCHMARK(BM_SimulatedClusterSecond);
+
+}  // namespace
+}  // namespace epx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Sensitivity sweeps over the deployment parameters the paper fixes
+// (§VII-A): acceptor-ring size, batch limit, and value size. These
+// quantify the design trade-offs DESIGN.md calls out — ring depth adds
+// latency linearly but tolerates more failures; batching trades latency
+// for instance-count efficiency; value size moves the bottleneck from
+// CPU to NIC.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace epx;            // NOLINT(google-build-using-namespace)
+using namespace epx::harness;   // NOLINT(google-build-using-namespace)
+
+namespace {
+
+struct Point {
+  double ops = 0;
+  double mbps = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double cmds_per_instance = 0;
+};
+
+Point run(size_t acceptors, size_t batch_bytes, uint64_t value_bytes, size_t threads) {
+  auto options = bench::broadcast_options();
+  options.acceptors_per_stream = acceptors;
+  options.params.batch_max_bytes = batch_bytes;
+  Cluster cluster(options);
+  const StreamId s1 = cluster.add_stream();
+  elastic::Replica::Config rcfg;
+  rcfg.group = 1;
+  rcfg.initial_streams = {s1};
+  rcfg.params = options.params;
+  bench::tune_broadcast_replica(rcfg);
+  auto* r1 = cluster.add_replica(rcfg);
+  cluster.add_replica(rcfg);
+
+  LoadClient::Config cfg;
+  cfg.threads = threads;
+  cfg.payload_bytes = value_bytes;
+  cfg.route = [s1] { return s1; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  cluster.run_for(10 * kSecond);
+
+  Point p;
+  p.ops = r1->delivery_series().average_rate(2 * kSecond, 10 * kSecond);
+  p.mbps = p.ops * static_cast<double>(value_bytes) * 8.0 / 1e6;
+  p.p50_ms = to_millis(client->latency().p50());
+  p.p95_ms = to_millis(client->latency().p95());
+  auto* coord = cluster.coordinator(s1);
+  if (coord->next_instance() > 0) {
+    p.cmds_per_instance = static_cast<double>(coord->commands_proposed()) /
+                          static_cast<double>(coord->next_instance());
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::bench_logging();
+  std::printf("Sensitivity sweeps (one stream, 2 replicas, closed loop)\n");
+
+  print_header("Ring size: acceptors per stream (8KB values, 16 threads)");
+  std::printf("%10s %12s %10s %10s\n", "acceptors", "ops/s", "p50(ms)", "p95(ms)");
+  double lat3 = 0, lat7 = 0;
+  for (size_t a : {3u, 5u, 7u}) {
+    const Point p = run(a, 64 * 1024, 8 * 1024, 16);
+    std::printf("%10zu %12.0f %10.2f %10.2f\n", a, p.ops, p.p50_ms, p.p95_ms);
+    if (a == 3) lat3 = p.p50_ms;
+    if (a == 7) lat7 = p.p50_ms;
+  }
+
+  print_header("Batch limit (1KB values, 32 threads)");
+  std::printf("%10s %12s %10s %10s %14s\n", "batch", "ops/s", "p50(ms)", "p95(ms)",
+              "cmds/instance");
+  double small_batch_eff = 0, big_batch_eff = 0;
+  for (size_t b : {2u * 1024, 8u * 1024, 32u * 1024, 128u * 1024}) {
+    const Point p = run(3, b, 1024, 32);
+    std::printf("%9zuK %12.0f %10.2f %10.2f %14.1f\n", b / 1024, p.ops, p.p50_ms,
+                p.p95_ms, p.cmds_per_instance);
+    if (b == 2 * 1024) small_batch_eff = p.cmds_per_instance;
+    if (b == 128 * 1024) big_batch_eff = p.cmds_per_instance;
+  }
+
+  print_header("Value size (16 threads)");
+  std::printf("%10s %12s %10s %10s %10s\n", "value", "ops/s", "Mbps", "p50(ms)",
+              "p95(ms)");
+  for (uint64_t v : {1u * 1024, 4u * 1024, 16u * 1024, 32u * 1024, 64u * 1024}) {
+    const Point p = run(3, 64 * 1024, v, 16);
+    std::printf("%9lluK %12.0f %10.0f %10.2f %10.2f\n",
+                static_cast<unsigned long long>(v / 1024), p.ops, p.mbps, p.p50_ms,
+                p.p95_ms);
+  }
+
+  print_header("Paper checks");
+  char measured[120];
+  std::snprintf(measured, sizeof(measured), "p50 %.2f ms (3 acc) vs %.2f ms (7 acc)",
+                lat3, lat7);
+  paper_check("sweep.ring-depth", "deeper rings add per-hop latency", lat7 > lat3,
+              measured);
+  std::snprintf(measured, sizeof(measured), "%.1f vs %.1f cmds/instance",
+                small_batch_eff, big_batch_eff);
+  paper_check("sweep.batching",
+              "larger batch limits amortise more commands per Paxos instance "
+              "(at a latency cost visible in the p50 column)",
+              big_batch_eff > small_batch_eff, measured);
+  return 0;
+}

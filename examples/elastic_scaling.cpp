@@ -1,0 +1,69 @@
+// Elastic scaling: removing an ordering-layer bottleneck at run time
+// (the paper's vertical-scalability use case, §IV-A.1).
+//
+// A replica group starts on one throttled stream; while clients keep the
+// system under load, the operator provisions two more streams and the
+// group *dynamically subscribes* to them — no process is restarted, and
+// delivery order stays total. Watch the throughput step up with every
+// subscription.
+//
+// Run: ./build/examples/elastic_scaling
+#include <cstdio>
+
+#include "harness/cluster.h"
+#include "harness/load_client.h"
+
+using namespace epx;           // NOLINT(google-build-using-namespace)
+using namespace epx::harness;  // NOLINT(google-build-using-namespace)
+
+int main() {
+  ClusterOptions options;
+  options.params.admission_rate = 400.0;  // throttle each stream
+  Cluster cluster(options);
+
+  const StreamId s1 = cluster.add_stream();
+  auto* replica = cluster.add_replica(/*group=*/1, {s1});
+  cluster.add_replica(/*group=*/1, {s1});
+
+  auto add_load = [&](StreamId stream) {
+    LoadClient::Config cfg;
+    cfg.threads = 4;
+    cfg.payload_bytes = 4096;
+    cfg.route = [stream] { return stream; };
+    cluster.spawn<LoadClient>("load_s" + std::to_string(stream), &cluster.directory(), cfg)
+        ->start();
+  };
+  add_load(s1);
+
+  std::printf("t(s)  streams  throughput(ops/s)\n");
+  auto report = [&](Tick from, Tick to) {
+    std::printf("%4.0f  %7zu  %17.0f\n", to_seconds(to),
+                replica->merger().subscriptions().size(),
+                replica->delivery_series().average_rate(from, to));
+  };
+
+  cluster.run_until(5 * kSecond);
+  report(0, 5 * kSecond);
+
+  // Scale up: provision a new stream (3 fresh acceptors) and subscribe
+  // the group to it, live. The subscribe request is atomically broadcast
+  // to BOTH the new stream and a currently subscribed one; the merge
+  // point aligns delivery across the whole group.
+  const StreamId s2 = cluster.add_stream();
+  cluster.controller().subscribe(1, s2, s1);
+  add_load(s2);
+  cluster.run_until(10 * kSecond);
+  report(6 * kSecond, 10 * kSecond);
+
+  const StreamId s3 = cluster.add_stream();
+  cluster.controller().prepare(1, s3, s1);  // warm the learner first
+  cluster.controller().subscribe(1, s3, s1);
+  add_load(s3);
+  cluster.run_until(15 * kSecond);
+  report(11 * kSecond, 15 * kSecond);
+
+  std::printf("\nsubscriptions now: {");
+  for (StreamId s : replica->merger().subscriptions()) std::printf(" S%u", s);
+  std::printf(" } — 3x the ordering capacity, zero downtime\n");
+  return 0;
+}

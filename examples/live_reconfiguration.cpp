@@ -1,0 +1,68 @@
+// Live reconfiguration: replacing every Paxos acceptor under load (the
+// paper's reconfiguration use case, §IV-A.3 / §VII-E).
+//
+// The original acceptors of a running replicated state machine are
+// retired — e.g. their disks are full — by provisioning a brand-new
+// stream (with disjoint acceptors), prepare-recovering it in the
+// background, subscribing the replica group to it, and unsubscribing
+// from the old stream. Ordering is continuous throughout; the old
+// acceptors can then be decommissioned.
+//
+// Run: ./build/examples/live_reconfiguration
+#include <cstdio>
+
+#include "harness/cluster.h"
+#include "harness/load_client.h"
+
+using namespace epx;           // NOLINT(google-build-using-namespace)
+using namespace epx::harness;  // NOLINT(google-build-using-namespace)
+
+int main() {
+  Cluster cluster;
+  const StreamId s1 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(/*group=*/1, {s1});
+  auto* r2 = cluster.add_replica(/*group=*/1, {s1});
+
+  StreamId active = s1;
+  LoadClient::Config cfg;
+  cfg.threads = 8;
+  cfg.payload_bytes = 2048;
+  cfg.route = [&active] { return active; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+
+  cluster.run_until(3 * kSecond);
+  const double before = client->completions().average_rate(kSecond, 3 * kSecond);
+  std::printf("steady state on S%u: %.0f ops/s\n", s1, before);
+
+  // Provision the replacement stream — three brand-new acceptors,
+  // disjoint from the old set (the paper stresses no intersection is
+  // required).
+  const StreamId s2 = cluster.add_stream();
+  std::printf("provisioned replacement stream S%u; sending prepare hint...\n", s2);
+  cluster.controller().prepare(1, s2, s1);
+  cluster.run_for(500 * kMillisecond);
+
+  std::printf("subscribing group 1 to S%u...\n", s2);
+  cluster.controller().subscribe(1, s2, s1);
+  while (!(r1->merger().subscribed_to(s2) && r2->merger().subscribed_to(s2))) {
+    cluster.run_for(20 * kMillisecond);
+  }
+  std::printf("[%7.3fs] subscription complete; clients switch to S%u\n",
+              to_seconds(cluster.now()), s2);
+  active = s2;
+  cluster.run_for(100 * kMillisecond);  // drain in-flight S1 commands
+
+  std::printf("unsubscribing from S%u — the old acceptors are now idle\n", s1);
+  cluster.controller().unsubscribe(1, s1, s2);
+  cluster.run_until(8 * kSecond);
+
+  const double after = client->completions().average_rate(5 * kSecond, 8 * kSecond);
+  std::printf("\nsteady state on S%u: %.0f ops/s (before: %.0f) — acceptors replaced "
+              "with zero downtime\n",
+              s2, after, before);
+  std::printf("replica subscriptions: now only {S%u}; latency %s\n",
+              r1->merger().subscriptions().front(),
+              client->latency().summary().c_str());
+  return 0;
+}

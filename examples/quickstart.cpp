@@ -1,0 +1,57 @@
+// Quickstart: a minimal Elastic Paxos system in ~60 lines.
+//
+// Builds a simulated cluster with one atomic multicast stream (one
+// coordinator + three acceptors), two replicas that subscribe to it, and
+// a client that multicasts ten messages. Shows the three core concepts:
+// streams, replicas with delivery callbacks, and the simulation driver.
+//
+// Run: ./build/examples/quickstart
+#include <cstdio>
+
+#include "harness/cluster.h"
+#include "harness/load_client.h"
+
+using namespace epx;           // NOLINT(google-build-using-namespace)
+using namespace epx::harness;  // NOLINT(google-build-using-namespace)
+
+int main() {
+  // A Cluster owns the virtual clock, the network and every process.
+  Cluster cluster;
+
+  // One stream = one Multi-Paxos sequence: a coordinator pipelining
+  // client commands through a ring of three acceptors.
+  const StreamId stream = cluster.add_stream();
+
+  // Two replicas in replication group 1, subscribed to the stream. The
+  // app handler runs for every delivered command, in the same order at
+  // every replica.
+  auto* replica1 = cluster.add_replica(/*group=*/1, {stream});
+  auto* replica2 = cluster.add_replica(/*group=*/1, {stream});
+  replica1->set_app_handler([&](const paxos::Command& cmd, StreamId s) {
+    std::printf("[%7.3fs] replica1 delivered command %llu from stream %u\n",
+                to_seconds(cluster.now()), static_cast<unsigned long long>(cmd.id), s);
+  });
+
+  // A closed-loop client: each thread multicasts a command, waits for a
+  // replica's reply, then sends the next.
+  LoadClient::Config cfg;
+  cfg.threads = 1;
+  cfg.payload_bytes = 128;
+  cfg.route = [stream] { return stream; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+
+  // Drive the simulation for 50 virtual milliseconds.
+  cluster.run_for(50 * kMillisecond);
+  client->stop();
+  cluster.run_for(10 * kMillisecond);
+
+  std::printf("\nclient completed %llu commands; replica1=%llu replica2=%llu "
+              "deliveries (identical order guaranteed)\n",
+              static_cast<unsigned long long>(client->completed()),
+              static_cast<unsigned long long>(replica1->delivered()),
+              static_cast<unsigned long long>(replica2->delivered()));
+  std::printf("median client latency: %s\n",
+              format_duration(client->latency().p50()).c_str());
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "checker/linearizability.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace epx::checker {
+
+std::string LinearizabilityChecker::check() const {
+  // Group operations by key.
+  std::unordered_map<std::string, std::vector<const KvOp*>> by_key;
+  for (const auto& op : ops_) by_key[op.key].push_back(&op);
+
+  for (const auto& [key, ops] : by_key) {
+    // Index writes by value.
+    std::unordered_map<std::string, const KvOp*> write_of;
+    std::vector<const KvOp*> writes;
+    for (const KvOp* op : ops) {
+      if (op->kind == KvOp::Kind::kPut) {
+        write_of[op->value] = op;
+        writes.push_back(op);
+      }
+    }
+    for (const KvOp* get : ops) {
+      if (get->kind != KvOp::Kind::kGet) continue;
+      if (get->value.empty()) {
+        // Read of the initial value: no write may have fully completed
+        // before the get began.
+        for (const KvOp* w : writes) {
+          if (w->response < get->invoke) {
+            std::ostringstream os;
+            os << "key '" << key << "': get@" << to_seconds(get->invoke)
+               << "s returned <empty> but a put('" << w->value << "') completed at "
+               << to_seconds(w->response) << "s";
+            return os.str();
+          }
+        }
+        continue;
+      }
+      auto it = write_of.find(get->value);
+      if (it == write_of.end()) {
+        std::ostringstream os;
+        os << "key '" << key << "': get returned value '" << get->value
+           << "' that was never written";
+        return os.str();
+      }
+      const KvOp* w = it->second;
+      if (w->invoke > get->response) {
+        std::ostringstream os;
+        os << "key '" << key << "': get finished at " << to_seconds(get->response)
+           << "s but observed a put that started at " << to_seconds(w->invoke) << "s";
+        return os.str();
+      }
+      // Stale read: some other write fits entirely between w and the get.
+      for (const KvOp* w2 : writes) {
+        if (w2 == w) continue;
+        if (w2->invoke > w->response && w2->response < get->invoke) {
+          std::ostringstream os;
+          os << "key '" << key << "': stale read of '" << get->value << "' — put('"
+             << w2->value << "') fully intervened";
+          return os.str();
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace epx::checker

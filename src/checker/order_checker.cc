@@ -1,0 +1,94 @@
+#include "checker/order_checker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace epx::checker {
+
+void OrderChecker::record(uint32_t replica, uint64_t cmd_id) {
+  sequences_[replica].push_back(cmd_id);
+}
+
+const std::vector<uint64_t>& OrderChecker::sequence(uint32_t replica) const {
+  static const std::vector<uint64_t> empty;
+  auto it = sequences_.find(replica);
+  return it == sequences_.end() ? empty : it->second;
+}
+
+std::string OrderChecker::check_integrity() const {
+  for (const auto& [replica, seq] : sequences_) {
+    std::unordered_set<uint64_t> seen;
+    for (uint64_t id : seq) {
+      if (!seen.insert(id).second) {
+        std::ostringstream os;
+        os << "replica " << replica << " delivered command " << id << " twice";
+        return os.str();
+      }
+    }
+  }
+  return {};
+}
+
+std::string OrderChecker::check_group_agreement(const std::vector<uint32_t>& group,
+                                                bool allow_prefix) const {
+  for (size_t i = 0; i + 1 < group.size(); ++i) {
+    const auto& a = sequence(group[i]);
+    const auto& b = sequence(group[i + 1]);
+    const size_t common = std::min(a.size(), b.size());
+    for (size_t k = 0; k < common; ++k) {
+      if (a[k] != b[k]) {
+        std::ostringstream os;
+        os << "group replicas " << group[i] << " and " << group[i + 1]
+           << " diverge at position " << k << " (" << a[k] << " vs " << b[k] << ")";
+        return os.str();
+      }
+    }
+    if (!allow_prefix && a.size() != b.size()) {
+      std::ostringstream os;
+      os << "group replicas " << group[i] << " and " << group[i + 1]
+         << " delivered different counts (" << a.size() << " vs " << b.size() << ")";
+      return os.str();
+    }
+  }
+  return {};
+}
+
+std::string OrderChecker::check_pairwise_order() const {
+  // For each pair: index commands of one sequence, walk the other and
+  // verify the common subsequence is monotone.
+  for (auto it_a = sequences_.begin(); it_a != sequences_.end(); ++it_a) {
+    std::unordered_map<uint64_t, size_t> index_a;
+    index_a.reserve(it_a->second.size());
+    for (size_t i = 0; i < it_a->second.size(); ++i) index_a[it_a->second[i]] = i;
+
+    for (auto it_b = std::next(it_a); it_b != sequences_.end(); ++it_b) {
+      size_t last = 0;
+      bool first = true;
+      uint64_t last_id = 0;
+      for (uint64_t id : it_b->second) {
+        auto hit = index_a.find(id);
+        if (hit == index_a.end()) continue;
+        if (!first && hit->second <= last) {
+          std::ostringstream os;
+          os << "acyclic order violated between replicas " << it_a->first << " and "
+             << it_b->first << ": commands " << last_id << " and " << id
+             << " delivered in opposite orders";
+          return os.str();
+        }
+        last = hit->second;
+        last_id = id;
+        first = false;
+      }
+    }
+  }
+  return {};
+}
+
+std::string OrderChecker::check_all() const {
+  if (auto v = check_integrity(); !v.empty()) return v;
+  if (auto v = check_pairwise_order(); !v.empty()) return v;
+  return {};
+}
+
+}  // namespace epx::checker

@@ -1,0 +1,52 @@
+// Correctness oracles for atomic multicast delivery.
+//
+// Properties checked (paper §III-A):
+//   * uniform agreement within a group — replicas of the same group
+//     deliver identical sequences,
+//   * pairwise (acyclic) order — if any two replicas both deliver m and
+//     m', they deliver them in the same relative order,
+//   * integrity — no replica delivers the same command twice.
+//
+// The checker is fed from Replica delivery listeners and evaluated at
+// the end of a test run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace epx::checker {
+
+class OrderChecker {
+ public:
+  /// Records that `replica` delivered command `cmd_id` (in call order).
+  void record(uint32_t replica, uint64_t cmd_id);
+
+  /// No replica delivered any command twice. Returns a description of
+  /// the first violation, or empty string if clean.
+  std::string check_integrity() const;
+
+  /// Replicas listed in `group` delivered identical sequences, except
+  /// that one may have delivered a prefix of the other (it subscribed
+  /// later or the run stopped mid-stream is NOT excused — prefix rules
+  /// only apply if allow_prefix is set).
+  std::string check_group_agreement(const std::vector<uint32_t>& group,
+                                    bool allow_prefix = false) const;
+
+  /// For every pair of replicas, the commands they deliver in common
+  /// appear in the same relative order.
+  std::string check_pairwise_order() const;
+
+  /// Convenience: runs every check; empty string = all clean.
+  std::string check_all() const;
+
+  const std::vector<uint64_t>& sequence(uint32_t replica) const;
+  size_t replica_count() const { return sequences_.size(); }
+
+ private:
+  std::map<uint32_t, std::vector<uint64_t>> sequences_;
+};
+
+}  // namespace epx::checker

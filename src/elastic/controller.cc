@@ -1,0 +1,101 @@
+#include "elastic/controller.h"
+
+#include "util/logging.h"
+
+namespace epx::elastic {
+
+namespace {
+constexpr Tick kRetryInterval = 500 * kMillisecond;
+// Control commands are re-proposed for a long while: a subscribe whose
+// twin never reaches the new stream stalls the group's merge, so the
+// controller must out-live transient partitions. Coordinator dedup makes
+// re-sends idempotent within the TTL.
+constexpr int kMaxAttempts = 60;
+}  // namespace
+
+Controller::Controller(sim::Simulation* sim, sim::Network* net, NodeId id,
+                       std::string name, const paxos::StreamDirectory* directory)
+    : Process(sim, net, id, std::move(name)), directory_(directory) {}
+
+uint64_t Controller::subscribe(GroupId group, StreamId new_stream, StreamId via_stream) {
+  const uint64_t cmd_id = paxos::make_command_id(id(), seq_++);
+  const paxos::Command cmd = paxos::make_subscribe(cmd_id, group, new_stream);
+  PendingRequest& req = pending_[cmd_id];
+  req.command = cmd;
+  // The same request must be ordered in BOTH streams (paper §V-A); the
+  // merge point is derived from its position in each.
+  req.streams = {new_stream, via_stream};
+  req.attempts_left = kMaxAttempts;
+  propose_to(cmd, new_stream);
+  propose_to(cmd, via_stream);
+  arm_retry(cmd_id);
+  EPX_INFO << name() << ": subscribe(G" << group << ", S" << new_stream << ") via S"
+           << via_stream;
+  return cmd_id;
+}
+
+uint64_t Controller::unsubscribe(GroupId group, StreamId stream, StreamId via_stream) {
+  const uint64_t cmd_id = paxos::make_command_id(id(), seq_++);
+  const paxos::Command cmd = paxos::make_unsubscribe(cmd_id, group, stream);
+  PendingRequest& req = pending_[cmd_id];
+  req.command = cmd;
+  req.streams = {via_stream};
+  req.attempts_left = kMaxAttempts;
+  propose_to(cmd, via_stream);
+  arm_retry(cmd_id);
+  EPX_INFO << name() << ": unsubscribe(G" << group << ", S" << stream << ") via S"
+           << via_stream;
+  return cmd_id;
+}
+
+uint64_t Controller::prepare(GroupId group, StreamId new_stream, StreamId via_stream) {
+  const uint64_t cmd_id = paxos::make_command_id(id(), seq_++);
+  const paxos::Command cmd = paxos::make_prepare_hint(cmd_id, group, new_stream);
+  PendingRequest& req = pending_[cmd_id];
+  req.command = cmd;
+  req.streams = {via_stream};
+  req.attempts_left = kMaxAttempts;
+  propose_to(cmd, via_stream);
+  arm_retry(cmd_id);
+  EPX_INFO << name() << ": prepare(G" << group << ", S" << new_stream << ") via S"
+           << via_stream;
+  return cmd_id;
+}
+
+void Controller::propose_to(const paxos::Command& cmd, StreamId stream) {
+  if (!directory_->has(stream)) {
+    EPX_WARN << name() << ": control command for unknown stream S" << stream;
+    return;
+  }
+  send(directory_->get(stream).coordinator,
+       net::make_message<paxos::ClientProposeMsg>(stream, cmd));
+}
+
+void Controller::arm_retry(uint64_t command_id) {
+  after(kRetryInterval, [this, command_id] {
+    auto it = pending_.find(command_id);
+    if (it == pending_.end()) return;
+    if (--it->second.attempts_left <= 0) {
+      pending_.erase(it);
+      return;
+    }
+    // Blind re-send; coordinators deduplicate by command id.
+    for (StreamId s : it->second.streams) propose_to(it->second.command, s);
+    arm_retry(command_id);
+  });
+}
+
+void Controller::on_message(NodeId from, const MessagePtr& msg) {
+  (void)from;
+  switch (msg->type()) {
+    case net::MsgType::kProposeReject: {
+      // Coordinator moved; the directory is refreshed by the harness on
+      // failover, so simply re-sending on the retry timer suffices.
+      break;
+    }
+    default:
+      EPX_DEBUG << name() << ": ignoring " << msg->debug_string();
+  }
+}
+
+}  // namespace epx::elastic

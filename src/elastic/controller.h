@@ -1,0 +1,65 @@
+// Controller: the process that drives dynamic subscription changes.
+//
+// Implements the client side of the paper's protocol (§V-A):
+//   * subscribe(G, S_N, via S): atomically broadcast the SAME
+//     subscribe_msg(G, S_N) to both the new stream S_N and a stream S
+//     the group currently subscribes to,
+//   * unsubscribe(G, S, via T): a single request in any subscribed
+//     stream,
+//   * prepare(G, S_N, via S): broadcast the recovery hint (§V-C).
+//
+// Requests are re-proposed on a timer until enough time passes for them
+// to be decided (coordinators deduplicate re-sends), making the control
+// plane robust to message loss.
+#pragma once
+
+#include <unordered_map>
+
+#include "paxos/messages.h"
+#include "paxos/stream_directory.h"
+#include "sim/process.h"
+
+namespace epx::elastic {
+
+using net::MessagePtr;
+using net::NodeId;
+using paxos::GroupId;
+using paxos::StreamId;
+
+class Controller : public sim::Process {
+ public:
+  Controller(sim::Simulation* sim, sim::Network* net, NodeId id, std::string name,
+             const paxos::StreamDirectory* directory);
+
+  /// Dynamically subscribes group `group` to `new_stream`. `via_stream`
+  /// must be a stream the group currently subscribes to. Returns the
+  /// command id used (tests match it in delivery taps).
+  uint64_t subscribe(GroupId group, StreamId new_stream, StreamId via_stream);
+
+  /// Unsubscribes `group` from `stream`; the request is ordered in
+  /// `via_stream` (any currently subscribed stream).
+  uint64_t unsubscribe(GroupId group, StreamId stream, StreamId via_stream);
+
+  /// Broadcasts the prepare hint so replicas of `group` start recovering
+  /// `new_stream` in the background.
+  uint64_t prepare(GroupId group, StreamId new_stream, StreamId via_stream);
+
+ protected:
+  void on_message(NodeId from, const MessagePtr& msg) override;
+
+ private:
+  struct PendingRequest {
+    paxos::Command command;
+    std::vector<StreamId> streams;
+    int attempts_left = 0;
+  };
+
+  void propose_to(const paxos::Command& cmd, StreamId stream);
+  void arm_retry(uint64_t command_id);
+
+  const paxos::StreamDirectory* directory_;
+  uint32_t seq_ = 1;
+  std::unordered_map<uint64_t, PendingRequest> pending_;
+};
+
+}  // namespace epx::elastic

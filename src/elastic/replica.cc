@@ -1,0 +1,108 @@
+#include "elastic/replica.h"
+
+#include "util/logging.h"
+
+namespace epx::elastic {
+
+using net::MsgType;
+
+Replica::Replica(sim::Simulation* sim, sim::Network* net, NodeId id, std::string name,
+                 const paxos::StreamDirectory* directory, Config config)
+    : Process(sim, net, id, std::move(name)),
+      directory_(directory),
+      config_(std::move(config)),
+      merger_(config_.group,
+              ElasticMerger::Hooks{
+                  [this](StreamId s) { start_learner(s); },
+                  [this](StreamId s) { stop_learner(s); },
+                  [this](const Command& c, StreamId s) { on_deliver(c, s); },
+                  [this](const Command& c) { on_control(c); },
+              }) {}
+
+void Replica::start() { merger_.bootstrap(config_.initial_streams); }
+
+void Replica::start_learner(StreamId stream) {
+  if (!directory_->has(stream)) {
+    EPX_WARN << name() << ": subscribe to unknown stream S" << stream;
+    return;
+  }
+  const paxos::StreamInfo& info = directory_->get(stream);
+  paxos::Learner::Config cfg;
+  cfg.stream = stream;
+  cfg.acceptors = info.acceptors;
+  cfg.coordinator = info.coordinator;
+  cfg.params = config_.params;
+  auto learner = std::make_unique<paxos::Learner>(
+      this, cfg, [this, stream](const paxos::Proposal& value, paxos::InstanceId) {
+        merger_.queue(stream).push_proposal(value);
+      });
+  learner->start(0);
+  learners_[stream] = std::move(learner);
+}
+
+void Replica::stop_learner(StreamId stream) {
+  auto it = learners_.find(stream);
+  if (it == learners_.end()) return;
+  it->second->stop();
+  learners_.erase(it);
+}
+
+void Replica::on_message(NodeId from, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case MsgType::kDecision: {
+      const auto& decision = static_cast<const paxos::DecisionMsg&>(*msg);
+      auto it = learners_.find(decision.stream);
+      if (it != learners_.end()) it->second->on_decision(decision);
+      merger_.pump();
+      break;
+    }
+    case MsgType::kRecoverReply: {
+      const auto& reply = static_cast<const paxos::RecoverReplyMsg&>(*msg);
+      auto it = learners_.find(reply.stream);
+      if (it != learners_.end()) it->second->on_recover_reply(reply);
+      merger_.pump();
+      break;
+    }
+    default:
+      on_app_message(from, msg);
+  }
+}
+
+void Replica::on_app_message(NodeId from, const MessagePtr& msg) {
+  (void)from;
+  EPX_WARN << name() << ": unexpected " << msg->debug_string();
+}
+
+void Replica::on_crash() {
+  for (auto& [stream, learner] : learners_) learner->stop();
+  learners_.clear();
+}
+
+void Replica::on_deliver(const Command& cmd, StreamId stream) {
+  if (config_.dedup_deliveries) {
+    if (!seen_ids_.insert(cmd.id).second) return;  // duplicate ordering
+    seen_order_.push_back(cmd.id);
+    constexpr size_t kSeenWindow = 1 << 17;
+    if (seen_order_.size() > kSeenWindow) {
+      seen_ids_.erase(seen_order_.front());
+      seen_order_.pop_front();
+    }
+  }
+  charge(config_.apply_cpu_per_cmd +
+         static_cast<Tick>(cmd.payload_bytes() / kKiB) * config_.apply_cpu_per_kib);
+  ++delivered_;
+  delivered_bytes_ += cmd.payload_bytes();
+  delivery_series_.add(now(), 1);
+  if (delivery_listener_) delivery_listener_(id(), cmd, stream);
+  if (app_handler_) app_handler_(cmd, stream);
+  if (config_.send_replies && cmd.client != net::kInvalidNode) {
+    send(cmd.client, net::make_message<multicast::ReplyMsg>(cmd.id, 0));
+  }
+}
+
+void Replica::on_control(const Command& cmd) {
+  EPX_DEBUG << name() << ": control " << cmd.debug_string() << " took effect";
+  if (control_handler_) control_handler_(cmd);
+}
+
+}  // namespace epx::elastic

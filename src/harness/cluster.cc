@@ -1,0 +1,132 @@
+#include "harness/cluster.h"
+
+#include "util/logging.h"
+
+namespace epx::harness {
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(std::move(options)), net_(&sim_, options_.seed) {
+  net_.set_default_link(options_.link);
+  if (options_.node_bandwidth_bps > 0.0) {
+    net_.set_default_bandwidth(options_.node_bandwidth_bps);
+  }
+}
+
+Cluster::~Cluster() = default;
+
+StreamId Cluster::add_stream() { return add_stream_after(0); }
+
+StreamId Cluster::add_stream_after(Tick provisioning_delay) {
+  const StreamId stream = next_stream_id_++;
+  StreamProcs procs;
+  procs.id = stream;
+
+  std::vector<NodeId> acceptor_ids;
+  for (size_t i = 0; i < options_.acceptors_per_stream; ++i) {
+    paxos::Acceptor::Config cfg;
+    cfg.stream = stream;
+    cfg.params = options_.params;
+    auto acceptor = std::make_unique<paxos::Acceptor>(
+        &sim_, &net_, allocate_node_id(),
+        "acc" + std::to_string(stream) + "." + std::to_string(i), cfg);
+    acceptor_ids.push_back(acceptor->id());
+    procs.acceptors.push_back(std::move(acceptor));
+  }
+  // Ring wiring: coordinator -> acc0 -> acc1 -> ... (tail does not forward).
+  const size_t quorum = options_.acceptors_per_stream / 2 + 1;
+  for (size_t i = 0; i < procs.acceptors.size(); ++i) {
+    procs.acceptors[i]->set_quorum(quorum);
+    if (i + 1 < procs.acceptors.size()) {
+      procs.acceptors[i]->set_ring_successor(acceptor_ids[i + 1]);
+    }
+  }
+
+  paxos::Coordinator::Config ccfg;
+  ccfg.stream = stream;
+  ccfg.acceptors = acceptor_ids;
+  ccfg.params = options_.params;
+  procs.coordinator = std::make_unique<paxos::Coordinator>(
+      &sim_, &net_, allocate_node_id(), "coord" + std::to_string(stream), ccfg);
+
+  directory_.add(paxos::StreamInfo{stream, procs.coordinator->id(), acceptor_ids});
+
+  paxos::Coordinator* coord = procs.coordinator.get();
+  if (provisioning_delay <= 0) {
+    coord->start();
+  } else {
+    sim_.schedule_after(provisioning_delay, [coord] { coord->start(); });
+  }
+
+  streams_.push_back(std::move(procs));
+  EPX_DEBUG << "cluster: stream S" << stream << " provisioned ("
+            << options_.acceptors_per_stream << " acceptors)";
+  return stream;
+}
+
+paxos::Coordinator* Cluster::add_standby_coordinator(StreamId stream) {
+  for (auto& s : streams_) {
+    if (s.id != stream) continue;
+    paxos::Coordinator::Config cfg;
+    cfg.stream = stream;
+    cfg.params = options_.params;
+    cfg.active = false;
+    for (auto& acc : s.acceptors) cfg.acceptors.push_back(acc->id());
+    auto standby = std::make_unique<paxos::Coordinator>(
+        &sim_, &net_, allocate_node_id(), "standby" + std::to_string(stream), cfg);
+    standby->start();
+    s.coordinator->add_standby(standby->id());
+    paxos::Coordinator* raw = standby.get();
+    standbys_.push_back(std::move(standby));
+    return raw;
+  }
+  return nullptr;
+}
+
+elastic::Replica* Cluster::add_replica(GroupId group, std::vector<StreamId> streams) {
+  elastic::Replica::Config cfg;
+  cfg.group = group;
+  cfg.initial_streams = std::move(streams);
+  cfg.params = options_.params;
+  cfg.apply_cpu_per_cmd = options_.apply_cpu_per_cmd;
+  cfg.apply_cpu_per_kib = options_.apply_cpu_per_kib;
+  return add_replica(std::move(cfg));
+}
+
+elastic::Replica* Cluster::add_replica(elastic::Replica::Config config) {
+  auto replica = std::make_unique<elastic::Replica>(
+      &sim_, &net_, allocate_node_id(), "replica" + std::to_string(replicas_.size() + 1),
+      &directory_, std::move(config));
+  replica->start();
+  elastic::Replica* raw = replica.get();
+  replicas_.push_back(std::move(replica));
+  replica_ptrs_.push_back(raw);
+  return raw;
+}
+
+elastic::Controller& Cluster::controller() {
+  if (!controller_) {
+    controller_ = std::make_unique<elastic::Controller>(&sim_, &net_, allocate_node_id(),
+                                                        "controller", &directory_);
+  }
+  return *controller_;
+}
+
+paxos::Coordinator* Cluster::coordinator(StreamId stream) {
+  for (auto& s : streams_) {
+    if (s.id == stream) return s.coordinator.get();
+  }
+  return nullptr;
+}
+
+std::vector<paxos::Acceptor*> Cluster::acceptors(StreamId stream) {
+  std::vector<paxos::Acceptor*> out;
+  for (auto& s : streams_) {
+    if (s.id == stream) {
+      out.reserve(s.acceptors.size());
+      for (auto& a : s.acceptors) out.push_back(a.get());
+    }
+  }
+  return out;
+}
+
+}  // namespace epx::harness

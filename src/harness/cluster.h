@@ -1,0 +1,119 @@
+// Cluster: experiment scaffolding that wires simulated processes into a
+// running system — streams (coordinator + acceptor ring), replicas,
+// controllers — and owns their lifetimes.
+//
+// Node-id allocation, ring wiring, learner registration and directory
+// upkeep all live here so tests and benchmarks stay declarative. The
+// provisioning delay models the paper's observation that booting a new
+// stream's VMs takes ~60 s (§VI): a stream created with a delay exists
+// in the directory but its processes only start answering after the
+// delay elapses.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "elastic/controller.h"
+#include "elastic/replica.h"
+#include "paxos/acceptor.h"
+#include "paxos/coordinator.h"
+#include "paxos/stream_directory.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace epx::harness {
+
+using net::NodeId;
+using paxos::GroupId;
+using paxos::StreamId;
+
+struct ClusterOptions {
+  uint64_t seed = 1;
+  sim::LinkParams link{200 * kMicrosecond, 50 * kMicrosecond};
+  /// Per-node NIC egress bandwidth in bits/sec (0 = unlimited).
+  double node_bandwidth_bps = 0.0;
+  paxos::Params params;
+  size_t acceptors_per_stream = 3;  ///< paper §VII: 3 acceptor VMs per stream
+  /// Replica state-machine apply costs (used by add_replica and the KV
+  /// cluster builder).
+  Tick apply_cpu_per_cmd = 50 * kMicrosecond;
+  Tick apply_cpu_per_kib = 1 * kMicrosecond;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulation& sim() { return sim_; }
+  sim::Network& net() { return net_; }
+  paxos::StreamDirectory& directory() { return directory_; }
+  const ClusterOptions& options() const { return options_; }
+
+  /// Creates a stream: one coordinator plus an acceptor ring, started
+  /// immediately. Returns the stream id.
+  StreamId add_stream();
+
+  /// Same, but the coordinator only starts after `provisioning_delay`
+  /// (Heat-AutoScaling model).
+  StreamId add_stream_after(Tick provisioning_delay);
+
+  /// Adds a standby coordinator to a stream (failover tests). It
+  /// monitors the active leader's heartbeats and takes over via phase 1
+  /// on silence. The caller updates the directory after a failover.
+  paxos::Coordinator* add_standby_coordinator(StreamId stream);
+
+  /// Creates a replica in `group`, initially subscribed to `streams`.
+  elastic::Replica* add_replica(GroupId group, std::vector<StreamId> streams);
+  elastic::Replica* add_replica(elastic::Replica::Config config);
+
+  /// Adopts an externally constructed process (e.g. a KV replica or
+  /// client subclass); the cluster owns it from then on.
+  template <typename T, typename... Args>
+  T* spawn(Args&&... args) {
+    auto owned = std::make_unique<T>(&sim_, &net_, allocate_node_id(),
+                                     std::forward<Args>(args)...);
+    T* raw = owned.get();
+    extra_processes_.push_back(std::move(owned));
+    return raw;
+  }
+
+  /// The shared subscription controller (created on first use).
+  elastic::Controller& controller();
+
+  paxos::Coordinator* coordinator(StreamId stream);
+  std::vector<paxos::Acceptor*> acceptors(StreamId stream);
+  const std::vector<elastic::Replica*>& replicas() const { return replica_ptrs_; }
+
+  /// Crashes a stream's coordinator and promotes a standby (tests).
+  NodeId allocate_node_id() { return next_node_id_++; }
+
+  void run_for(Tick duration) { sim_.run_for(duration); }
+  void run_until(Tick t) { sim_.run_until(t); }
+  Tick now() const { return sim_.now(); }
+
+ private:
+  ClusterOptions options_;
+  sim::Simulation sim_;
+  sim::Network net_;
+  paxos::StreamDirectory directory_;
+  NodeId next_node_id_ = 1;
+  StreamId next_stream_id_ = 1;
+
+  struct StreamProcs {
+    StreamId id;
+    std::unique_ptr<paxos::Coordinator> coordinator;
+    std::vector<std::unique_ptr<paxos::Acceptor>> acceptors;
+  };
+  std::vector<StreamProcs> streams_;
+  std::vector<std::unique_ptr<paxos::Coordinator>> standbys_;
+  std::vector<std::unique_ptr<elastic::Replica>> replicas_;
+  std::vector<elastic::Replica*> replica_ptrs_;
+  std::unique_ptr<elastic::Controller> controller_;
+  std::vector<std::unique_ptr<sim::Process>> extra_processes_;
+};
+
+}  // namespace epx::harness

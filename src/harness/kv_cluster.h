@@ -1,0 +1,96 @@
+// KvCluster: wires a partitioned, replicated key/value store on top of a
+// simulated cluster — registry, partition streams, optional shared
+// (getrange) stream, KV replicas and clients — and exposes the admin
+// primitives the paper's experiments sequence: online split (Fig. 4)
+// and stream replacement (Fig. 5).
+#pragma once
+
+#include "harness/cluster.h"
+#include "kvstore/kv_client.h"
+#include "kvstore/kv_replica.h"
+#include "registry/server.h"
+
+namespace epx::harness {
+
+class KvCluster {
+ public:
+  explicit KvCluster(ClusterOptions options = {});
+
+  Cluster& cluster() { return cluster_; }
+  registry::RegistryServer& registry() { return *registry_; }
+  kv::PartitionMap& map() { return map_; }
+
+  /// Creates one partition: a dedicated stream plus `replica_count`
+  /// replicas in a fresh group. Returns the partition id.
+  uint32_t add_partition(size_t replica_count);
+
+  /// Creates the shared stream all replicas subscribe to (getrange
+  /// traffic) and subscribes every current replica group to it at
+  /// bootstrap. Call after the partitions are created, before run.
+  void add_global_stream();
+
+  /// Publishes the current partition map (and global stream) to the
+  /// registry — clients pick it up through their watch.
+  void publish();
+
+  /// Wires getrange signal peers: every replica learns every other
+  /// partition's replicas. Re-run after re-partitioning.
+  void wire_peers();
+
+  kv::KvClient* add_client(kv::KvClient::Config config);
+
+  const std::vector<kv::KvReplica*>& replicas() const { return replicas_; }
+  std::vector<kv::KvReplica*> replicas_of(uint32_t partition_id) const;
+  paxos::StreamId stream_of(uint32_t partition_id) const;
+  paxos::StreamId global_stream() const { return global_stream_; }
+
+  /// Online split (paper §VII-D): carve `mover` (a replica of
+  /// `partition_id`) out into a new partition on a new stream.
+  /// Phase 1 — subscribe: the mover joins the new stream.
+  /// Returns the new stream id; complete_split() finishes the job.
+  paxos::StreamId begin_split(uint32_t partition_id, kv::KvReplica* mover,
+                              bool with_prepare = false);
+
+  /// Phase 2 — flip: splits the hash range, updates ownership, publishes
+  /// the new map, unsubscribes the mover from the old stream.
+  /// Returns the new partition id.
+  uint32_t complete_split(uint32_t partition_id, kv::KvReplica* mover);
+
+  /// Online merge of two adjacent shards (paper §I: "split or combine
+  /// shards"). Three phases sequenced by the caller with settling time:
+  /// Phase 1 — `into`'s replicas subscribe to `from`'s stream and take
+  /// ownership of the union range (they start executing both shards'
+  /// traffic; duplicate replies are de-duplicated by clients).
+  void begin_merge(uint32_t into, uint32_t from);
+  /// Phase 2 — the partition map collapses to one entry routed at
+  /// `into`'s stream; clients move over.
+  void flip_merge(uint32_t into, uint32_t from);
+  /// Phase 3 — after `from`'s stream drained: `into`'s replicas absorb
+  /// the old shard's pre-merge-point data (local values win), the group
+  /// unsubscribes from the old stream, and the old replicas retire.
+  void finish_merge(uint32_t into, uint32_t from);
+
+ private:
+  struct Partition {
+    uint32_t id;
+    paxos::StreamId stream;
+    paxos::GroupId group;
+    std::vector<kv::KvReplica*> members;
+  };
+
+  Partition* find_partition(uint32_t id);
+
+  Cluster cluster_;
+  registry::RegistryServer* registry_;
+  kv::PartitionMap map_;
+  std::vector<Partition> partitions_;
+  std::vector<kv::KvReplica*> replicas_;
+  paxos::StreamId global_stream_ = paxos::kInvalidStream;
+  uint32_t next_partition_id_ = 1;
+  paxos::GroupId next_group_id_ = 1;
+  // Pending split state (begin_split -> complete_split).
+  paxos::StreamId pending_split_stream_ = paxos::kInvalidStream;
+  paxos::GroupId pending_split_group_ = paxos::kInvalidGroup;
+};
+
+}  // namespace epx::harness

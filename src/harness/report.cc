@@ -1,0 +1,82 @@
+#include "harness/report.h"
+
+#include <cstdio>
+
+namespace epx::harness {
+
+void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void print_rate_table(const std::string& title, const std::vector<RateColumn>& columns,
+                      Tick from, Tick to) {
+  print_header(title);
+  std::printf("%6s", "t(s)");
+  for (const auto& c : columns) std::printf(" %12s", c.label.c_str());
+  std::printf("\n");
+  for (Tick t = from; t < to; t += kSecond) {
+    std::printf("%6lld", static_cast<long long>(t / kSecond));
+    for (const auto& c : columns) {
+      const auto idx = static_cast<size_t>(t / kSecond);
+      const double rate =
+          (c.counter != nullptr && idx < c.counter->size()) ? c.counter->rate_at(idx) : 0.0;
+      std::printf(" %12.1f", rate * c.scale);
+    }
+    std::printf("\n");
+  }
+}
+
+void print_cpu_table(const std::string& title, const std::vector<CpuColumn>& columns,
+                     Tick from, Tick to) {
+  print_header(title);
+  std::printf("%6s", "t(s)");
+  for (const auto& c : columns) std::printf(" %12s", c.label.c_str());
+  std::printf("\n");
+  for (Tick t = from; t < to; t += kSecond) {
+    std::printf("%6lld", static_cast<long long>(t / kSecond));
+    for (const auto& c : columns) {
+      const double util =
+          c.process != nullptr ? c.process->utilization(t, t + kSecond) * 100.0 : 0.0;
+      std::printf(" %11.1f%%", util);
+    }
+    std::printf("\n");
+  }
+}
+
+void print_latency_table(const std::string& title,
+                         const std::vector<LatencyColumn>& columns, Tick from, Tick to) {
+  print_header(title);
+  std::printf("%6s", "t(s)");
+  for (const auto& c : columns) std::printf(" %12s", c.label.c_str());
+  std::printf("\n");
+  for (Tick t = from; t < to; t += kSecond) {
+    std::printf("%6lld", static_cast<long long>(t / kSecond));
+    for (const auto& c : columns) {
+      const auto idx = static_cast<size_t>(t / kSecond);
+      double ms = 0.0;
+      if (c.windows != nullptr && idx < c.windows->size()) {
+        ms = to_millis((*c.windows)[idx].quantile(c.quantile));
+      }
+      std::printf(" %12.2f", ms);
+    }
+    std::printf("\n");
+  }
+}
+
+void print_phase_averages(const std::string& title, const WindowedCounter& counter,
+                          const std::vector<Tick>& boundaries, Tick end) {
+  print_header(title);
+  const auto phases = phase_averages(counter, boundaries, end);
+  for (size_t i = 0; i < phases.size(); ++i) {
+    std::printf("phase %zu  [%5.1fs, %5.1fs)  avg %10.1f ops/s\n", i + 1,
+                to_seconds(phases[i].from), to_seconds(phases[i].to), phases[i].rate);
+  }
+}
+
+void paper_check(const std::string& id, const std::string& claim, bool pass,
+                 const std::string& measured) {
+  std::printf("PAPER-CHECK %-28s %s | paper: %s | measured: %s\n", id.c_str(),
+              pass ? "PASS" : "FAIL", claim.c_str(), measured.c_str());
+}
+
+}  // namespace epx::harness

@@ -1,0 +1,59 @@
+// Report: text output matching the paper's figures.
+//
+// Each bench prints per-second rows (the time series a figure plots),
+// per-phase interval averages (Fig. 3's "Interval avg." line), latency
+// percentiles, and a PAPER-CHECK verdict comparing the measured shape
+// against the paper's claim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/process.h"
+#include "util/histogram.h"
+#include "util/timeseries.h"
+
+namespace epx::harness {
+
+/// One column of a per-second rate table.
+struct RateColumn {
+  std::string label;
+  const WindowedCounter* counter = nullptr;
+  /// Multiplier applied to the rate (e.g. bytes -> Mbps).
+  double scale = 1.0;
+};
+
+/// One column of a per-second CPU-utilisation table (0..100%).
+struct CpuColumn {
+  std::string label;
+  const sim::Process* process = nullptr;
+};
+
+/// Per-second latency percentile column.
+struct LatencyColumn {
+  std::string label;
+  const std::vector<Histogram>* windows = nullptr;
+  double quantile = 0.95;
+};
+
+void print_header(const std::string& title);
+
+/// Prints "t  col1  col2 ..." rows for each 1 s window in [from, to).
+void print_rate_table(const std::string& title, const std::vector<RateColumn>& columns,
+                      Tick from, Tick to);
+
+void print_cpu_table(const std::string& title, const std::vector<CpuColumn>& columns,
+                     Tick from, Tick to);
+
+void print_latency_table(const std::string& title,
+                         const std::vector<LatencyColumn>& columns, Tick from, Tick to);
+
+/// Prints the average rate within each phase delimited by `boundaries`.
+void print_phase_averages(const std::string& title, const WindowedCounter& counter,
+                          const std::vector<Tick>& boundaries, Tick end);
+
+/// Records a paper-vs-measured comparison; prints PASS/FAIL.
+void paper_check(const std::string& id, const std::string& claim, bool pass,
+                 const std::string& measured);
+
+}  // namespace epx::harness

@@ -1,0 +1,185 @@
+#include "kvstore/kv_client.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace epx::kv {
+
+KvClient::KvClient(sim::Simulation* sim, sim::Network* net, NodeId id, std::string name,
+                   const paxos::StreamDirectory* directory, Config config)
+    : Process(sim, net, id, std::move(name)),
+      directory_(directory),
+      config_(std::move(config)),
+      registry_client_(this, config_.registry),
+      rng_(config_.seed) {}
+
+std::string KvClient::key_name(size_t index) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "key%010zu", index);
+  return buf;
+}
+
+void KvClient::start() {
+  running_ = true;
+  registry_client_.watch("kv/", [this](const std::string& key, const std::string& value,
+                                       uint64_t) {
+    if (key == kPartitionMapKey) {
+      map_ = PartitionMap::deserialize(value);
+      EPX_DEBUG << name() << ": partition map updated, " << map_.partition_count()
+                << " partitions";
+    } else if (key == kGlobalStreamKey) {
+      global_stream_ = static_cast<StreamId>(std::stoul(value));
+    }
+  });
+  threads_.assign(config_.threads, Outstanding{});
+  // Threads launch once the first partition map arrives.
+  after(10 * kMillisecond, [this] {
+    if (!map_.empty()) {
+      for (size_t i = 0; i < threads_.size(); ++i) issue(i);
+    } else {
+      after(50 * kMillisecond, [this] {
+        for (size_t i = 0; i < threads_.size(); ++i) issue(i);
+      });
+    }
+  });
+}
+
+void KvClient::stop() {
+  running_ = false;
+  inflight_.clear();
+  commands_.clear();
+}
+
+KvOp KvClient::make_op() {
+  KvOp op;
+  const double dice = rng_.uniform_double();
+  const size_t key_index = rng_.uniform(config_.key_space);
+  if (dice < config_.getrange_ratio) {
+    op.kind = OpKind::kGetRange;
+    const size_t start = key_index;
+    op.key = key_name(start);
+    op.end_key = key_name(std::min(start + config_.range_span, config_.key_space));
+  } else if (dice < config_.getrange_ratio + config_.get_ratio) {
+    op.kind = OpKind::kGet;
+    op.key = key_name(key_index);
+  } else {
+    op.kind = OpKind::kPut;
+    op.key = key_name(key_index);
+    // Unique value per put: required by the linearizability checker and
+    // padded to the configured size.
+    op.value = "v" + std::to_string(paxos::make_command_id(id(), seq_));
+    if (op.value.size() < config_.value_bytes) {
+      op.value.resize(config_.value_bytes, 'x');
+    }
+  }
+  return op;
+}
+
+void KvClient::issue(size_t thread_index) {
+  if (!running_) return;
+  const uint64_t cmd_id = paxos::make_command_id(id(), seq_++);
+  Outstanding& t = threads_[thread_index];
+  t.thread_index = thread_index;
+  t.cmd_id = cmd_id;
+  t.op = make_op();
+  t.sent_at = now();
+  t.shards_received.clear();
+  t.partial.clear();
+  t.shards_expected = t.op.is_multi_partition() ? std::max<size_t>(map_.partition_count(), 1) : 1;
+  t.done = false;
+
+  paxos::Command cmd;
+  cmd.kind = paxos::CommandKind::kApp;
+  cmd.id = cmd_id;
+  cmd.client = id();
+  cmd.payload = std::make_shared<const std::string>(t.op.encode());
+  inflight_[cmd_id] = thread_index;
+  commands_[cmd_id] = std::move(cmd);
+  dispatch(thread_index);
+  arm_timeout(thread_index, cmd_id);
+}
+
+void KvClient::dispatch(size_t thread_index) {
+  Outstanding& t = threads_[thread_index];
+  auto cmd_it = commands_.find(t.cmd_id);
+  if (cmd_it == commands_.end()) return;
+
+  StreamId stream = paxos::kInvalidStream;
+  if (t.op.is_multi_partition()) {
+    stream = global_stream_;
+    t.shards_expected = std::max<size_t>(map_.partition_count(), 1);
+  } else {
+    const PartitionEntry* entry = map_.lookup(t.op.key);
+    if (entry != nullptr) stream = entry->stream;
+  }
+  if (stream == paxos::kInvalidStream || !directory_->has(stream)) return;
+  send(directory_->get(stream).coordinator,
+       net::make_message<paxos::ClientProposeMsg>(stream, cmd_it->second));
+}
+
+void KvClient::arm_timeout(size_t thread_index, uint64_t cmd_id) {
+  after(config_.retry_timeout, [this, thread_index, cmd_id] {
+    if (!running_) return;
+    auto it = inflight_.find(cmd_id);
+    if (it == inflight_.end() || it->second != thread_index) return;
+    if (threads_[thread_index].done) return;
+    ++retries_;
+    dispatch(thread_index);  // re-routed through the refreshed map
+    arm_timeout(thread_index, cmd_id);
+  });
+}
+
+void KvClient::complete(size_t thread_index, const std::string& get_value) {
+  Outstanding& t = threads_[thread_index];
+  t.done = true;
+  const Tick latency = now() - t.sent_at;
+  latency_.record(latency);
+  const auto window = static_cast<size_t>(now() / kSecond);
+  if (latency_windows_.size() <= window) latency_windows_.resize(window + 1);
+  latency_windows_[window].record(latency);
+  completions_.add(now(), 1);
+  ++completed_;
+
+  if (config_.record_history && t.op.kind != OpKind::kGetRange) {
+    checker::KvOp h;
+    h.kind = t.op.kind == OpKind::kPut ? checker::KvOp::Kind::kPut
+                                       : checker::KvOp::Kind::kGet;
+    h.key = t.op.key;
+    h.value = t.op.kind == OpKind::kPut ? t.op.value : get_value;
+    h.invoke = t.sent_at;
+    h.response = now();
+    history_.add(std::move(h));
+  }
+  if (config_.think_time > 0) {
+    after(config_.think_time, [this, thread_index] { issue(thread_index); });
+  } else {
+    issue(thread_index);
+  }
+}
+
+void KvClient::on_message(NodeId from, const MessagePtr& msg) {
+  (void)from;
+  if (registry_client_.on_message(msg)) return;
+  if (msg->type() != net::MsgType::kKvReply) return;
+  const auto& reply = static_cast<const multicast::ReplyMsg&>(*msg);
+  auto it = inflight_.find(reply.command_id);
+  if (it == inflight_.end()) return;
+  const size_t thread_index = it->second;
+  Outstanding& t = threads_[thread_index];
+  if (t.done) return;
+
+  if (t.op.is_multi_partition()) {
+    if (!t.shards_received.insert(static_cast<uint32_t>(reply.shard)).second) return;
+    if (reply.payload) {
+      for (auto& pair : decode_pairs(*reply.payload)) t.partial.push_back(std::move(pair));
+    }
+    if (t.shards_received.size() < t.shards_expected) return;  // waiting for more shards
+  }
+  inflight_.erase(reply.command_id);
+  commands_.erase(reply.command_id);
+  const std::string value = reply.payload && !t.op.is_multi_partition() ? *reply.payload : "";
+  complete(thread_index, value);
+}
+
+}  // namespace epx::kv

@@ -1,0 +1,117 @@
+// KvClient: closed-loop key/value workload driver.
+//
+// Each thread keeps one operation outstanding. Routing consults the
+// partition map cached from the registry (clients are "notified about
+// the change in the partitioning by ZooKeeper", paper §VII-D); a command
+// that lands on the wrong partition is silently discarded there and
+// re-sent after the retry timeout through the refreshed map — producing
+// the ~1 s re-partitioning gap of Fig. 4.
+//
+// getrange operations are multicast to the shared stream and complete
+// when a partial result has arrived from every partition in the current
+// map; the client assembles the full range.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "checker/linearizability.h"
+#include "kvstore/kv_op.h"
+#include "kvstore/partition_map.h"
+#include "multicast/messages.h"
+#include "paxos/messages.h"
+#include "paxos/stream_directory.h"
+#include "registry/client.h"
+#include "sim/process.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/timeseries.h"
+
+namespace epx::kv {
+
+using net::MessagePtr;
+using net::NodeId;
+using paxos::StreamId;
+
+class KvClient : public sim::Process {
+ public:
+  struct Config {
+    size_t threads = 1;
+    NodeId registry = net::kInvalidNode;
+    size_t key_space = 10000;
+    size_t value_bytes = 1024;
+    /// Operation mix; must sum to <= 1.0, remainder goes to puts.
+    double get_ratio = 0.0;
+    double getrange_ratio = 0.0;
+    size_t range_span = 50;  ///< keys covered by one getrange
+    Tick retry_timeout = 1 * kSecond;
+    /// Pause between a reply and the thread's next operation (0 = pure
+    /// closed loop). Used to pin benchmarks at a fraction of peak load.
+    Tick think_time = 0;
+    uint64_t seed = 7;
+    /// Record an operation history for the linearizability checker
+    /// (tests only — histories grow with the run).
+    bool record_history = false;
+  };
+
+  KvClient(sim::Simulation* sim, sim::Network* net, NodeId id, std::string name,
+           const paxos::StreamDirectory* directory, Config config);
+
+  /// Registers the partition-map watch and launches all threads.
+  void start();
+  void stop();
+
+  // --- metrics ---------------------------------------------------------
+  const Histogram& latency() const { return latency_; }
+  const std::vector<Histogram>& latency_windows() const { return latency_windows_; }
+  const WindowedCounter& completions() const { return completions_; }
+  uint64_t completed() const { return completed_; }
+  uint64_t retries() const { return retries_; }
+  const checker::LinearizabilityChecker& history() const { return history_; }
+  const PartitionMap& partition_map() const { return map_; }
+
+  static std::string key_name(size_t index);
+
+ protected:
+  void on_message(NodeId from, const MessagePtr& msg) override;
+
+ private:
+  struct Outstanding {
+    size_t thread_index = 0;
+    uint64_t cmd_id = 0;
+    KvOp op;
+    Tick sent_at = 0;
+    std::unordered_set<uint32_t> shards_received;  // getrange partials
+    size_t shards_expected = 1;
+    std::vector<std::pair<std::string, std::string>> partial;
+    bool done = true;
+  };
+
+  void issue(size_t thread_index);
+  void dispatch(size_t thread_index);
+  void complete(size_t thread_index, const std::string& get_value);
+  void arm_timeout(size_t thread_index, uint64_t cmd_id);
+  KvOp make_op();
+
+  const paxos::StreamDirectory* directory_;
+  Config config_;
+  registry::RegistryClient registry_client_;
+  PartitionMap map_;
+  StreamId global_stream_ = paxos::kInvalidStream;
+  Rng rng_;
+  bool running_ = false;
+  uint32_t seq_ = 1;
+
+  std::vector<Outstanding> threads_;
+  std::unordered_map<uint64_t, size_t> inflight_;  // cmd id -> thread
+  std::unordered_map<uint64_t, paxos::Command> commands_;
+
+  Histogram latency_;
+  std::vector<Histogram> latency_windows_;
+  WindowedCounter completions_{kSecond};
+  uint64_t completed_ = 0;
+  uint64_t retries_ = 0;
+  checker::LinearizabilityChecker history_;
+};
+
+}  // namespace epx::kv

@@ -1,0 +1,89 @@
+// KV-specific wire messages: multi-partition execution signals (the
+// "direct signal messages" of paper §VI, after Scalable SMR) and
+// snapshot-based state transfer for replica recovery.
+#pragma once
+
+#include "net/message.h"
+
+namespace epx::kv {
+
+using net::Message;
+using net::MsgType;
+using net::NodeId;
+using net::Reader;
+using net::Writer;
+
+/// "I delivered multi-partition command `command_id` and my partition is
+/// ready to execute it."
+struct KvSignalMsg final : Message {
+  uint64_t command_id = 0;
+  uint32_t partition_id = 0;
+
+  KvSignalMsg() = default;
+  KvSignalMsg(uint64_t cmd, uint32_t part) : command_id(cmd), partition_id(part) {}
+
+  MsgType type() const override { return MsgType::kKvSignal; }
+  size_t body_size() const override {
+    return Writer::varint_size(command_id) + Writer::varint_size(partition_id);
+  }
+  void encode(Writer& w) const override {
+    w.varint(command_id);
+    w.varint(partition_id);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+struct SnapshotRequestMsg final : Message {
+  uint64_t request_id = 0;
+
+  SnapshotRequestMsg() = default;
+  explicit SnapshotRequestMsg(uint64_t id) : request_id(id) {}
+
+  MsgType type() const override { return MsgType::kSnapshotRequest; }
+  size_t body_size() const override { return Writer::varint_size(request_id); }
+  void encode(Writer& w) const override { w.varint(request_id); }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// Snapshot of a replica's store plus the merger cut it was taken at:
+/// per-stream next slot indexes, so the receiver can resume delivery at
+/// exactly the snapshot point.
+struct SnapshotReplyMsg final : Message {
+  uint64_t request_id = 0;
+  std::shared_ptr<const std::string> store;  ///< encode_pairs() payload
+  std::vector<std::pair<uint32_t, uint64_t>> stream_positions;
+  /// Stream the donor's round-robin consumes next — the joiner resumes
+  /// exactly there.
+  uint32_t next_stream = 0xffffffff;
+  /// False when the donor was mid-subscription (kScanning/kAligning);
+  /// the joiner should retry later.
+  bool clean = true;
+
+  MsgType type() const override { return MsgType::kSnapshotReply; }
+  size_t body_size() const override {
+    size_t n = Writer::varint_size(request_id) +
+               Writer::bytes_size(store ? store->size() : 0) +
+               Writer::varint_size(stream_positions.size());
+    for (const auto& [s, pos] : stream_positions) {
+      n += Writer::varint_size(s) + Writer::varint_size(pos);
+    }
+    n += sizeof(uint32_t) + 1;
+    return n;
+  }
+  void encode(Writer& w) const override {
+    w.varint(request_id);
+    w.bytes(store ? std::string_view(*store) : std::string_view());
+    w.varint(stream_positions.size());
+    for (const auto& [s, pos] : stream_positions) {
+      w.varint(s);
+      w.varint(pos);
+    }
+    w.u32(next_stream);
+    w.u8(clean ? 1 : 0);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+void register_kv_messages();
+
+}  // namespace epx::kv

@@ -1,0 +1,40 @@
+// KvOp: the key/value store's command payload, carried inside a
+// multicast Command (paper §VI: put, get, and the multi-partition
+// getrange).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/buffer.h"
+#include "util/hash.h"
+
+namespace epx::kv {
+
+enum class OpKind : uint8_t {
+  kPut = 0,
+  kGet = 1,
+  kGetRange = 2,  ///< consistent scan of [key, end_key)
+};
+
+struct KvOp {
+  OpKind kind = OpKind::kGet;
+  std::string key;
+  std::string value;    ///< put payload
+  std::string end_key;  ///< getrange upper bound (exclusive)
+
+  bool is_multi_partition() const { return kind == OpKind::kGetRange; }
+  uint64_t hash() const { return key_hash(key); }
+
+  /// Serialises into a Command payload string.
+  std::string encode() const;
+  static KvOp decode(std::string_view payload);
+};
+
+/// Encodes a list of key/value pairs (getrange partial results).
+std::string encode_pairs(const std::vector<std::pair<std::string, std::string>>& pairs);
+std::vector<std::pair<std::string, std::string>> decode_pairs(std::string_view data);
+
+}  // namespace epx::kv

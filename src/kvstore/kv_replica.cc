@@ -1,0 +1,246 @@
+#include "kvstore/kv_replica.h"
+
+#include "util/logging.h"
+
+namespace epx::kv {
+
+KvReplica::KvReplica(sim::Simulation* sim, sim::Network* net, NodeId id, std::string name,
+                     const paxos::StreamDirectory* directory, Replica::Config base,
+                     KvConfig kv_config)
+    : Replica(sim, net, id, std::move(name), directory,
+              [&base] {
+                base.send_replies = false;  // the KV layer replies itself
+                return base;
+              }()),
+      kv_config_(kv_config) {
+  set_app_handler([this](const Command& cmd, StreamId) { on_kv_deliver(cmd); });
+}
+
+void KvReplica::set_ownership(uint32_t partition_id, uint64_t hash_lo, uint64_t hash_hi) {
+  kv_config_.partition_id = partition_id;
+  kv_config_.hash_lo = hash_lo;
+  kv_config_.hash_hi = hash_hi;
+  EPX_DEBUG << name() << ": now partition " << partition_id;
+}
+
+void KvReplica::set_peers(std::vector<PeerReplica> peers) { peers_ = std::move(peers); }
+
+size_t KvReplica::purge_unowned() {
+  size_t purged = 0;
+  for (auto it = store_.begin(); it != store_.end();) {
+    if (!owns(key_hash(it->first))) {
+      it = store_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  charge(static_cast<Tick>(purged) * kv_config_.scan_cpu_per_key);
+  return purged;
+}
+
+void KvReplica::install_snapshot(const SnapshotReplyMsg& snapshot) {
+  if (snapshot.store) absorb_store(*snapshot.store, /*overwrite=*/true);
+  for (const auto& [stream, pos] : snapshot.stream_positions) {
+    merger().queue(stream).fast_forward(pos);
+  }
+}
+
+void KvReplica::absorb_store(const std::string& encoded_pairs, bool overwrite) {
+  auto pairs = decode_pairs(encoded_pairs);
+  charge(static_cast<Tick>(pairs.size()) * kv_config_.scan_cpu_per_key);
+  for (auto& [k, v] : pairs) {
+    if (overwrite) {
+      store_[std::move(k)] = std::move(v);
+    } else {
+      store_.try_emplace(std::move(k), std::move(v));
+    }
+  }
+}
+
+void KvReplica::join_via(NodeId donor) {
+  join_donor_ = donor;
+  join_request_id_ = paxos::make_command_id(id(), 1);
+  send(donor, net::make_message<SnapshotRequestMsg>(join_request_id_));
+  // Guard against a lost request/reply.
+  after(500 * kMillisecond, [this] {
+    if (!joined_ && join_donor_ != net::kInvalidNode) join_via(join_donor_);
+  });
+}
+
+void KvReplica::on_kv_deliver(const Command& cmd) {
+  if (!cmd.payload) return;
+  KvOp op = KvOp::decode(*cmd.payload);
+  if (!op.is_multi_partition()) {
+    // Single-partition commands never need to wait; but ordering with a
+    // blocked multi-partition command ahead of them must be preserved.
+    if (exec_queue_.empty()) {
+      execute(cmd, op);
+      return;
+    }
+  }
+  exec_queue_.push_back(PendingExec{cmd, std::move(op), false});
+  drain_exec_queue();
+}
+
+void KvReplica::drain_exec_queue() {
+  while (!exec_queue_.empty()) {
+    PendingExec& head = exec_queue_.front();
+    if (head.op.is_multi_partition()) {
+      if (!head.signalled) {
+        // Tell every other partition we delivered this command.
+        for (const PeerReplica& peer : peers_) {
+          if (peer.partition_id == kv_config_.partition_id) continue;
+          send(peer.node,
+               net::make_message<KvSignalMsg>(head.cmd.id, kv_config_.partition_id));
+        }
+        head.signalled = true;
+      }
+      if (!signals_complete(head.cmd.id)) return;  // blocked on peers
+      signals_.erase(head.cmd.id);
+    }
+    const PendingExec exec = std::move(exec_queue_.front());
+    exec_queue_.pop_front();
+    execute(exec.cmd, exec.op);
+  }
+}
+
+bool KvReplica::signals_complete(uint64_t command_id) const {
+  // One signal from each *other* partition present in the peer list.
+  std::unordered_set<uint32_t> needed;
+  for (const PeerReplica& peer : peers_) {
+    if (peer.partition_id != kv_config_.partition_id) needed.insert(peer.partition_id);
+  }
+  if (needed.empty()) return true;
+  auto it = signals_.find(command_id);
+  if (it == signals_.end()) return false;
+  for (uint32_t partition : needed) {
+    if (it->second.count(partition) == 0) return false;
+  }
+  return true;
+}
+
+void KvReplica::execute(const Command& cmd, const KvOp& op) {
+  if (op.is_multi_partition()) {
+    execute_getrange(cmd, op);
+  } else {
+    execute_single(cmd, op);
+  }
+}
+
+void KvReplica::execute_single(const Command& cmd, const KvOp& op) {
+  if (!owns(op.hash())) {
+    // Wrong partition (command raced a re-partitioning): discard; the
+    // client re-sends to the correct partition after its timeout.
+    ++discarded_wrong_partition_;
+    return;
+  }
+  ++executed_;
+  executed_series_.add(now(), 1);
+  switch (op.kind) {
+    case OpKind::kPut:
+      store_[op.key] = op.value;
+      reply(cmd, 0);
+      break;
+    case OpKind::kGet: {
+      auto it = store_.find(op.key);
+      if (it == store_.end()) {
+        reply(cmd, 1);
+      } else {
+        reply(cmd, 0, std::make_shared<const std::string>(it->second));
+      }
+      break;
+    }
+    case OpKind::kGetRange:
+      break;  // unreachable
+  }
+}
+
+void KvReplica::execute_getrange(const Command& cmd, const KvOp& op) {
+  ++executed_;
+  executed_series_.add(now(), 1);
+  std::vector<std::pair<std::string, std::string>> result;
+  auto it = store_.lower_bound(op.key);
+  size_t visited = 0;
+  for (; it != store_.end() && it->first < op.end_key; ++it) {
+    result.emplace_back(it->first, it->second);
+    ++visited;
+  }
+  charge(static_cast<Tick>(visited) * kv_config_.scan_cpu_per_key);
+  auto msg = std::make_shared<multicast::ReplyMsg>(cmd.id, 0);
+  msg->shard = kv_config_.partition_id;
+  msg->payload = std::make_shared<const std::string>(encode_pairs(result));
+  if (cmd.client != net::kInvalidNode) send(cmd.client, std::move(msg));
+}
+
+void KvReplica::reply(const Command& cmd, uint8_t status,
+                      std::shared_ptr<const std::string> payload) {
+  if (cmd.client == net::kInvalidNode) return;
+  auto msg = std::make_shared<multicast::ReplyMsg>(cmd.id, status);
+  msg->shard = kv_config_.partition_id;
+  msg->payload = std::move(payload);
+  send(cmd.client, std::move(msg));
+}
+
+void KvReplica::on_app_message(NodeId from, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case net::MsgType::kKvSignal: {
+      const auto& signal = static_cast<const KvSignalMsg&>(*msg);
+      auto [it, fresh] = signals_.try_emplace(signal.command_id);
+      it->second.insert(signal.partition_id);
+      if (fresh) {
+        // Bound memory: signals for commands that never materialise here
+        // (duplicates, commands discarded below a merge point) age out
+        // FIFO. Evicting a live entry only delays that command until the
+        // peers' client re-sends it.
+        signal_order_.push_back(signal.command_id);
+        constexpr size_t kSignalCap = 1 << 16;
+        if (signal_order_.size() > kSignalCap) {
+          signals_.erase(signal_order_.front());
+          signal_order_.pop_front();
+        }
+      }
+      drain_exec_queue();
+      break;
+    }
+    case net::MsgType::kSnapshotRequest: {
+      const auto& req = static_cast<const SnapshotRequestMsg&>(*msg);
+      auto reply_msg = std::make_shared<SnapshotReplyMsg>();
+      reply_msg->request_id = req.request_id;
+      reply_msg->clean =
+          merger().phase() == elastic::ElasticMerger::Phase::kNormal;
+      if (reply_msg->clean) {
+        std::vector<std::pair<std::string, std::string>> pairs(store_.begin(),
+                                                               store_.end());
+        reply_msg->store = std::make_shared<const std::string>(encode_pairs(pairs));
+        for (StreamId s : merger().subscriptions()) {
+          reply_msg->stream_positions.emplace_back(s, merger().queue(s).next_index());
+        }
+        reply_msg->next_stream = merger().current_stream();
+        charge(static_cast<Tick>(pairs.size()) * kv_config_.scan_cpu_per_key);
+      }
+      send(from, std::move(reply_msg));
+      break;
+    }
+    case net::MsgType::kSnapshotReply: {
+      const auto& snapshot = static_cast<const SnapshotReplyMsg&>(*msg);
+      if (joined_ || snapshot.request_id != join_request_id_) break;
+      if (!snapshot.clean) break;  // the retry timer asks again
+      joined_ = true;
+      join_donor_ = net::kInvalidNode;
+      if (snapshot.store) absorb_store(*snapshot.store, /*overwrite=*/true);
+      std::vector<std::pair<StreamId, paxos::SlotIndex>> cut;
+      for (const auto& [stream, pos] : snapshot.stream_positions) {
+        cut.emplace_back(stream, pos);
+      }
+      merger().restore(cut, snapshot.next_stream);
+      EPX_DEBUG << name() << ": joined group via snapshot (" << store_.size()
+                << " keys, " << cut.size() << " streams)";
+      break;
+    }
+    default:
+      Replica::on_app_message(from, msg);
+  }
+}
+
+}  // namespace epx::kv

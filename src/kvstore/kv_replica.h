@@ -1,0 +1,126 @@
+// KvReplica: a replica of one hash-partitioned shard of the key/value
+// store (paper §VI).
+//
+// Single-partition commands (put/get) execute immediately in merged
+// delivery order; commands whose key the replica does not own are
+// discarded — the client re-sends to the correct partition after a
+// timeout (paper §VII-D). Multi-partition commands (getrange) arrive on
+// the shared stream at every replica and are coordinated with direct
+// signal messages: execution blocks until every other involved partition
+// has signalled delivery, which preserves linearizability across shards.
+//
+// The replica also serves snapshots (store + merger cut) for state
+// transfer when a new replica joins the group.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "elastic/replica.h"
+#include "kvstore/kv_messages.h"
+#include "kvstore/kv_op.h"
+#include "kvstore/partition_map.h"
+
+namespace epx::kv {
+
+using elastic::Command;
+using net::MessagePtr;
+using net::NodeId;
+using paxos::StreamId;
+
+struct PeerReplica {
+  NodeId node = net::kInvalidNode;
+  uint32_t partition_id = 0;
+};
+
+class KvReplica : public elastic::Replica {
+ public:
+  struct KvConfig {
+    uint32_t partition_id = 1;
+    uint64_t hash_lo = 0;
+    uint64_t hash_hi = ~0ULL;
+    /// CPU cost per key visited by a getrange scan.
+    Tick scan_cpu_per_key = 1 * kMicrosecond;
+  };
+
+  KvReplica(sim::Simulation* sim, sim::Network* net, NodeId id, std::string name,
+            const paxos::StreamDirectory* directory, Replica::Config base,
+            KvConfig kv_config);
+
+  // --- administration ----------------------------------------------------
+  /// Changes this replica's owned hash range + partition identity (online
+  /// re-partitioning). Does not touch the store; call purge_unowned()
+  /// once the old partition's stream is unsubscribed.
+  void set_ownership(uint32_t partition_id, uint64_t hash_lo, uint64_t hash_hi);
+  /// Replicas of *other* partitions to exchange getrange signals with.
+  void set_peers(std::vector<PeerReplica> peers);
+  /// Removes keys outside the owned range; returns how many.
+  size_t purge_unowned();
+
+  // --- introspection -------------------------------------------------------
+  uint32_t partition_id() const { return kv_config_.partition_id; }
+  bool owns(uint64_t hash) const {
+    return hash >= kv_config_.hash_lo && hash <= kv_config_.hash_hi;
+  }
+  const std::map<std::string, std::string>& store() const { return store_; }
+  uint64_t executed() const { return executed_; }
+  uint64_t discarded_wrong_partition() const { return discarded_wrong_partition_; }
+  const WindowedCounter& executed_series() const { return executed_series_; }
+
+  /// Installs a snapshot (store + merger cut) received from a peer; used
+  /// when this replica joins an existing group. Must be called before
+  /// start().
+  void install_snapshot(const SnapshotReplyMsg& snapshot);
+
+  /// Full join protocol: requests a snapshot from `donor`, installs it
+  /// on arrival (retrying while the donor is mid-subscription), and
+  /// resumes delivery at the donor's cut. Use instead of start() for a
+  /// replica joining a running group (paper §VI: "Adding a new replica
+  /// to a replication group is part of Elastic Paxos's recovery
+  /// procedure").
+  void join_via(NodeId donor);
+  bool joined() const { return joined_; }
+
+  /// Adds a peer's key/value pairs to the local store. With
+  /// `overwrite` false, existing keys win — the correct mode when
+  /// absorbing an older shard's data after a merge (local values are
+  /// newer by construction).
+  void absorb_store(const std::string& encoded_pairs, bool overwrite);
+
+ protected:
+  void on_app_message(NodeId from, const MessagePtr& msg) override;
+
+ private:
+  struct PendingExec {
+    Command cmd;
+    KvOp op;
+    bool signalled = false;  ///< our signal batch was sent
+  };
+
+  void on_kv_deliver(const Command& cmd);
+  void drain_exec_queue();
+  void execute(const Command& cmd, const KvOp& op);
+  void execute_single(const Command& cmd, const KvOp& op);
+  void execute_getrange(const Command& cmd, const KvOp& op);
+  bool signals_complete(uint64_t command_id) const;
+  void reply(const Command& cmd, uint8_t status,
+             std::shared_ptr<const std::string> payload = nullptr);
+
+  KvConfig kv_config_;
+  std::map<std::string, std::string> store_;
+  std::vector<PeerReplica> peers_;
+  std::deque<PendingExec> exec_queue_;
+  std::unordered_map<uint64_t, std::unordered_set<uint32_t>> signals_;
+  std::deque<uint64_t> signal_order_;  // FIFO bound on signals_
+
+  NodeId join_donor_ = net::kInvalidNode;
+  bool joined_ = false;
+  uint64_t join_request_id_ = 0;
+
+  uint64_t executed_ = 0;
+  uint64_t discarded_wrong_partition_ = 0;
+  WindowedCounter executed_series_{kSecond};
+};
+
+}  // namespace epx::kv

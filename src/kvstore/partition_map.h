@@ -1,0 +1,65 @@
+// PartitionMap: hash-range sharding of the key space onto streams.
+//
+// Every replica belongs to one hash-partitioned shard and every
+// partition has a dedicated Paxos stream (paper §VI). The map is stored
+// in the registry under kv::kPartitionMapKey; clients watch it and are
+// "notified about the change in the partitioning by ZooKeeper" (§VII-D)
+// — here, by a registry event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "paxos/types.h"
+#include "util/hash.h"
+
+namespace epx::kv {
+
+using paxos::StreamId;
+
+struct PartitionEntry {
+  uint32_t partition_id = 0;
+  /// Owned hash range [hash_lo, hash_hi] (inclusive bounds).
+  uint64_t hash_lo = 0;
+  uint64_t hash_hi = ~0ULL;
+  StreamId stream = paxos::kInvalidStream;
+
+  bool owns_hash(uint64_t h) const { return h >= hash_lo && h <= hash_hi; }
+};
+
+class PartitionMap {
+ public:
+  PartitionMap() = default;
+  explicit PartitionMap(std::vector<PartitionEntry> entries)
+      : entries_(std::move(entries)) {}
+
+  const std::vector<PartitionEntry>& entries() const { return entries_; }
+  size_t partition_count() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Entry owning `key`'s hash; nullptr when the map has a gap.
+  const PartitionEntry* lookup(std::string_view key) const;
+  const PartitionEntry* lookup_hash(uint64_t hash) const;
+
+  /// Splits the partition owning `partition_id` in half; the upper half
+  /// becomes a new partition served by `new_stream`. Returns the new id.
+  uint32_t split(uint32_t partition_id, StreamId new_stream);
+
+  /// Merges `from` into `into` (ranges must be adjacent); the merged
+  /// range is served by `into`'s stream.
+  bool merge(uint32_t into, uint32_t from);
+
+  std::string serialize() const;
+  static PartitionMap deserialize(std::string_view data);
+
+ private:
+  std::vector<PartitionEntry> entries_;
+};
+
+/// Registry key holding the serialized partition map.
+inline constexpr const char* kPartitionMapKey = "kv/partitions";
+/// Registry key holding the id of the shared stream (getrange traffic).
+inline constexpr const char* kGlobalStreamKey = "kv/global_stream";
+
+}  // namespace epx::kv

@@ -1,0 +1,18 @@
+#include "multicast/messages.h"
+
+namespace epx::multicast {
+
+std::shared_ptr<Message> ReplyMsg::decode(Reader& r) {
+  auto m = std::make_shared<ReplyMsg>();
+  m->command_id = r.varint();
+  m->status = r.u8();
+  m->shard = r.varint();
+  m->payload = std::make_shared<const std::string>(r.bytes());
+  return m;
+}
+
+void register_multicast_messages() {
+  net::MessageCodec::instance().register_type(MsgType::kKvReply, ReplyMsg::decode);
+}
+
+}  // namespace epx::multicast

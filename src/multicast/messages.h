@@ -1,0 +1,46 @@
+// Application-level reply message shared by the multicast services.
+//
+// Replicas reply directly to the client that multicast a command (paper
+// §VI: "replicas execute the commands ... and reply back directly to the
+// client"). The same message carries key/value store results; plain
+// broadcast benchmarks use it with an empty payload.
+#pragma once
+
+#include "net/message.h"
+#include "paxos/types.h"
+
+namespace epx::multicast {
+
+using net::Message;
+using net::MsgType;
+using net::Reader;
+using net::Writer;
+
+struct ReplyMsg final : Message {
+  uint64_t command_id = 0;
+  uint8_t status = 0;  ///< 0 = ok; application-defined otherwise
+  uint64_t shard = 0;  ///< replying partition id (getrange partial assembly)
+  std::shared_ptr<const std::string> payload;
+
+  ReplyMsg() = default;
+  ReplyMsg(uint64_t id, uint8_t st) : command_id(id), status(st) {}
+
+  MsgType type() const override { return MsgType::kKvReply; }
+  size_t body_size() const override {
+    const size_t n = payload ? payload->size() : 0;
+    return Writer::varint_size(command_id) + 1 + Writer::varint_size(shard) +
+           Writer::bytes_size(n);
+  }
+  void encode(Writer& w) const override {
+    w.varint(command_id);
+    w.u8(status);
+    w.varint(shard);
+    w.bytes(payload ? std::string_view(*payload) : std::string_view());
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// Registers multicast-level message decoders.
+void register_multicast_messages();
+
+}  // namespace epx::multicast

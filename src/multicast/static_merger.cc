@@ -1,0 +1,32 @@
+#include "multicast/static_merger.h"
+
+#include <algorithm>
+
+namespace epx::multicast {
+
+StaticMerger::StaticMerger(std::vector<StreamId> streams, DeliverFn deliver)
+    : streams_(std::move(streams)), deliver_(std::move(deliver)) {
+  std::sort(streams_.begin(), streams_.end());
+  for (StreamId s : streams_) queues_.emplace(s, std::make_unique<StreamQueue>(s));
+}
+
+StreamQueue& StaticMerger::queue(StreamId stream) { return *queues_.at(stream); }
+
+void StaticMerger::pump() {
+  if (streams_.empty()) return;
+  for (;;) {
+    StreamQueue& q = *queues_.at(streams_[rr_]);
+    if (!q.has_next()) return;  // wait for the learner to feed this stream
+    if (q.next_is_value()) {
+      const Command cmd = q.peek_value();
+      q.consume();
+      ++delivered_;
+      deliver_(cmd, q.id());
+    } else {
+      q.consume();
+    }
+    rr_ = (rr_ + 1) % streams_.size();
+  }
+}
+
+}  // namespace epx::multicast

@@ -1,0 +1,92 @@
+#include "multicast/stream_queue.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace epx::multicast {
+
+void StreamQueue::push_proposal(const Proposal& p) {
+  const uint64_t slots = p.slot_count();
+  if (slots == 0) return;  // no-op proposal
+
+  const SlotIndex base = p.first_slot;
+  const SlotIndex end = base + slots;
+  const SlotIndex tail = next_index_ + buffered_;
+
+  if (!initialized_) {
+    next_index_ = base;
+    initialized_ = true;
+  } else if (end <= tail) {
+    return;  // entirely below what we already have
+  } else if (base > tail) {
+    if (buffered_ == 0) {
+      // Legitimate jump: the learner caught up from a trim horizon or the
+      // merger fast-forwarded past slots that were never fetched.
+      next_index_ = base;
+    } else {
+      EPX_WARN << "StreamQueue S" << id_ << ": non-contiguous push (base=" << base
+               << ", tail=" << tail << "), dropping";
+      return;
+    }
+  }
+
+  const SlotIndex clip_from = std::max(base, next_index_ + buffered_);
+  // Commands occupy [base, base+n), the skip run [base+n, end).
+  const SlotIndex cmd_end = base + p.commands.size();
+  for (SlotIndex i = clip_from; i < cmd_end; ++i) {
+    Entry e;
+    e.is_value = true;
+    e.cmd = p.commands[i - base];
+    entries_.push_back(std::move(e));
+    ++buffered_;
+    ++values_pushed_;
+  }
+  if (end > cmd_end) {
+    const SlotIndex skip_from = std::max(clip_from, cmd_end);
+    const uint64_t skip_count = end - skip_from;
+    if (skip_count > 0) {
+      if (!entries_.empty() && !entries_.back().is_value) {
+        entries_.back().count += skip_count;  // coalesce adjacent runs
+      } else {
+        Entry e;
+        e.count = skip_count;
+        entries_.push_back(std::move(e));
+      }
+      buffered_ += skip_count;
+    }
+  }
+}
+
+void StreamQueue::consume() {
+  Entry& front = entries_.front();
+  if (front.is_value) {
+    entries_.pop_front();
+  } else if (--front.count == 0) {
+    entries_.pop_front();
+  }
+  --buffered_;
+  ++next_index_;
+}
+
+void StreamQueue::fast_forward(SlotIndex index) {
+  initialized_ = true;
+  if (index <= next_index_) return;
+  while (buffered_ > 0 && next_index_ < index) {
+    Entry& front = entries_.front();
+    if (front.is_value) {
+      entries_.pop_front();
+      --buffered_;
+      ++next_index_;
+    } else {
+      const uint64_t take = std::min<uint64_t>(front.count, index - next_index_);
+      front.count -= take;
+      buffered_ -= take;
+      next_index_ += take;
+      if (front.count == 0) entries_.pop_front();
+    }
+  }
+  next_index_ = std::max(next_index_, index);
+}
+
+}  // namespace epx::multicast

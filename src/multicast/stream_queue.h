@@ -1,0 +1,78 @@
+// StreamQueue: the totally-ordered slot sequence of one stream, as seen
+// by one replica.
+//
+// A stream's learner appends decided proposals; the queue explodes them
+// into slots — one per command, plus run-length-encoded skip runs — and
+// tracks the absolute index of the next unconsumed slot. The
+// deterministic merger consumes exactly one slot per stream per round,
+// which makes delivery order a pure function of (slot index, stream id)
+// and is what Elastic Paxos' merge-point alignment relies on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "paxos/types.h"
+
+namespace epx::multicast {
+
+using paxos::Command;
+using paxos::Proposal;
+using paxos::SlotIndex;
+using paxos::StreamId;
+
+class StreamQueue {
+ public:
+  explicit StreamQueue(StreamId id) : id_(id) {}
+
+  StreamId id() const { return id_; }
+
+  /// Appends a decided proposal (in instance order). Slots below the
+  /// fast-forward floor are clipped; no-ops contribute nothing.
+  void push_proposal(const Proposal& p);
+
+  /// True when the slot at next_index() is buffered.
+  bool has_next() const { return !entries_.empty(); }
+
+  /// Absolute index of the next slot to consume. Valid once initialised
+  /// (first proposal seen or fast_forward called).
+  SlotIndex next_index() const { return next_index_; }
+
+  bool next_is_value() const { return has_next() && entries_.front().is_value; }
+
+  /// Command at the head slot; only valid if next_is_value().
+  const Command& peek_value() const { return entries_.front().cmd; }
+
+  /// Consumes exactly one slot (value or one unit of a skip run).
+  void consume();
+
+  /// Drops every slot below `index` and moves the head there. Future
+  /// proposals overlapping the floor are clipped on push. Used to
+  /// discard a new stream's pre-merge-point slots (paper Fig. 2).
+  void fast_forward(SlotIndex index);
+
+  /// Number of slots currently buffered.
+  uint64_t buffered_slots() const { return buffered_; }
+
+  /// Total value slots ever pushed (after clipping).
+  uint64_t values_pushed() const { return values_pushed_; }
+
+ private:
+  struct Entry {
+    bool is_value = false;
+    Command cmd;        // valid when is_value
+    uint64_t count = 0; // remaining skip slots when !is_value
+  };
+
+  void drop_below_floor();
+
+  StreamId id_;
+  std::deque<Entry> entries_;
+  SlotIndex next_index_ = 0;
+  bool initialized_ = false;
+  SlotIndex floor_ = 0;
+  uint64_t buffered_ = 0;
+  uint64_t values_pushed_ = 0;
+};
+
+}  // namespace epx::multicast

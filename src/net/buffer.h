@@ -1,0 +1,87 @@
+// Binary wire codec: Writer appends, Reader consumes.
+//
+// Encoding rules: fixed-width little-endian integers for protocol fields
+// where the size matters for bandwidth accounting, LEB128 varints for
+// counts, and length-prefixed byte strings. The codec is exercised by the
+// message round-trip tests; during simulation message sizes are computed
+// without materialising bytes (see Message::body_size).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace epx::net {
+
+class Writer {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u16(uint16_t v) { append_le(&v, sizeof(v)); }
+  void u32(uint32_t v) { append_le(&v, sizeof(v)); }
+  void u64(uint64_t v) { append_le(&v, sizeof(v)); }
+  void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+  void f64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// LEB128 unsigned varint.
+  void varint(uint64_t v);
+
+  /// Length-prefixed bytes.
+  void bytes(std::string_view data);
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  void clear() { buf_.clear(); }
+
+  /// Wire size of a varint without writing it.
+  static size_t varint_size(uint64_t v);
+  /// Wire size of a length-prefixed byte string.
+  static size_t bytes_size(size_t len) { return varint_size(len) + len; }
+
+ private:
+  void append_le(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);  // host is little-endian (x86/ARM LE)
+  }
+  std::vector<uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+  Reader(const uint8_t* data, size_t n)
+      : data_(reinterpret_cast<const char*>(data), n) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+  uint8_t u8();
+  uint16_t u16();
+  uint32_t u32();
+  uint64_t u64();
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  double f64();
+  uint64_t varint();
+  std::string bytes();
+
+  /// Status reflecting decode health.
+  Status status() const {
+    return ok_ ? Status::ok() : Status::corruption("truncated or malformed buffer");
+  }
+
+ private:
+  bool take(void* out, size_t n);
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace epx::net

@@ -1,0 +1,69 @@
+#include "net/message.h"
+
+namespace epx::net {
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kClientPropose: return "ClientPropose";
+    case MsgType::kProposeReject: return "ProposeReject";
+    case MsgType::kPhase1a: return "Phase1a";
+    case MsgType::kPhase1b: return "Phase1b";
+    case MsgType::kAccept: return "Accept";
+    case MsgType::kAccepted: return "Accepted";
+    case MsgType::kDecision: return "Decision";
+    case MsgType::kLearnerJoin: return "LearnerJoin";
+    case MsgType::kLearnerLeave: return "LearnerLeave";
+    case MsgType::kRecoverRequest: return "RecoverRequest";
+    case MsgType::kRecoverReply: return "RecoverReply";
+    case MsgType::kTrimRequest: return "TrimRequest";
+    case MsgType::kCoordHeartbeat: return "CoordHeartbeat";
+    case MsgType::kLearnerReport: return "LearnerReport";
+    case MsgType::kRegistrySet: return "RegistrySet";
+    case MsgType::kRegistryGet: return "RegistryGet";
+    case MsgType::kRegistryReply: return "RegistryReply";
+    case MsgType::kRegistryWatch: return "RegistryWatch";
+    case MsgType::kRegistryEvent: return "RegistryEvent";
+    case MsgType::kKvRequest: return "KvRequest";
+    case MsgType::kKvReply: return "KvReply";
+    case MsgType::kKvSignal: return "KvSignal";
+    case MsgType::kSnapshotRequest: return "SnapshotRequest";
+    case MsgType::kSnapshotReply: return "SnapshotReply";
+  }
+  return "Unknown";
+}
+
+MessageCodec& MessageCodec::instance() {
+  static MessageCodec codec;
+  return codec;
+}
+
+void MessageCodec::register_type(MsgType type, Decoder decoder) {
+  decoders_[static_cast<uint16_t>(type)] = std::move(decoder);
+}
+
+bool MessageCodec::has(MsgType type) const {
+  return decoders_.count(static_cast<uint16_t>(type)) > 0;
+}
+
+std::vector<uint8_t> MessageCodec::encode(const Message& m) const {
+  Writer w;
+  w.u16(static_cast<uint16_t>(m.type()));
+  m.encode(w);
+  return w.data();
+}
+
+Result<MessagePtr> MessageCodec::decode(std::string_view bytes) const {
+  Reader r(bytes);
+  const uint16_t tag = r.u16();
+  if (!r.ok()) return Status::corruption("missing type tag");
+  auto it = decoders_.find(tag);
+  if (it == decoders_.end()) {
+    return Status::invalid("unknown message type " + std::to_string(tag));
+  }
+  std::shared_ptr<Message> msg = it->second(r);
+  if (msg == nullptr || !r.ok()) return Status::corruption("malformed message body");
+  if (!r.at_end()) return Status::corruption("trailing bytes after message body");
+  return MessagePtr(std::move(msg));
+}
+
+}  // namespace epx::net

@@ -1,0 +1,197 @@
+#include "paxos/acceptor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace epx::paxos {
+
+using net::MessagePtr;
+using net::MsgType;
+
+Acceptor::Acceptor(sim::Simulation* sim, sim::Network* net, NodeId id, std::string name,
+                   Config config)
+    : Process(sim, net, id, std::move(name)), config_(std::move(config)) {}
+
+bool Acceptor::has_decided(InstanceId instance) const {
+  auto it = log_.find(instance);
+  return it != log_.end() && it->second.decided;
+}
+
+const Proposal* Acceptor::decided_value(InstanceId instance) const {
+  auto it = log_.find(instance);
+  if (it == log_.end() || !it->second.decided) return nullptr;
+  return &it->second.value;
+}
+
+void Acceptor::on_message(NodeId from, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case MsgType::kPhase1a:
+      handle_phase1a(from, static_cast<const Phase1aMsg&>(*msg));
+      break;
+    case MsgType::kAccept:
+      handle_accept(static_cast<const AcceptMsg&>(*msg));
+      break;
+    case MsgType::kRecoverRequest:
+      handle_recover(from, static_cast<const RecoverRequestMsg&>(*msg));
+      break;
+    case MsgType::kTrimRequest:
+      handle_trim(static_cast<const TrimRequestMsg&>(*msg));
+      break;
+    case MsgType::kLearnerJoin:
+      learners_.insert(static_cast<const LearnerJoinMsg&>(*msg).learner);
+      break;
+    case MsgType::kLearnerLeave:
+      learners_.erase(static_cast<const LearnerLeaveMsg&>(*msg).learner);
+      break;
+    case MsgType::kCoordHeartbeat:
+      // Acceptors do not act on heartbeats; standby coordinators do.
+      break;
+    default:
+      EPX_WARN << name() << ": unexpected " << msg->debug_string();
+  }
+}
+
+void Acceptor::on_crash() {
+  if (!config_.stable_storage) {
+    promised_ = Ballot{};
+    log_.clear();
+    trim_horizon_ = 0;
+    decided_contiguous_ = 0;
+  }
+  // Learner registrations are soft state either way.
+  learners_.clear();
+}
+
+void Acceptor::handle_phase1a(NodeId from, const Phase1aMsg& msg) {
+  charge(config_.params.acceptor_cpu_per_msg);
+  auto reply = std::make_shared<Phase1bMsg>();
+  reply->stream = config_.stream;
+  reply->ballot = msg.ballot;
+  reply->acceptor = id();
+  if (msg.ballot > promised_) promised_ = msg.ballot;
+  reply->promised = promised_;
+  reply->ok = (promised_ == msg.ballot);
+  if (reply->ok) {
+    for (auto it = log_.lower_bound(msg.from_instance); it != log_.end(); ++it) {
+      AcceptedEntry e;
+      e.instance = it->first;
+      e.value_ballot = it->second.value_ballot;
+      e.value = it->second.value;
+      e.decided = it->second.decided;
+      reply->accepted.push_back(std::move(e));
+    }
+  }
+  send(from, std::move(reply));
+}
+
+void Acceptor::charge_value_cpu(const Proposal& value) {
+  Tick cost = config_.params.acceptor_cpu_per_msg;
+  uint64_t bytes = 0;
+  for (const auto& c : value.commands) bytes += c.payload_bytes();
+  cost += static_cast<Tick>(bytes / kKiB) * config_.params.acceptor_cpu_per_kib;
+  charge(cost);
+}
+
+void Acceptor::handle_accept(const AcceptMsg& msg) {
+  if (msg.ballot < promised_) {
+    // Stale leader; ignore. The leader discovers the higher ballot via
+    // phase 1 when its instances stop deciding.
+    return;
+  }
+  charge_value_cpu(msg.value);
+  promised_ = msg.ballot;
+
+  if (msg.instance < trim_horizon_) return;  // already trimmed away
+
+  Entry& entry = log_[msg.instance];
+  const bool was_decided = entry.decided;
+  if (was_decided) {
+    // Retransmission of an instance we already know is decided: the
+    // leader's decision was lost (e.g. the deciding acceptor crashed
+    // mid-fan-out). Answer with a summary so its pipeline window frees
+    // up, and keep forwarding so the rest of the ring stores the value.
+    Proposal summary;
+    summary.first_slot = entry.value.first_slot;
+    summary.skip_slots = entry.value.slot_count();
+    send(msg.ballot.leader,
+         net::make_message<DecisionMsg>(config_.stream, msg.instance, std::move(summary)));
+    if (successor_ != net::kInvalidNode) {
+      auto fwd = std::make_shared<AcceptMsg>(msg);
+      fwd->accept_count = msg.accept_count + 1;
+      send(successor_, std::move(fwd));
+    }
+    return;
+  }
+  entry.value_ballot = msg.ballot;
+  entry.value = msg.value;
+
+  const uint32_t count = msg.accept_count + 1;
+  if (count >= quorum_) entry.decided = true;
+  if (entry.decided && !was_decided) advance_decided_contiguous();
+
+  // The acceptor completing the quorum publishes the decision. The
+  // coordinator (the ballot leader) only needs instance/slot bookkeeping,
+  // so it receives a payload-free summary — commands are collapsed into
+  // an equivalent skip run, preserving first_slot and slot_count()
+  // without shipping the payload bytes again.
+  if (count == quorum_ && !was_decided) {
+    for (NodeId learner : learners_) {
+      if (learner == msg.ballot.leader) {
+        Proposal summary;
+        summary.first_slot = msg.value.first_slot;
+        summary.skip_slots = msg.value.slot_count();
+        send(learner,
+             net::make_message<DecisionMsg>(config_.stream, msg.instance, std::move(summary)));
+      } else {
+        send(learner,
+             net::make_message<DecisionMsg>(config_.stream, msg.instance, msg.value));
+      }
+    }
+  }
+
+  // Forward along the ring so every acceptor stores the value.
+  if (successor_ != net::kInvalidNode) {
+    auto fwd = std::make_shared<AcceptMsg>(msg);
+    fwd->accept_count = count;
+    send(successor_, std::move(fwd));
+  }
+}
+
+void Acceptor::advance_decided_contiguous() {
+  auto it = log_.find(decided_contiguous_);
+  while (it != log_.end() && it->second.decided) {
+    ++decided_contiguous_;
+    it = log_.find(decided_contiguous_);
+  }
+}
+
+void Acceptor::handle_recover(NodeId from, const RecoverRequestMsg& msg) {
+  charge(config_.params.acceptor_cpu_per_msg);
+  auto reply = std::make_shared<RecoverReplyMsg>();
+  reply->stream = config_.stream;
+  reply->trim_horizon = trim_horizon_;
+  reply->decided_watermark = decided_contiguous_;
+  const InstanceId from_inst = std::max(msg.from, trim_horizon_);
+  uint64_t reply_bytes = 0;
+  for (auto it = log_.lower_bound(from_inst);
+       it != log_.end() && it->first < msg.to &&
+       reply->entries.size() < config_.params.recover_chunk;
+       ++it) {
+    if (!it->second.decided) break;  // only ship the contiguous decided prefix
+    reply->entries.emplace_back(it->first, it->second.value);
+    for (const auto& c : it->second.value.commands) reply_bytes += c.payload_bytes();
+  }
+  charge(static_cast<Tick>(reply_bytes / kKiB) * config_.params.acceptor_cpu_per_kib);
+  send(from, std::move(reply));
+}
+
+void Acceptor::handle_trim(const TrimRequestMsg& msg) {
+  if (msg.up_to <= trim_horizon_) return;
+  charge(config_.params.acceptor_cpu_per_msg);
+  log_.erase(log_.begin(), log_.lower_bound(msg.up_to));
+  trim_horizon_ = msg.up_to;
+  decided_contiguous_ = std::max(decided_contiguous_, trim_horizon_);
+}
+
+}  // namespace epx::paxos

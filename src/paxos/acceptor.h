@@ -1,0 +1,78 @@
+// Acceptor: stores the state of one Paxos stream.
+//
+// Acceptors form a ring (Ring Paxos, paper §VI): phase-2a Accept messages
+// enter at the ring head and travel along it, each hop adding one accept
+// vote; the acceptor whose vote completes the quorum emits the Decision
+// to the stream's registered learners. The acceptor log supports learner
+// catch-up (RecoverRequest) and trimming, which is what dynamic
+// subscription's recovery path relies on (paper §VI).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "paxos/messages.h"
+#include "paxos/params.h"
+#include "sim/process.h"
+
+namespace epx::paxos {
+
+class Acceptor : public sim::Process {
+ public:
+  struct Config {
+    StreamId stream = kInvalidStream;
+    Params params;
+    /// Acceptors normally persist their state across crashes (stable
+    /// storage); tests can disable this to model catastrophic loss.
+    bool stable_storage = true;
+  };
+
+  Acceptor(sim::Simulation* sim, sim::Network* net, NodeId id, std::string name,
+           Config config);
+
+  /// Wires the ring: Accept messages are forwarded to `successor`
+  /// (kInvalidNode for the ring tail).
+  void set_ring_successor(NodeId successor) { successor_ = successor; }
+  void set_quorum(size_t quorum) { quorum_ = quorum; }
+
+  // --- introspection (tests, harness) -----------------------------------
+  StreamId stream() const { return config_.stream; }
+  const Ballot& promised() const { return promised_; }
+  InstanceId trim_horizon() const { return trim_horizon_; }
+  /// Lowest instance such that everything below it is decided locally.
+  InstanceId decided_contiguous() const { return decided_contiguous_; }
+  size_t log_size() const { return log_.size(); }
+  bool has_decided(InstanceId instance) const;
+  const Proposal* decided_value(InstanceId instance) const;
+  size_t learner_count() const { return learners_.size(); }
+
+ protected:
+  void on_message(NodeId from, const net::MessagePtr& msg) override;
+  void on_crash() override;
+
+ private:
+  struct Entry {
+    Ballot value_ballot;
+    Proposal value;
+    bool decided = false;
+  };
+
+  void handle_phase1a(NodeId from, const Phase1aMsg& msg);
+  void handle_accept(const AcceptMsg& msg);
+  void handle_recover(NodeId from, const RecoverRequestMsg& msg);
+  void handle_trim(const TrimRequestMsg& msg);
+  void advance_decided_contiguous();
+  void charge_value_cpu(const Proposal& value);
+
+  Config config_;
+  NodeId successor_ = net::kInvalidNode;
+  size_t quorum_ = 2;
+
+  Ballot promised_;
+  std::map<InstanceId, Entry> log_;
+  InstanceId trim_horizon_ = 0;
+  InstanceId decided_contiguous_ = 0;
+  std::set<NodeId> learners_;
+};
+
+}  // namespace epx::paxos

@@ -1,0 +1,156 @@
+#include "paxos/learner.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace epx::paxos {
+
+Learner::Learner(sim::Process* host, Config config, ProposalSink sink)
+    : host_(host), config_(std::move(config)), sink_(std::move(sink)) {}
+
+void Learner::start(InstanceId from_instance) {
+  started_ = true;
+  caught_up_ = false;
+  next_ = from_instance;
+  ++generation_;
+  for (NodeId acc : config_.acceptors) {
+    host_->send(acc, net::make_message<LearnerJoinMsg>(config_.stream, host_->id()));
+  }
+  request_recovery(next_, next_ + config_.params.recover_chunk);
+  const uint64_t gen = generation_;
+  host_->after(config_.params.learner_gap_timeout, [this, gen] {
+    if (gen == generation_) gap_check();
+  });
+  if (config_.coordinator != net::kInvalidNode) {
+    host_->after(config_.params.learner_report_interval, [this, gen] {
+      if (gen == generation_) report_position();
+    });
+  }
+}
+
+void Learner::report_position() {
+  if (!started_) return;
+  host_->send(config_.coordinator,
+              net::make_message<LearnerReportMsg>(config_.stream, host_->id(), next_));
+  const uint64_t gen = generation_;
+  host_->after(config_.params.learner_report_interval, [this, gen] {
+    if (gen == generation_) report_position();
+  });
+}
+
+void Learner::stop() {
+  if (!started_) return;
+  started_ = false;
+  ++generation_;
+  pending_.clear();
+  for (NodeId acc : config_.acceptors) {
+    host_->send(acc, net::make_message<LearnerLeaveMsg>(config_.stream, host_->id()));
+  }
+}
+
+NodeId Learner::pick_acceptor() {
+  acceptor_rr_ = (acceptor_rr_ + 1) % config_.acceptors.size();
+  return config_.acceptors[acceptor_rr_];
+}
+
+void Learner::request_recovery(InstanceId from, InstanceId to) {
+  if (recover_inflight_ || config_.acceptors.empty()) return;
+  recover_inflight_ = true;
+  host_->send(pick_acceptor(),
+              net::make_message<RecoverRequestMsg>(config_.stream, from, to));
+  // Guard the request with a timeout so a lost reply does not wedge the
+  // learner. The generation check discards stale guards.
+  const uint64_t gen = generation_;
+  host_->after(4 * config_.params.learner_gap_timeout, [this, gen] {
+    if (gen == generation_ && recover_inflight_) {
+      recover_inflight_ = false;
+      if (!caught_up_) request_recovery(next_, next_ + config_.params.recover_chunk);
+    }
+  });
+}
+
+void Learner::on_decision(const DecisionMsg& msg) {
+  if (!started_ || msg.instance < next_) return;
+  pending_[msg.instance] = msg.value;
+  deliver_ready();
+}
+
+void Learner::on_recover_reply(const RecoverReplyMsg& msg) {
+  if (!started_) return;
+  recover_inflight_ = false;
+  // If the acceptor trimmed past us, jump forward — nothing below the
+  // horizon can ever be supplied. Slot indexing stays consistent because
+  // proposals carry their absolute first_slot.
+  if (msg.trim_horizon > next_) {
+    EPX_DEBUG << host_->name() << ": S" << config_.stream << " catch-up jumped to trim horizon "
+              << msg.trim_horizon;
+    next_ = msg.trim_horizon;
+  }
+  for (const auto& [instance, value] : msg.entries) {
+    if (instance >= next_) pending_[instance] = value;
+  }
+  deliver_ready();
+  if (next_ < msg.decided_watermark) {
+    request_recovery(next_, next_ + config_.params.recover_chunk);
+  } else if (!caught_up_) {
+    caught_up_ = true;
+    EPX_DEBUG << host_->name() << ": S" << config_.stream << " caught up at instance " << next_;
+  }
+}
+
+void Learner::deliver_ready() {
+  auto it = pending_.find(next_);
+  if (it != pending_.end()) last_progress_ = host_->now();
+  while (it != pending_.end()) {
+    // Charge a small per-proposal bookkeeping cost; the application
+    // charges its own execution cost on delivery.
+    host_->charge(config_.params.acceptor_cpu_per_msg / 2);
+    ++proposals_delivered_;
+    sink_(it->second, next_);
+    pending_.erase(it);
+    ++next_;
+    it = pending_.find(next_);
+  }
+  if (pending_.empty()) gap_since_ = -1;
+}
+
+void Learner::gap_check() {
+  if (!started_) return;
+  // Silence detection: a healthy stream always decides something (skip
+  // pacing), so a long quiet spell means decisions are not reaching us —
+  // e.g. the deciding acceptor restarted and lost its learner set.
+  // Re-register and poll the log.
+  const Tick silence_limit = 10 * config_.params.learner_gap_timeout;
+  if (caught_up_ && pending_.empty() && host_->now() - last_progress_ > silence_limit) {
+    for (NodeId acc : config_.acceptors) {
+      host_->send(acc, net::make_message<LearnerJoinMsg>(config_.stream, host_->id()));
+    }
+    request_recovery(next_, next_ + config_.params.recover_chunk);
+    last_progress_ = host_->now();
+  }
+  if (!pending_.empty()) {
+    // There is a hole below the smallest buffered instance.
+    if (gap_since_ < 0) {
+      gap_since_ = host_->now();
+    } else if (host_->now() - gap_since_ >= config_.params.learner_gap_timeout) {
+      const InstanceId hole_end = pending_.begin()->first;
+      EPX_DEBUG << host_->name() << ": S" << config_.stream << " gap [" << next_ << ","
+                << hole_end << ") — recovering";
+      // Re-register while repairing: a crashed-and-restarted acceptor
+      // loses its (soft-state) learner set, so decisions may have
+      // stopped flowing to us entirely.
+      for (NodeId acc : config_.acceptors) {
+        host_->send(acc, net::make_message<LearnerJoinMsg>(config_.stream, host_->id()));
+      }
+      request_recovery(next_, hole_end);
+      gap_since_ = host_->now();
+    }
+  }
+  const uint64_t gen = generation_;
+  host_->after(config_.params.learner_gap_timeout, [this, gen] {
+    if (gen == generation_) gap_check();
+  });
+}
+
+}  // namespace epx::paxos

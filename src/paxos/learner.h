@@ -1,0 +1,84 @@
+// Learner: a per-stream task hosted inside a replica process.
+//
+// Delivers decided proposals in instance order to a sink. Handles
+//   * live decisions fanned out by the acceptor ring,
+//   * gap repair — a missing instance is re-fetched from an acceptor
+//     after a short timeout,
+//   * catch-up — a learner started for a newly subscribed stream
+//     recovers every decided instance from the acceptors' logs, which is
+//     the recovery path of Algorithm 1 ("the new learner starts by
+//     recovering all messages in S_N").
+//
+// A replica owns one Learner per subscribed stream (created dynamically
+// by the elastic merger) and dispatches stream-tagged messages to it.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "paxos/messages.h"
+#include "paxos/params.h"
+#include "sim/process.h"
+
+namespace epx::paxos {
+
+class Learner {
+ public:
+  struct Config {
+    StreamId stream = kInvalidStream;
+    std::vector<NodeId> acceptors;
+    /// Coordinator endpoint for position reports (log trimming);
+    /// kInvalidNode disables reporting.
+    NodeId coordinator = net::kInvalidNode;
+    Params params;
+  };
+
+  /// Receives decided proposals in instance order.
+  using ProposalSink = std::function<void(const Proposal&, InstanceId)>;
+
+  Learner(sim::Process* host, Config config, ProposalSink sink);
+
+  /// Joins the stream and starts catch-up from `from_instance`
+  /// (normally 0; the acceptors' trim horizon is respected).
+  void start(InstanceId from_instance = 0);
+
+  /// Leaves the stream; no further proposals are delivered.
+  void stop();
+
+  // Message entry points (called by the host's dispatcher).
+  void on_decision(const DecisionMsg& msg);
+  void on_recover_reply(const RecoverReplyMsg& msg);
+
+  StreamId stream() const { return config_.stream; }
+  bool started() const { return started_; }
+  /// Next instance the sink has not yet seen.
+  InstanceId next_instance() const { return next_; }
+  /// True once the learner has drained the acceptors' backlog and is
+  /// running on live decisions only.
+  bool caught_up() const { return caught_up_; }
+  uint64_t proposals_delivered() const { return proposals_delivered_; }
+
+ private:
+  void deliver_ready();
+  void request_recovery(InstanceId from, InstanceId to);
+  void gap_check();
+  void report_position();
+  NodeId pick_acceptor();
+
+  sim::Process* host_;
+  Config config_;
+  ProposalSink sink_;
+
+  bool started_ = false;
+  bool caught_up_ = false;
+  bool recover_inflight_ = false;
+  InstanceId next_ = 0;
+  std::map<InstanceId, Proposal> pending_;
+  Tick gap_since_ = -1;
+  Tick last_progress_ = 0;
+  size_t acceptor_rr_ = 0;
+  uint64_t proposals_delivered_ = 0;
+  uint64_t generation_ = 0;  // invalidates timers after stop()
+};
+
+}  // namespace epx::paxos

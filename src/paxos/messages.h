@@ -1,0 +1,351 @@
+// Wire messages of the Paxos / stream layer.
+//
+// The dissemination topology follows Ring Paxos (paper §VI): the
+// coordinator sends Accept (phase 2a) to the first acceptor of the ring;
+// each acceptor accepts and forwards; the acceptor completing the quorum
+// emits Decision to the stream's registered learners and the coordinator.
+// Phase 1 (leader change) uses direct request/reply.
+#pragma once
+
+#include <optional>
+
+#include "paxos/types.h"
+
+namespace epx::paxos {
+
+using net::Message;
+using net::MsgType;
+using net::Reader;
+using net::Writer;
+
+/// Client → coordinator: please order this command in `stream`.
+struct ClientProposeMsg final : Message {
+  StreamId stream = kInvalidStream;
+  Command command;
+
+  ClientProposeMsg() = default;
+  ClientProposeMsg(StreamId s, Command c) : stream(s), command(std::move(c)) {}
+
+  MsgType type() const override { return MsgType::kClientPropose; }
+  size_t body_size() const override {
+    return Writer::varint_size(stream) + command.encoded_size();
+  }
+  void encode(Writer& w) const override {
+    w.varint(stream);
+    command.encode(w);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// Coordinator → client: command rejected (not leader, or overloaded).
+struct ProposeRejectMsg final : Message {
+  StreamId stream = kInvalidStream;
+  uint64_t command_id = 0;
+  NodeId current_leader = net::kInvalidNode;
+
+  ProposeRejectMsg() = default;
+  ProposeRejectMsg(StreamId s, uint64_t id, NodeId leader)
+      : stream(s), command_id(id), current_leader(leader) {}
+
+  MsgType type() const override { return MsgType::kProposeReject; }
+  size_t body_size() const override {
+    return Writer::varint_size(stream) + Writer::varint_size(command_id) + sizeof(uint32_t);
+  }
+  void encode(Writer& w) const override {
+    w.varint(stream);
+    w.varint(command_id);
+    w.u32(current_leader);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// Phase 1a: new leader asks acceptors to promise `ballot` for every
+/// instance >= from_instance.
+struct Phase1aMsg final : Message {
+  StreamId stream = kInvalidStream;
+  Ballot ballot;
+  InstanceId from_instance = 0;
+
+  Phase1aMsg() = default;
+  Phase1aMsg(StreamId s, Ballot b, InstanceId from)
+      : stream(s), ballot(b), from_instance(from) {}
+
+  MsgType type() const override { return MsgType::kPhase1a; }
+  size_t body_size() const override {
+    return Writer::varint_size(stream) + 2 * sizeof(uint32_t) +
+           Writer::varint_size(from_instance);
+  }
+  void encode(Writer& w) const override {
+    w.varint(stream);
+    w.u32(ballot.round);
+    w.u32(ballot.leader);
+    w.varint(from_instance);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// One accepted entry reported in Phase 1b.
+struct AcceptedEntry {
+  InstanceId instance = 0;
+  Ballot value_ballot;
+  Proposal value;
+  bool decided = false;
+
+  size_t encoded_size() const {
+    return Writer::varint_size(instance) + 2 * sizeof(uint32_t) + value.encoded_size() + 1;
+  }
+  void encode(Writer& w) const {
+    w.varint(instance);
+    w.u32(value_ballot.round);
+    w.u32(value_ballot.leader);
+    value.encode(w);
+    w.u8(decided ? 1 : 0);
+  }
+  static AcceptedEntry decode(Reader& r) {
+    AcceptedEntry e;
+    e.instance = r.varint();
+    e.value_ballot.round = r.u32();
+    e.value_ballot.leader = r.u32();
+    e.value = Proposal::decode(r);
+    e.decided = r.u8() != 0;
+    return e;
+  }
+};
+
+/// Phase 1b: acceptor's promise (or rejection carrying a higher ballot),
+/// with every value it has accepted at or above from_instance.
+struct Phase1bMsg final : Message {
+  StreamId stream = kInvalidStream;
+  Ballot ballot;            ///< ballot being answered
+  Ballot promised;          ///< acceptor's current promise (>= ballot if ok)
+  bool ok = false;
+  NodeId acceptor = net::kInvalidNode;
+  std::vector<AcceptedEntry> accepted;
+
+  MsgType type() const override { return MsgType::kPhase1b; }
+  size_t body_size() const override {
+    size_t n = Writer::varint_size(stream) + 4 * sizeof(uint32_t) + 1 + sizeof(uint32_t) +
+               Writer::varint_size(accepted.size());
+    for (const auto& e : accepted) n += e.encoded_size();
+    return n;
+  }
+  void encode(Writer& w) const override {
+    w.varint(stream);
+    w.u32(ballot.round);
+    w.u32(ballot.leader);
+    w.u32(promised.round);
+    w.u32(promised.leader);
+    w.u8(ok ? 1 : 0);
+    w.u32(acceptor);
+    w.varint(accepted.size());
+    for (const auto& e : accepted) e.encode(w);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// Phase 2a travelling along the acceptor ring. accept_count counts the
+/// acceptors that accepted so far (including the sender of this hop).
+struct AcceptMsg final : Message {
+  StreamId stream = kInvalidStream;
+  Ballot ballot;
+  InstanceId instance = 0;
+  Proposal value;
+  uint32_t accept_count = 0;
+
+  MsgType type() const override { return MsgType::kAccept; }
+  size_t body_size() const override {
+    return Writer::varint_size(stream) + 2 * sizeof(uint32_t) +
+           Writer::varint_size(instance) + value.encoded_size() + sizeof(uint32_t);
+  }
+  void encode(Writer& w) const override {
+    w.varint(stream);
+    w.u32(ballot.round);
+    w.u32(ballot.leader);
+    w.varint(instance);
+    value.encode(w);
+    w.u32(accept_count);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// Decided instance fanned out to learners and the coordinator.
+struct DecisionMsg final : Message {
+  StreamId stream = kInvalidStream;
+  InstanceId instance = 0;
+  Proposal value;
+
+  DecisionMsg() = default;
+  DecisionMsg(StreamId s, InstanceId i, Proposal v)
+      : stream(s), instance(i), value(std::move(v)) {}
+
+  MsgType type() const override { return MsgType::kDecision; }
+  size_t body_size() const override {
+    return Writer::varint_size(stream) + Writer::varint_size(instance) + value.encoded_size();
+  }
+  void encode(Writer& w) const override {
+    w.varint(stream);
+    w.varint(instance);
+    value.encode(w);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// Learner (un)registration with a stream's acceptors.
+struct LearnerJoinMsg final : Message {
+  StreamId stream = kInvalidStream;
+  NodeId learner = net::kInvalidNode;
+
+  LearnerJoinMsg() = default;
+  LearnerJoinMsg(StreamId s, NodeId l) : stream(s), learner(l) {}
+
+  MsgType type() const override { return MsgType::kLearnerJoin; }
+  size_t body_size() const override { return Writer::varint_size(stream) + sizeof(uint32_t); }
+  void encode(Writer& w) const override {
+    w.varint(stream);
+    w.u32(learner);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+struct LearnerLeaveMsg final : Message {
+  StreamId stream = kInvalidStream;
+  NodeId learner = net::kInvalidNode;
+
+  LearnerLeaveMsg() = default;
+  LearnerLeaveMsg(StreamId s, NodeId l) : stream(s), learner(l) {}
+
+  MsgType type() const override { return MsgType::kLearnerLeave; }
+  size_t body_size() const override { return Writer::varint_size(stream) + sizeof(uint32_t); }
+  void encode(Writer& w) const override {
+    w.varint(stream);
+    w.u32(learner);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// Learner catch-up: send me decided instances in [from, to).
+struct RecoverRequestMsg final : Message {
+  StreamId stream = kInvalidStream;
+  InstanceId from = 0;
+  InstanceId to = 0;
+
+  RecoverRequestMsg() = default;
+  RecoverRequestMsg(StreamId s, InstanceId f, InstanceId t) : stream(s), from(f), to(t) {}
+
+  MsgType type() const override { return MsgType::kRecoverRequest; }
+  size_t body_size() const override {
+    return Writer::varint_size(stream) + Writer::varint_size(from) + Writer::varint_size(to);
+  }
+  void encode(Writer& w) const override {
+    w.varint(stream);
+    w.varint(from);
+    w.varint(to);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// Chunk of decided instances. `trim_horizon` tells the learner the
+/// oldest instance still available; `decided_watermark` is the highest
+/// contiguously decided instance at the acceptor, so the learner knows
+/// how far behind it still is.
+struct RecoverReplyMsg final : Message {
+  StreamId stream = kInvalidStream;
+  InstanceId trim_horizon = 0;
+  InstanceId decided_watermark = 0;
+  std::vector<std::pair<InstanceId, Proposal>> entries;
+
+  MsgType type() const override { return MsgType::kRecoverReply; }
+  size_t body_size() const override {
+    size_t n = Writer::varint_size(stream) + Writer::varint_size(trim_horizon) +
+               Writer::varint_size(decided_watermark) + Writer::varint_size(entries.size());
+    for (const auto& [inst, prop] : entries) {
+      n += Writer::varint_size(inst) + prop.encoded_size();
+    }
+    return n;
+  }
+  void encode(Writer& w) const override {
+    w.varint(stream);
+    w.varint(trim_horizon);
+    w.varint(decided_watermark);
+    w.varint(entries.size());
+    for (const auto& [inst, prop] : entries) {
+      w.varint(inst);
+      prop.encode(w);
+    }
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// Asks acceptors to discard log entries below `up_to`.
+struct TrimRequestMsg final : Message {
+  StreamId stream = kInvalidStream;
+  InstanceId up_to = 0;
+
+  TrimRequestMsg() = default;
+  TrimRequestMsg(StreamId s, InstanceId u) : stream(s), up_to(u) {}
+
+  MsgType type() const override { return MsgType::kTrimRequest; }
+  size_t body_size() const override {
+    return Writer::varint_size(stream) + Writer::varint_size(up_to);
+  }
+  void encode(Writer& w) const override {
+    w.varint(stream);
+    w.varint(up_to);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// Leader liveness beacon to acceptors (standby coordinators watch it).
+struct CoordHeartbeatMsg final : Message {
+  StreamId stream = kInvalidStream;
+  Ballot ballot;
+  InstanceId next_instance = 0;
+
+  CoordHeartbeatMsg() = default;
+  CoordHeartbeatMsg(StreamId s, Ballot b, InstanceId n)
+      : stream(s), ballot(b), next_instance(n) {}
+
+  MsgType type() const override { return MsgType::kCoordHeartbeat; }
+  size_t body_size() const override {
+    return Writer::varint_size(stream) + 2 * sizeof(uint32_t) +
+           Writer::varint_size(next_instance);
+  }
+  void encode(Writer& w) const override {
+    w.varint(stream);
+    w.u32(ballot.round);
+    w.u32(ballot.leader);
+    w.varint(next_instance);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// Learner -> coordinator: periodic position report. The coordinator
+/// trims acceptor logs below the slowest learner (paper §VI: URingPaxos
+/// "has several mechanisms built in to recover and trim Paxos acceptors
+/// log and coordinate replica checkpoints").
+struct LearnerReportMsg final : Message {
+  StreamId stream = kInvalidStream;
+  NodeId learner = net::kInvalidNode;
+  InstanceId next_instance = 0;
+
+  LearnerReportMsg() = default;
+  LearnerReportMsg(StreamId s, NodeId l, InstanceId n)
+      : stream(s), learner(l), next_instance(n) {}
+
+  MsgType type() const override { return MsgType::kLearnerReport; }
+  size_t body_size() const override {
+    return Writer::varint_size(stream) + sizeof(uint32_t) +
+           Writer::varint_size(next_instance);
+  }
+  void encode(Writer& w) const override {
+    w.varint(stream);
+    w.u32(learner);
+    w.varint(next_instance);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// Registers all Paxos message decoders with the global codec.
+void register_paxos_messages();
+
+}  // namespace epx::paxos

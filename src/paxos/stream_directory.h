@@ -1,0 +1,50 @@
+// Directory of live streams: who coordinates and who accepts.
+//
+// In the paper this information lives in ZooKeeper; within a simulated
+// cluster the directory is a plain shared object maintained by the
+// harness (new streams appear when the ClusterManager provisions them).
+// The replicated registry service (src/registry) is used for the
+// application-level configuration the paper keeps in ZooKeeper, e.g.
+// partition maps.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "paxos/types.h"
+
+namespace epx::paxos {
+
+struct StreamInfo {
+  StreamId id = kInvalidStream;
+  NodeId coordinator = net::kInvalidNode;
+  std::vector<NodeId> acceptors;  ///< ring order
+  size_t quorum() const { return acceptors.size() / 2 + 1; }
+};
+
+class StreamDirectory {
+ public:
+  void add(StreamInfo info) { streams_[info.id] = std::move(info); }
+  void remove(StreamId id) { streams_.erase(id); }
+
+  bool has(StreamId id) const { return streams_.count(id) > 0; }
+
+  const StreamInfo& get(StreamId id) const { return streams_.at(id); }
+
+  /// Updates the coordinator after a failover.
+  void set_coordinator(StreamId id, NodeId coordinator) {
+    streams_.at(id).coordinator = coordinator;
+  }
+
+  std::vector<StreamId> stream_ids() const {
+    std::vector<StreamId> ids;
+    ids.reserve(streams_.size());
+    for (const auto& [id, info] : streams_) ids.push_back(id);
+    return ids;
+  }
+
+ private:
+  std::unordered_map<StreamId, StreamInfo> streams_;
+};
+
+}  // namespace epx::paxos

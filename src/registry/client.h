@@ -1,0 +1,76 @@
+// RegistryClient: a role hosted inside any process that needs
+// configuration from the registry (KV clients watch the partition map;
+// replicas watch peer lists).
+//
+// Keeps a local cache of watched keys, updated by pushed events; stale
+// events (older versions) are ignored so re-ordered notifications cannot
+// roll the cache back.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "registry/messages.h"
+#include "sim/process.h"
+
+namespace epx::registry {
+
+class RegistryClient {
+ public:
+  using WatchCallback = std::function<void(const std::string& key, const std::string& value,
+                                           uint64_t version)>;
+
+  RegistryClient(sim::Process* host, NodeId server) : host_(host), server_(server) {}
+
+  /// Fire-and-forget write.
+  void set(const std::string& key, const std::string& value) {
+    host_->send(server_, net::make_message<RegistrySetMsg>(key, value));
+  }
+
+  /// Registers a prefix watch; `cb` fires for the current value of every
+  /// matching key and for all subsequent changes.
+  void watch(const std::string& prefix, WatchCallback cb) {
+    callbacks_.emplace_back(prefix, std::move(cb));
+    host_->send(server_, net::make_message<RegistryWatchMsg>(prefix, host_->id()));
+  }
+
+  /// Dispatch entry point; returns true if the message was consumed.
+  bool on_message(const net::MessagePtr& msg) {
+    if (msg->type() != net::MsgType::kRegistryEvent) return false;
+    const auto& ev = static_cast<const RegistryEventMsg&>(*msg);
+    auto& cached = cache_[ev.key];
+    if (ev.version <= cached.version && cached.version != 0) return true;  // stale
+    cached.value = ev.value;
+    cached.version = ev.version;
+    for (auto& [prefix, cb] : callbacks_) {
+      if (ev.key.compare(0, prefix.size(), prefix) == 0) cb(ev.key, ev.value, ev.version);
+    }
+    return true;
+  }
+
+  /// Last value seen for `key` ("" if none).
+  const std::string& cached_value(const std::string& key) const {
+    static const std::string empty;
+    auto it = cache_.find(key);
+    return it == cache_.end() ? empty : it->second.value;
+  }
+  uint64_t cached_version(const std::string& key) const {
+    auto it = cache_.find(key);
+    return it == cache_.end() ? 0 : it->second.version;
+  }
+
+ private:
+  struct CacheEntry {
+    std::string value;
+    uint64_t version = 0;
+  };
+
+  sim::Process* host_;
+  NodeId server_;
+  std::vector<std::pair<std::string, WatchCallback>> callbacks_;
+  std::map<std::string, CacheEntry> cache_;
+};
+
+}  // namespace epx::registry

@@ -1,0 +1,53 @@
+#include "registry/messages.h"
+
+namespace epx::registry {
+
+std::shared_ptr<Message> RegistrySetMsg::decode(Reader& r) {
+  auto m = std::make_shared<RegistrySetMsg>();
+  m->key = r.bytes();
+  m->value = r.bytes();
+  return m;
+}
+
+std::shared_ptr<Message> RegistryGetMsg::decode(Reader& r) {
+  auto m = std::make_shared<RegistryGetMsg>();
+  m->request_id = r.varint();
+  m->key = r.bytes();
+  return m;
+}
+
+std::shared_ptr<Message> RegistryReplyMsg::decode(Reader& r) {
+  auto m = std::make_shared<RegistryReplyMsg>();
+  m->request_id = r.varint();
+  m->key = r.bytes();
+  m->value = r.bytes();
+  m->version = r.varint();
+  m->found = r.u8() != 0;
+  return m;
+}
+
+std::shared_ptr<Message> RegistryWatchMsg::decode(Reader& r) {
+  auto m = std::make_shared<RegistryWatchMsg>();
+  m->prefix = r.bytes();
+  m->watcher = r.u32();
+  return m;
+}
+
+std::shared_ptr<Message> RegistryEventMsg::decode(Reader& r) {
+  auto m = std::make_shared<RegistryEventMsg>();
+  m->key = r.bytes();
+  m->value = r.bytes();
+  m->version = r.varint();
+  return m;
+}
+
+void register_registry_messages() {
+  auto& codec = net::MessageCodec::instance();
+  codec.register_type(MsgType::kRegistrySet, RegistrySetMsg::decode);
+  codec.register_type(MsgType::kRegistryGet, RegistryGetMsg::decode);
+  codec.register_type(MsgType::kRegistryReply, RegistryReplyMsg::decode);
+  codec.register_type(MsgType::kRegistryWatch, RegistryWatchMsg::decode);
+  codec.register_type(MsgType::kRegistryEvent, RegistryEventMsg::decode);
+}
+
+}  // namespace epx::registry

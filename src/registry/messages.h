@@ -1,0 +1,118 @@
+// Wire messages of the configuration registry.
+//
+// The registry replaces ZooKeeper in the paper's deployment (§VI): a
+// small store of versioned configuration entries (partition maps, stream
+// sets) with prefix watches that push change notifications to clients.
+#pragma once
+
+#include "net/message.h"
+
+namespace epx::registry {
+
+using net::Message;
+using net::MsgType;
+using net::NodeId;
+using net::Reader;
+using net::Writer;
+
+struct RegistrySetMsg final : Message {
+  std::string key;
+  std::string value;
+
+  RegistrySetMsg() = default;
+  RegistrySetMsg(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+
+  MsgType type() const override { return MsgType::kRegistrySet; }
+  size_t body_size() const override {
+    return Writer::bytes_size(key.size()) + Writer::bytes_size(value.size());
+  }
+  void encode(Writer& w) const override {
+    w.bytes(key);
+    w.bytes(value);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+struct RegistryGetMsg final : Message {
+  uint64_t request_id = 0;
+  std::string key;
+
+  RegistryGetMsg() = default;
+  RegistryGetMsg(uint64_t id, std::string k) : request_id(id), key(std::move(k)) {}
+
+  MsgType type() const override { return MsgType::kRegistryGet; }
+  size_t body_size() const override {
+    return Writer::varint_size(request_id) + Writer::bytes_size(key.size());
+  }
+  void encode(Writer& w) const override {
+    w.varint(request_id);
+    w.bytes(key);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+struct RegistryReplyMsg final : Message {
+  uint64_t request_id = 0;
+  std::string key;
+  std::string value;
+  uint64_t version = 0;
+  bool found = false;
+
+  MsgType type() const override { return MsgType::kRegistryReply; }
+  size_t body_size() const override {
+    return Writer::varint_size(request_id) + Writer::bytes_size(key.size()) +
+           Writer::bytes_size(value.size()) + Writer::varint_size(version) + 1;
+  }
+  void encode(Writer& w) const override {
+    w.varint(request_id);
+    w.bytes(key);
+    w.bytes(value);
+    w.varint(version);
+    w.u8(found ? 1 : 0);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+struct RegistryWatchMsg final : Message {
+  std::string prefix;
+  NodeId watcher = net::kInvalidNode;
+
+  RegistryWatchMsg() = default;
+  RegistryWatchMsg(std::string p, NodeId w) : prefix(std::move(p)), watcher(w) {}
+
+  MsgType type() const override { return MsgType::kRegistryWatch; }
+  size_t body_size() const override {
+    return Writer::bytes_size(prefix.size()) + sizeof(uint32_t);
+  }
+  void encode(Writer& w) const override {
+    w.bytes(prefix);
+    w.u32(watcher);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+struct RegistryEventMsg final : Message {
+  std::string key;
+  std::string value;
+  uint64_t version = 0;
+
+  RegistryEventMsg() = default;
+  RegistryEventMsg(std::string k, std::string v, uint64_t ver)
+      : key(std::move(k)), value(std::move(v)), version(ver) {}
+
+  MsgType type() const override { return MsgType::kRegistryEvent; }
+  size_t body_size() const override {
+    return Writer::bytes_size(key.size()) + Writer::bytes_size(value.size()) +
+           Writer::varint_size(version);
+  }
+  void encode(Writer& w) const override {
+    w.bytes(key);
+    w.bytes(value);
+    w.varint(version);
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+};
+
+void register_registry_messages();
+
+}  // namespace epx::registry

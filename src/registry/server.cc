@@ -1,0 +1,80 @@
+#include "registry/server.h"
+
+#include "util/logging.h"
+
+namespace epx::registry {
+
+namespace {
+constexpr Tick kHandleCost = 5 * kMicrosecond;
+}
+
+RegistryServer::RegistryServer(sim::Simulation* sim, sim::Network* net, NodeId id,
+                               std::string name)
+    : Process(sim, net, id, std::move(name)) {}
+
+void RegistryServer::put(const std::string& key, const std::string& value) {
+  EntryState& e = entries_[key];
+  e.value = value;
+  ++e.version;
+  notify(key, e);
+}
+
+uint64_t RegistryServer::version_of(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.version;
+}
+
+std::string RegistryServer::value_of(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? std::string() : it->second.value;
+}
+
+void RegistryServer::notify(const std::string& key, const EntryState& entry) {
+  for (const Watcher& w : watchers_) {
+    if (key.compare(0, w.prefix.size(), w.prefix) == 0) {
+      send(w.node, net::make_message<RegistryEventMsg>(key, entry.value, entry.version));
+    }
+  }
+}
+
+void RegistryServer::on_message(NodeId from, const net::MessagePtr& msg) {
+  charge(kHandleCost);
+  switch (msg->type()) {
+    case net::MsgType::kRegistrySet: {
+      const auto& set = static_cast<const RegistrySetMsg&>(*msg);
+      put(set.key, set.value);
+      break;
+    }
+    case net::MsgType::kRegistryGet: {
+      const auto& get = static_cast<const RegistryGetMsg&>(*msg);
+      auto reply = std::make_shared<RegistryReplyMsg>();
+      reply->request_id = get.request_id;
+      reply->key = get.key;
+      auto it = entries_.find(get.key);
+      if (it != entries_.end()) {
+        reply->value = it->second.value;
+        reply->version = it->second.version;
+        reply->found = true;
+      }
+      send(from, std::move(reply));
+      break;
+    }
+    case net::MsgType::kRegistryWatch: {
+      const auto& watch = static_cast<const RegistryWatchMsg&>(*msg);
+      watchers_.push_back({watch.prefix, watch.watcher});
+      // Push current state of every matching key so late watchers
+      // converge immediately.
+      for (const auto& [key, entry] : entries_) {
+        if (key.compare(0, watch.prefix.size(), watch.prefix) == 0) {
+          send(watch.watcher,
+               net::make_message<RegistryEventMsg>(key, entry.value, entry.version));
+        }
+      }
+      break;
+    }
+    default:
+      EPX_WARN << name() << ": unexpected " << msg->debug_string();
+  }
+}
+
+}  // namespace epx::registry

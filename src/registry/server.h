@@ -1,0 +1,49 @@
+// RegistryServer: versioned key/value configuration store with prefix
+// watches — the simulated stand-in for the paper's ZooKeeper ensemble.
+//
+// Versions increase monotonically per key. A watch on a prefix delivers
+// every subsequent change to any key under that prefix; on registration
+// the current value of every matching key is pushed immediately, so a
+// late watcher converges without a separate enumeration step.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "registry/messages.h"
+#include "sim/process.h"
+
+namespace epx::registry {
+
+class RegistryServer : public sim::Process {
+ public:
+  RegistryServer(sim::Simulation* sim, sim::Network* net, NodeId id, std::string name);
+
+  /// Direct (in-harness) write, e.g. for initial configuration.
+  void put(const std::string& key, const std::string& value);
+
+  uint64_t version_of(const std::string& key) const;
+  std::string value_of(const std::string& key) const;
+  size_t watcher_count() const { return watchers_.size(); }
+
+ protected:
+  void on_message(NodeId from, const net::MessagePtr& msg) override;
+
+ private:
+  struct EntryState {
+    std::string value;
+    uint64_t version = 0;
+  };
+  struct Watcher {
+    std::string prefix;
+    NodeId node = net::kInvalidNode;
+  };
+
+  void notify(const std::string& key, const EntryState& entry);
+
+  std::map<std::string, EntryState> entries_;
+  std::vector<Watcher> watchers_;
+};
+
+}  // namespace epx::registry

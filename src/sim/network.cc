@@ -1,0 +1,97 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "sim/process.h"
+#include "util/logging.h"
+
+namespace epx::sim {
+
+namespace {
+uint64_t link_key(NodeId from, NodeId to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+}  // namespace
+
+Network::Network(Simulation* sim, uint64_t seed) : sim_(sim), rng_(seed) {}
+
+void Network::attach(Process* process) { endpoints_[process->id()] = process; }
+
+void Network::detach(NodeId id) { endpoints_.erase(id); }
+
+void Network::set_link(NodeId from, NodeId to, LinkParams params) {
+  links_[link_key(from, to)] = params;
+}
+
+void Network::set_node_bandwidth(NodeId id, double bits_per_second) {
+  bandwidth_[id] = bits_per_second;
+}
+
+void Network::partition(const std::unordered_set<NodeId>& island) {
+  island_ = island;
+  partitioned_ = true;
+}
+
+void Network::heal() {
+  island_.clear();
+  partitioned_ = false;
+}
+
+bool Network::crosses_partition(NodeId from, NodeId to) const {
+  if (!partitioned_) return false;
+  return island_.count(from) != island_.count(to);
+}
+
+LinkParams Network::link_for(NodeId from, NodeId to) const {
+  auto it = links_.find(link_key(from, to));
+  return it != links_.end() ? it->second : default_link_;
+}
+
+double Network::bandwidth_for(NodeId id) const {
+  auto it = bandwidth_.find(id);
+  return it != bandwidth_.end() ? it->second : default_bw_;
+}
+
+void Network::send(NodeId from, NodeId to, MessagePtr msg, Tick earliest) {
+  ++messages_sent_;
+  const size_t bytes = msg->wire_size();
+  bytes_sent_ += bytes;
+
+  if (crosses_partition(from, to) || rng_.chance(loss_probability_)) {
+    ++messages_dropped_;
+    return;
+  }
+
+  // NIC egress: transmissions from one node serialise.
+  Tick depart = std::max(earliest, sim_->now());
+  const double bw = bandwidth_for(from);
+  Tick tx_time = 0;
+  if (bw > 0.0) {
+    tx_time = static_cast<Tick>(static_cast<double>(bytes) * 8.0 / bw * kSecond);
+    Tick& free_at = egress_free_at_[from];
+    depart = std::max(depart, free_at);
+    free_at = depart + tx_time;
+  }
+
+  const LinkParams link = link_for(from, to);
+  Tick jitter = 0;
+  if (link.jitter > 0) jitter = static_cast<Tick>(rng_.uniform(static_cast<uint64_t>(link.jitter)));
+  const Tick arrival = depart + tx_time + link.latency + jitter;
+
+  sim_->schedule_at(arrival, [this, from, to, msg = std::move(msg)] {
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      ++messages_dropped_;
+      return;
+    }
+    // Re-check the partition at delivery time so an in-flight message
+    // cannot cross a partition installed after it was sent.
+    if (crosses_partition(from, to)) {
+      ++messages_dropped_;
+      return;
+    }
+    it->second->enqueue_message(from, std::move(msg));
+  });
+}
+
+}  // namespace epx::sim

@@ -1,0 +1,94 @@
+// Simulated point-to-point network.
+//
+// Models the three resources the paper's evaluation exercises:
+//   * propagation latency per link (base + uniform jitter),
+//   * per-node NIC egress bandwidth (a serialising queue, so a saturated
+//     sender delays later messages — this is what caps 32KB-value
+//     throughput in Figs. 3 and 5),
+//   * message loss and network partitions for fault-injection tests.
+//
+// Messages are typed, immutable objects (net::Message); their wire_size()
+// drives the bandwidth model without serialising payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/message.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace epx::sim {
+
+using net::MessagePtr;
+using net::NodeId;
+
+struct LinkParams {
+  Tick latency = 100 * kMicrosecond;  ///< one-way propagation delay
+  Tick jitter = 20 * kMicrosecond;    ///< uniform extra delay in [0, jitter]
+};
+
+class Process;
+
+class Network {
+ public:
+  Network(Simulation* sim, uint64_t seed = 1);
+
+  /// Registers a process endpoint. The process must outlive the network
+  /// or detach before destruction.
+  void attach(Process* process);
+  void detach(NodeId id);
+
+  /// Sends `msg` from `from` to `to`. `earliest` is the first tick the
+  /// message may leave the sender's NIC (used to model CPU time spent
+  /// before the send). Delivery is dropped silently if the destination
+  /// is unknown, dead, partitioned away, or hit by random loss.
+  void send(NodeId from, NodeId to, MessagePtr msg, Tick earliest);
+
+  // --- configuration ---------------------------------------------------
+  void set_default_link(LinkParams params) { default_link_ = params; }
+  void set_link(NodeId from, NodeId to, LinkParams params);
+
+  /// Egress bandwidth for a node in bits/second; 0 = unlimited.
+  void set_node_bandwidth(NodeId id, double bits_per_second);
+  void set_default_bandwidth(double bits_per_second) { default_bw_ = bits_per_second; }
+
+  /// Uniform random loss applied to every message.
+  void set_loss_probability(double p) { loss_probability_ = p; }
+
+  /// Splits the cluster: nodes in `island` can talk among themselves;
+  /// traffic crossing the island boundary is dropped.
+  void partition(const std::unordered_set<NodeId>& island);
+  void heal();
+
+  // --- stats ------------------------------------------------------------
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+  Simulation& simulation() { return *sim_; }
+
+ private:
+  bool crosses_partition(NodeId from, NodeId to) const;
+  LinkParams link_for(NodeId from, NodeId to) const;
+  double bandwidth_for(NodeId id) const;
+
+  Simulation* sim_;
+  Rng rng_;
+  std::unordered_map<NodeId, Process*> endpoints_;
+  std::unordered_map<uint64_t, LinkParams> links_;  // key = from<<32|to
+  LinkParams default_link_;
+  std::unordered_map<NodeId, double> bandwidth_;
+  double default_bw_ = 0.0;  // unlimited
+  std::unordered_map<NodeId, Tick> egress_free_at_;
+  double loss_probability_ = 0.0;
+  std::unordered_set<NodeId> island_;
+  bool partitioned_ = false;
+
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace epx::sim

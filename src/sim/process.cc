@@ -1,0 +1,101 @@
+#include "sim/process.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace epx::sim {
+
+Process::Process(Simulation* sim, Network* net, NodeId id, std::string name)
+    : sim_(sim), net_(net), id_(id), name_(std::move(name)) {
+  net_->attach(this);
+}
+
+Process::~Process() { net_->detach(id_); }
+
+void Process::crash() {
+  if (!alive_) return;
+  EPX_DEBUG << name_ << " crashed";
+  alive_ = false;
+  ++epoch_;
+  inbox_.clear();
+  dispatch_scheduled_ = false;
+  on_crash();
+}
+
+void Process::restart() {
+  if (alive_) return;
+  EPX_DEBUG << name_ << " restarting";
+  alive_ = true;
+  ++epoch_;
+  busy_until_ = now();
+  on_restart();
+}
+
+void Process::enqueue_message(NodeId from, MessagePtr msg) {
+  if (!alive_) return;
+  enqueue(MessageItem{from, std::move(msg)});
+}
+
+void Process::enqueue(InboxItem item) {
+  inbox_.push_back(std::move(item));
+  maybe_schedule();
+}
+
+void Process::maybe_schedule() {
+  if (dispatch_scheduled_ || inbox_.empty() || !alive_) return;
+  dispatch_scheduled_ = true;
+  const Tick at = std::max(now(), busy_until_);
+  const uint64_t epoch = epoch_;
+  sim_->schedule_at(at, [this, epoch] {
+    if (epoch != epoch_) return;  // crashed/restarted meanwhile
+    dispatch_scheduled_ = false;
+    process_next();
+  });
+}
+
+void Process::process_next() {
+  if (!alive_ || inbox_.empty()) return;
+  InboxItem item = std::move(inbox_.front());
+  inbox_.pop_front();
+
+  handler_elapsed_ = 0;
+  in_handler_ = true;
+  if (auto* m = std::get_if<MessageItem>(&item)) {
+    on_message(m->from, m->msg);
+  } else {
+    std::get<TaskItem>(item).fn();
+  }
+  in_handler_ = false;
+
+  busy_until_ = now() + handler_elapsed_;
+  maybe_schedule();
+}
+
+void Process::charge(Tick cost) {
+  if (cost <= 0) return;
+  handler_elapsed_ += cost;
+  busy_total_ += cost;
+  busy_series_.add(now(), static_cast<uint64_t>(cost));
+}
+
+double Process::utilization(Tick from, Tick to) const {
+  if (to <= from) return 0.0;
+  const auto busy = static_cast<double>(busy_series_.total_in(from, to));
+  return busy / static_cast<double>(to - from);
+}
+
+void Process::send(NodeId to, MessagePtr msg) {
+  const Tick earliest = now() + (in_handler_ ? handler_elapsed_ : 0);
+  net_->send(id_, to, std::move(msg), earliest);
+}
+
+void Process::after(Tick delay, std::function<void()> fn) {
+  const uint64_t epoch = epoch_;
+  sim_->schedule_after(delay, [this, epoch, fn = std::move(fn)]() mutable {
+    if (epoch != epoch_ || !alive_) return;
+    enqueue(TaskItem{std::move(fn)});
+  });
+}
+
+}  // namespace epx::sim

@@ -1,0 +1,114 @@
+// Process: the actor base class for every simulated node.
+//
+// A process handles one message at a time. Handlers charge virtual CPU
+// time with charge(); queued messages wait until the CPU frees up, so
+// CPU saturation, queueing delay and utilisation (Fig. 4's CPU panel)
+// emerge from the model rather than being scripted.
+//
+// Timers (after()) run through the same serial CPU queue, and are
+// invalidated by crash()/restart() via an epoch counter.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "net/message.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+#include "util/timeseries.h"
+
+namespace epx::sim {
+
+class Process {
+ public:
+  Process(Simulation* sim, Network* net, NodeId id, std::string name);
+  virtual ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  bool alive() const { return alive_; }
+  Tick now() const { return sim_->now(); }
+
+  /// Crashes the process: pending inbox and timers are discarded and
+  /// incoming messages are dropped until restart(). Subclasses override
+  /// on_crash() to model loss of volatile state.
+  void crash();
+
+  /// Brings a crashed process back; subclasses override on_restart()
+  /// to run their recovery protocol.
+  void restart();
+
+  /// Called by the network at message arrival time.
+  void enqueue_message(NodeId from, MessagePtr msg);
+
+  // --- CPU metrics -----------------------------------------------------
+  /// Total virtual CPU time consumed.
+  Tick busy_total() const { return busy_total_; }
+  /// Busy nanoseconds recorded per 1s window, for utilisation series.
+  const WindowedCounter& busy_series() const { return busy_series_; }
+  /// Utilisation (0..1) over [from, to).
+  double utilization(Tick from, Tick to) const;
+
+  // The three methods below are public so that role objects hosted
+  // inside a process (stream learners, mergers, client stubs) can send,
+  // schedule and account CPU on behalf of their host.
+
+  /// Adds `cost` of CPU work to the current handler. Messages sent after
+  /// this call leave the NIC no earlier than the accumulated cost.
+  void charge(Tick cost);
+
+  /// Sends a message; departure time respects CPU charged so far.
+  void send(NodeId to, MessagePtr msg);
+
+  /// Runs `fn` after `delay`, through the CPU queue. Cancelled by
+  /// crash()/restart().
+  void after(Tick delay, std::function<void()> fn);
+
+ protected:
+  /// Handles one message. Runs with the CPU reserved; call charge() to
+  /// account processing cost.
+  virtual void on_message(NodeId from, const MessagePtr& msg) = 0;
+
+  virtual void on_crash() {}
+  virtual void on_restart() {}
+
+  Simulation& sim() { return *sim_; }
+  Network& net() { return *net_; }
+
+ private:
+  struct MessageItem {
+    NodeId from;
+    MessagePtr msg;
+  };
+  struct TaskItem {
+    std::function<void()> fn;
+  };
+  using InboxItem = std::variant<MessageItem, TaskItem>;
+
+  void enqueue(InboxItem item);
+  void maybe_schedule();
+  void process_next();
+
+  Simulation* sim_;
+  Network* net_;
+  NodeId id_;
+  std::string name_;
+  bool alive_ = true;
+  uint64_t epoch_ = 0;
+
+  std::deque<InboxItem> inbox_;
+  bool dispatch_scheduled_ = false;
+  Tick busy_until_ = 0;
+  Tick handler_elapsed_ = 0;  // CPU charged inside the current handler
+  bool in_handler_ = false;
+
+  Tick busy_total_ = 0;
+  WindowedCounter busy_series_{kSecond};
+};
+
+}  // namespace epx::sim

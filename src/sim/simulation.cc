@@ -1,0 +1,38 @@
+#include "sim/simulation.h"
+
+#include "util/logging.h"
+
+namespace epx::sim {
+
+Simulation::Simulation() {
+  log::set_time_source([this] { return now_; });
+}
+
+void Simulation::schedule_at(Tick t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move the callable out before pop
+  // to avoid copying a potentially large closure.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulation::run_until(Tick t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void Simulation::run_to_completion() {
+  while (step()) {
+  }
+}
+
+}  // namespace epx::sim

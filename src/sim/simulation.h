@@ -1,0 +1,67 @@
+// Discrete-event simulation driver.
+//
+// A Simulation owns the virtual clock and an event queue ordered by
+// (time, insertion sequence). Everything in the simulated cluster —
+// message deliveries, CPU completions, timers — is an event. Runs are
+// fully deterministic for a fixed configuration and RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace epx::sim {
+
+class Simulation {
+ public:
+  Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Tick now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `t` (clamped to now).
+  void schedule_at(Tick t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` ticks from now.
+  void schedule_after(Tick delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs one event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs all events with time <= t, then advances the clock to t.
+  void run_until(Tick t);
+
+  /// Runs for `duration` ticks of virtual time.
+  void run_for(Tick duration) { run_until(now_ + duration); }
+
+  /// Drains the queue completely (use with care — livelocks if events
+  /// keep rescheduling themselves).
+  void run_to_completion();
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Tick time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  Tick now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace epx::sim

@@ -1,0 +1,36 @@
+// Stable, seedable hashing used for key partitioning.
+//
+// Partition maps hash keys into a fixed 64-bit ring; the hash must be
+// stable across runs and platforms (std::hash is neither), so we use
+// FNV-1a plus a strong finaliser.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace epx {
+
+/// FNV-1a over a byte string.
+constexpr uint64_t fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Murmur-style finaliser; improves avalanche of fnv1a64 output.
+constexpr uint64_t mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Stable key hash used by the partitioner.
+constexpr uint64_t key_hash(std::string_view key) { return mix64(fnv1a64(key)); }
+
+}  // namespace epx

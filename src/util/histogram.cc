@@ -1,0 +1,86 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace epx {
+
+Histogram::Histogram() : buckets_(64 * kSubBuckets, 0) {}
+
+int Histogram::bucket_index(Tick value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const auto v = static_cast<uint64_t>(value);
+  const int octave = 63 - std::countl_zero(v);
+  const int shift = octave - kSubBucketBits;
+  const int sub = static_cast<int>((v >> shift) & (kSubBuckets - 1));
+  return (octave - kSubBucketBits + 1) * kSubBuckets + sub;
+}
+
+Tick Histogram::bucket_upper_bound(int index) {
+  if (index < kSubBuckets) return index;
+  const int octave_block = index / kSubBuckets;  // >= 1
+  const int sub = index % kSubBuckets;
+  const int shift = octave_block - 1;
+  // Upper edge of the sub-bucket within the octave.
+  const uint64_t base = (static_cast<uint64_t>(kSubBuckets + sub)) << shift;
+  const uint64_t width = 1ULL << shift;
+  return static_cast<Tick>(base + width - 1);
+}
+
+void Histogram::record(Tick value) { record_n(value, 1); }
+
+void Histogram::record_n(Tick value, uint64_t n) {
+  if (n == 0) return;
+  if (value < 0) value = 0;
+  const int idx = std::min<int>(bucket_index(value), static_cast<int>(buckets_.size()) - 1);
+  buckets_[idx] += n;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  count_ += n;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+Tick Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(bucket_upper_bound(static_cast<int>(i)), max_);
+  }
+  return max_;
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%s p50=%s p95=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_), format_duration(static_cast<Tick>(mean())).c_str(),
+                format_duration(p50()).c_str(), format_duration(p95()).c_str(),
+                format_duration(p99()).c_str(), format_duration(max()).c_str());
+  return buf;
+}
+
+}  // namespace epx

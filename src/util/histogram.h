@@ -1,0 +1,62 @@
+// Log-bucketed latency histogram (HdrHistogram-style, simplified).
+//
+// Values (ticks) are bucketed with ~4.2% relative precision: 16 linear
+// sub-buckets per power-of-two range. Supports quantile queries, merge,
+// and count/mean, which is everything the paper's latency panels need
+// (p95 lines in Figs. 4 and 5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace epx {
+
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one value (negative values are clamped to zero).
+  void record(Tick value);
+
+  /// Records `n` occurrences of one value.
+  void record_n(Tick value, uint64_t n);
+
+  /// Adds all samples of another histogram into this one.
+  void merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  Tick min() const { return count_ == 0 ? 0 : min_; }
+  Tick max() const { return max_; }
+  double mean() const;
+
+  /// Value at quantile q in [0, 1]; returns an upper bound of the bucket
+  /// containing the quantile. Returns 0 for an empty histogram.
+  Tick quantile(double q) const;
+
+  Tick p50() const { return quantile(0.50); }
+  Tick p95() const { return quantile(0.95); }
+  Tick p99() const { return quantile(0.99); }
+
+  void clear();
+
+  /// One-line summary, e.g. "n=1000 mean=1.2ms p50=1.0ms p95=3.1ms".
+  std::string summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static int bucket_index(Tick value);
+  static Tick bucket_upper_bound(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  Tick min_ = 0;
+  Tick max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace epx

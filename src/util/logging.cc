@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace epx::log {
+namespace {
+
+Level g_level = Level::kWarn;
+std::function<Tick()> g_time_source;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level = level; }
+Level level() { return g_level; }
+
+void set_time_source(std::function<Tick()> source) { g_time_source = std::move(source); }
+
+void emit(Level lvl, const char* file, int line, const std::string& msg) {
+  if (lvl < g_level) return;
+  if (g_time_source) {
+    std::fprintf(stderr, "[%10.6f] %s %s:%d] %s\n", to_seconds(g_time_source()),
+                 level_name(lvl), basename_of(file), line, msg.c_str());
+  } else {
+    std::fprintf(stderr, "[---------] %s %s:%d] %s\n", level_name(lvl), basename_of(file),
+                 line, msg.c_str());
+  }
+}
+
+}  // namespace epx::log

@@ -1,0 +1,66 @@
+// Minimal leveled logging facility.
+//
+// The simulator is single-threaded, so the logger keeps no locks. Log
+// lines carry the virtual timestamp when a simulation is active (set via
+// set_time_source). Levels can be adjusted globally; tests default to
+// kWarn to keep output quiet, benches set kInfo for progress lines.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "util/units.h"
+
+namespace epx::log {
+
+enum class Level : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Sets the global minimum level that will be emitted.
+void set_level(Level level);
+Level level();
+
+/// Installs a function returning the current virtual time, stamped on
+/// every line. Pass nullptr to remove.
+void set_time_source(std::function<Tick()> source);
+
+/// Emits one formatted line to stderr. Used by the LOG macro; callers
+/// normally do not invoke this directly.
+void emit(Level level, const char* file, int line, const std::string& msg);
+
+namespace detail {
+class LineBuilder {
+ public:
+  LineBuilder(Level level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace epx::log
+
+#define EPX_LOG(lvl)                                           \
+  if (::epx::log::Level::lvl < ::epx::log::level()) {          \
+  } else                                                       \
+    ::epx::log::detail::LineBuilder(::epx::log::Level::lvl, __FILE__, __LINE__)
+
+#define EPX_TRACE EPX_LOG(kTrace)
+#define EPX_DEBUG EPX_LOG(kDebug)
+#define EPX_INFO EPX_LOG(kInfo)
+#define EPX_WARN EPX_LOG(kWarn)
+#define EPX_ERROR EPX_LOG(kError)

@@ -1,0 +1,29 @@
+#include "util/status.h"
+
+namespace epx {
+namespace {
+const char* code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kCorruption: return "CORRUPTION";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string s = code_name(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace epx

@@ -1,0 +1,79 @@
+// Lightweight Status/Result types for recoverable errors.
+//
+// Protocol code mostly communicates failure through messages; Status is
+// used at API boundaries (registry lookups, client stubs, decode paths)
+// where an exception would be the wrong tool.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace epx {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kTimeout,
+  kUnavailable,
+  kCorruption,
+};
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+  static Status not_found(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status invalid(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status precondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status timeout(std::string m) { return {StatusCode::kTimeout, std::move(m)}; }
+  static Status unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status corruption(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or a Status explaining why there is none.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.is_ok() && "ok Result must carry a value");
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(is_ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(is_ok());
+    return *value_;
+  }
+
+  T value_or(T fallback) const { return value_.value_or(std::move(fallback)); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace epx

@@ -1,0 +1,61 @@
+#include "util/timeseries.h"
+
+#include <algorithm>
+
+namespace epx {
+
+void WindowedCounter::add(Tick now, uint64_t count) {
+  if (now < 0) now = 0;
+  const auto idx = static_cast<size_t>(now / window_);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += count;
+  total_ += count;
+}
+
+double WindowedCounter::rate_at(size_t i) const {
+  return static_cast<double>(counts_[i]) / to_seconds(window_);
+}
+
+uint64_t WindowedCounter::total_in(Tick from, Tick to) const {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const Tick start = window_start(i);
+    if (start >= from && start < to) sum += counts_[i];
+  }
+  return sum;
+}
+
+double WindowedCounter::average_rate(Tick from, Tick to) const {
+  if (to <= from) return 0.0;
+  return static_cast<double>(total_in(from, to)) / to_seconds(to - from);
+}
+
+void GaugeSeries::sample(Tick now, double value) { samples_.push_back({now, value}); }
+
+double GaugeSeries::average_in(Tick from, Tick to) const {
+  double sum = 0.0;
+  size_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.time >= from && s.time < to) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::vector<PhaseAverage> phase_averages(const WindowedCounter& counter,
+                                         const std::vector<Tick>& boundaries, Tick end) {
+  std::vector<PhaseAverage> result;
+  std::vector<Tick> edges = boundaries;
+  std::sort(edges.begin(), edges.end());
+  edges.insert(edges.begin(), 0);
+  edges.push_back(end);
+  for (size_t i = 0; i + 1 < edges.size(); ++i) {
+    if (edges[i + 1] <= edges[i]) continue;
+    result.push_back({edges[i], edges[i + 1], counter.average_rate(edges[i], edges[i + 1])});
+  }
+  return result;
+}
+
+}  // namespace epx

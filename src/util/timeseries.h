@@ -1,0 +1,85 @@
+// Windowed metric collection for experiment reports.
+//
+// WindowedCounter turns discrete events (delivered commands, bytes) into a
+// per-window rate series — exactly what the paper's throughput-over-time
+// panels plot. GaugeSeries samples instantaneous values (CPU utilisation).
+// IntervalAverager computes per-phase averages, matching Fig. 3's
+// "Interval avg" line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace epx {
+
+/// Accumulates event counts into fixed-size windows of virtual time.
+class WindowedCounter {
+ public:
+  explicit WindowedCounter(Tick window = kSecond) : window_(window) {}
+
+  /// Adds `count` events at virtual time `now`.
+  void add(Tick now, uint64_t count = 1);
+
+  Tick window() const { return window_; }
+
+  /// Number of complete-or-started windows so far.
+  size_t size() const { return counts_.size(); }
+
+  /// Raw count in window i.
+  uint64_t count_at(size_t i) const { return counts_[i]; }
+
+  /// Event rate (events per second) in window i.
+  double rate_at(size_t i) const;
+
+  /// Start time of window i.
+  Tick window_start(size_t i) const { return static_cast<Tick>(i) * window_; }
+
+  /// Sum of events in windows whose start lies in [from, to).
+  uint64_t total_in(Tick from, Tick to) const;
+
+  /// Average rate (events/sec) over virtual interval [from, to).
+  double average_rate(Tick from, Tick to) const;
+
+  uint64_t total() const { return total_; }
+
+ private:
+  Tick window_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Records (time, value) samples of a gauge, e.g. CPU utilisation.
+class GaugeSeries {
+ public:
+  void sample(Tick now, double value);
+
+  size_t size() const { return samples_.size(); }
+  Tick time_at(size_t i) const { return samples_[i].time; }
+  double value_at(size_t i) const { return samples_[i].value; }
+
+  /// Mean of samples with time in [from, to).
+  double average_in(Tick from, Tick to) const;
+
+ private:
+  struct Sample {
+    Tick time;
+    double value;
+  };
+  std::vector<Sample> samples_;
+};
+
+/// Computes phase averages: given phase boundary times, reports the
+/// average rate of a WindowedCounter within each phase.
+struct PhaseAverage {
+  Tick from = 0;
+  Tick to = 0;
+  double rate = 0.0;
+};
+
+std::vector<PhaseAverage> phase_averages(const WindowedCounter& counter,
+                                         const std::vector<Tick>& boundaries, Tick end);
+
+}  // namespace epx

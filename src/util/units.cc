@@ -1,0 +1,34 @@
+#include "util/units.h"
+
+#include <cstdio>
+
+namespace epx {
+
+std::string format_duration(Tick t) {
+  char buf[64];
+  const double abs = static_cast<double>(t < 0 ? -t : t);
+  if (abs >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(t) / kSecond);
+  } else if (abs >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(t) / kMillisecond);
+  } else if (abs >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(t) / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+std::string format_bytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1fMiB", static_cast<double>(bytes) / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB", static_cast<double>(bytes) / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace epx

@@ -1,0 +1,41 @@
+// Virtual-time and size units used throughout the library.
+//
+// All simulated time is expressed in Ticks (nanoseconds, signed 64-bit).
+// Helpers convert between human units and ticks, and format values for
+// reports. Keeping this in one tiny header avoids unit mistakes across
+// modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace epx {
+
+/// Virtual time in nanoseconds. Signed so durations and differences are
+/// well-defined; the simulation never runs long enough to overflow.
+using Tick = int64_t;
+
+inline constexpr Tick kNanosecond = 1;
+inline constexpr Tick kMicrosecond = 1000 * kNanosecond;
+inline constexpr Tick kMillisecond = 1000 * kMicrosecond;
+inline constexpr Tick kSecond = 1000 * kMillisecond;
+
+/// Converts ticks to floating-point seconds (for reports).
+constexpr double to_seconds(Tick t) { return static_cast<double>(t) / kSecond; }
+
+/// Converts ticks to floating-point milliseconds (for reports).
+constexpr double to_millis(Tick t) { return static_cast<double>(t) / kMillisecond; }
+
+/// Converts floating-point seconds to ticks.
+constexpr Tick from_seconds(double s) { return static_cast<Tick>(s * kSecond); }
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+
+/// Formats a tick count as a short human-readable duration, e.g. "12.5ms".
+std::string format_duration(Tick t);
+
+/// Formats a byte count, e.g. "32.0KiB".
+std::string format_bytes(uint64_t bytes);
+
+}  // namespace epx

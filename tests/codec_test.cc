@@ -1,0 +1,295 @@
+// Wire-codec tests: primitive round-trips, every protocol message
+// round-trips through the registry, body_size() always matches the
+// encoded byte count (the bandwidth model depends on it), and malformed
+// buffers are rejected.
+#include <gtest/gtest.h>
+
+#include "kvstore/kv_messages.h"
+#include "kvstore/kv_op.h"
+#include "multicast/messages.h"
+#include "net/buffer.h"
+#include "net/message.h"
+#include "paxos/messages.h"
+#include "registry/messages.h"
+
+namespace epx {
+namespace {
+
+using net::MessageCodec;
+using net::Reader;
+using net::Writer;
+
+class CodecTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    paxos::register_paxos_messages();
+    multicast::register_multicast_messages();
+    registry::register_registry_messages();
+    kv::register_kv_messages();
+  }
+};
+
+// --------------------------------------------------------- primitives --
+
+TEST_F(CodecTest, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  Reader r({reinterpret_cast<const char*>(w.data().data()), w.size()});
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST_F(CodecTest, VarintRoundTripBoundaries) {
+  for (uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                     0xffffffffULL, ~0ULL}) {
+    Writer w;
+    w.varint(v);
+    EXPECT_EQ(w.size(), Writer::varint_size(v));
+    Reader r({reinterpret_cast<const char*>(w.data().data()), w.size()});
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST_F(CodecTest, BytesRoundTrip) {
+  Writer w;
+  w.bytes("hello");
+  w.bytes("");
+  w.bytes(std::string(1000, 'x'));
+  Reader r({reinterpret_cast<const char*>(w.data().data()), w.size()});
+  EXPECT_EQ(r.bytes(), "hello");
+  EXPECT_EQ(r.bytes(), "");
+  EXPECT_EQ(r.bytes(), std::string(1000, 'x'));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST_F(CodecTest, TruncatedReadFails) {
+  Writer w;
+  w.u64(7);
+  Reader r({reinterpret_cast<const char*>(w.data().data()), 4});
+  r.u64();
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.status().is_ok());
+}
+
+TEST_F(CodecTest, OverlongVarintFails) {
+  std::vector<uint8_t> bad(11, 0x80);
+  Reader r(bad.data(), bad.size());
+  r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+// --------------------------------------------------- message registry --
+
+// Encodes, decodes, re-encodes and verifies the advertised body size.
+void round_trip(const net::Message& msg) {
+  auto& codec = MessageCodec::instance();
+  ASSERT_TRUE(codec.has(msg.type())) << net::msg_type_name(msg.type());
+
+  // body_size must match the actual encoding (bandwidth model contract).
+  Writer body;
+  msg.encode(body);
+  EXPECT_EQ(body.size(), msg.body_size()) << net::msg_type_name(msg.type());
+
+  const auto bytes = codec.encode(msg);
+  auto decoded = codec.decode({reinterpret_cast<const char*>(bytes.data()), bytes.size()});
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value()->type(), msg.type());
+
+  // Re-encoding the decoded message must be byte-identical.
+  const auto bytes2 = codec.encode(*decoded.value());
+  EXPECT_EQ(bytes, bytes2) << net::msg_type_name(msg.type());
+}
+
+paxos::Command sample_command() {
+  paxos::Command c;
+  c.kind = paxos::CommandKind::kApp;
+  c.id = paxos::make_command_id(12, 34);
+  c.client = 12;
+  c.payload = std::make_shared<const std::string>("payload-bytes");
+  return c;
+}
+
+TEST_F(CodecTest, CommandRoundTrip) {
+  const paxos::Command c = sample_command();
+  Writer w;
+  c.encode(w);
+  EXPECT_EQ(w.size(), c.encoded_size());
+  Reader r({reinterpret_cast<const char*>(w.data().data()), w.size()});
+  const paxos::Command d = paxos::Command::decode(r);
+  EXPECT_EQ(d.id, c.id);
+  EXPECT_EQ(d.client, c.client);
+  EXPECT_EQ(*d.payload, *c.payload);
+}
+
+TEST_F(CodecTest, SyntheticPayloadMaterialisesZeros) {
+  paxos::Command c;
+  c.id = 9;
+  c.payload_size = 64;  // no payload object
+  Writer w;
+  c.encode(w);
+  EXPECT_EQ(w.size(), c.encoded_size());
+  Reader r({reinterpret_cast<const char*>(w.data().data()), w.size()});
+  const paxos::Command d = paxos::Command::decode(r);
+  EXPECT_EQ(d.payload_bytes(), 64u);
+}
+
+TEST_F(CodecTest, ProposalRoundTrip) {
+  paxos::Proposal p;
+  p.first_slot = 1234;
+  p.skip_slots = 7;
+  p.commands.push_back(sample_command());
+  p.commands.push_back(paxos::make_subscribe(77, 1, 2));
+  Writer w;
+  p.encode(w);
+  EXPECT_EQ(w.size(), p.encoded_size());
+  Reader r({reinterpret_cast<const char*>(w.data().data()), w.size()});
+  const paxos::Proposal d = paxos::Proposal::decode(r);
+  EXPECT_EQ(d.first_slot, 1234u);
+  EXPECT_EQ(d.skip_slots, 7u);
+  ASSERT_EQ(d.commands.size(), 2u);
+  EXPECT_EQ(d.commands[1].kind, paxos::CommandKind::kSubscribe);
+}
+
+TEST_F(CodecTest, PaxosMessagesRoundTrip) {
+  round_trip(paxos::ClientProposeMsg(3, sample_command()));
+  round_trip(paxos::ProposeRejectMsg(3, 42, 9));
+  round_trip(paxos::Phase1aMsg(3, {5, 2}, 100));
+
+  paxos::Phase1bMsg p1b;
+  p1b.stream = 3;
+  p1b.ballot = {5, 2};
+  p1b.promised = {6, 4};
+  p1b.ok = true;
+  p1b.acceptor = 8;
+  paxos::AcceptedEntry entry;
+  entry.instance = 10;
+  entry.value_ballot = {4, 2};
+  entry.value.commands.push_back(sample_command());
+  entry.decided = true;
+  p1b.accepted.push_back(entry);
+  round_trip(p1b);
+
+  paxos::AcceptMsg accept;
+  accept.stream = 3;
+  accept.ballot = {1, 2};
+  accept.instance = 55;
+  accept.value.commands.push_back(sample_command());
+  accept.accept_count = 1;
+  round_trip(accept);
+
+  paxos::Proposal value;
+  value.commands.push_back(sample_command());
+  round_trip(paxos::DecisionMsg(3, 55, value));
+  round_trip(paxos::LearnerJoinMsg(3, 77));
+  round_trip(paxos::LearnerLeaveMsg(3, 77));
+  round_trip(paxos::RecoverRequestMsg(3, 10, 20));
+
+  paxos::RecoverReplyMsg recover;
+  recover.stream = 3;
+  recover.trim_horizon = 5;
+  recover.decided_watermark = 42;
+  recover.entries.emplace_back(10, value);
+  round_trip(recover);
+
+  round_trip(paxos::TrimRequestMsg(3, 99));
+  round_trip(paxos::CoordHeartbeatMsg(3, {7, 1}, 1000));
+}
+
+TEST_F(CodecTest, MulticastReplyRoundTrip) {
+  multicast::ReplyMsg reply(42, 0);
+  reply.shard = 3;
+  reply.payload = std::make_shared<const std::string>("value!");
+  round_trip(reply);
+  round_trip(multicast::ReplyMsg(43, 1));  // no payload
+}
+
+TEST_F(CodecTest, RegistryMessagesRoundTrip) {
+  round_trip(registry::RegistrySetMsg("kv/partitions", "blob"));
+  round_trip(registry::RegistryGetMsg(7, "kv/partitions"));
+  registry::RegistryReplyMsg reply;
+  reply.request_id = 7;
+  reply.key = "kv/partitions";
+  reply.value = "blob";
+  reply.version = 3;
+  reply.found = true;
+  round_trip(reply);
+  round_trip(registry::RegistryWatchMsg("kv/", 12));
+  round_trip(registry::RegistryEventMsg("kv/partitions", "blob2", 4));
+}
+
+TEST_F(CodecTest, KvMessagesRoundTrip) {
+  round_trip(kv::KvSignalMsg(42, 3));
+  round_trip(kv::SnapshotRequestMsg(9));
+  kv::SnapshotReplyMsg snap;
+  snap.request_id = 9;
+  snap.store = std::make_shared<const std::string>(
+      kv::encode_pairs({{"a", "1"}, {"b", "2"}}));
+  snap.stream_positions = {{1, 100}, {2, 200}};
+  round_trip(snap);
+}
+
+TEST_F(CodecTest, KvOpRoundTrip) {
+  kv::KvOp op;
+  op.kind = kv::OpKind::kGetRange;
+  op.key = "key000";
+  op.end_key = "key999";
+  const std::string blob = op.encode();
+  const kv::KvOp d = kv::KvOp::decode(blob);
+  EXPECT_EQ(d.kind, kv::OpKind::kGetRange);
+  EXPECT_EQ(d.key, "key000");
+  EXPECT_EQ(d.end_key, "key999");
+}
+
+TEST_F(CodecTest, PairListRoundTrip) {
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"k1", "v1"}, {"k2", std::string(500, 'z')}, {"", ""}};
+  const auto decoded = kv::decode_pairs(kv::encode_pairs(pairs));
+  EXPECT_EQ(decoded, pairs);
+}
+
+// ----------------------------------------------------------- failures --
+
+TEST_F(CodecTest, UnknownTypeRejected) {
+  Writer w;
+  w.u16(0x7fff);
+  auto result = MessageCodec::instance().decode(
+      {reinterpret_cast<const char*>(w.data().data()), w.size()});
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CodecTest, TruncatedMessageRejected) {
+  const auto bytes = MessageCodec::instance().encode(paxos::LearnerJoinMsg(3, 77));
+  auto result = MessageCodec::instance().decode(
+      {reinterpret_cast<const char*>(bytes.data()), bytes.size() - 2});
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST_F(CodecTest, TrailingBytesRejected) {
+  auto bytes = MessageCodec::instance().encode(paxos::LearnerJoinMsg(3, 77));
+  bytes.push_back(0);
+  auto result = MessageCodec::instance().decode(
+      {reinterpret_cast<const char*>(bytes.data()), bytes.size()});
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(CodecTest, EmptyBufferRejected) {
+  auto result = MessageCodec::instance().decode("");
+  EXPECT_FALSE(result.is_ok());
+}
+
+}  // namespace
+}  // namespace epx

@@ -1,0 +1,190 @@
+// Coordinator unit/behaviour tests: batching policy, the admission
+// throttle, pipeline windowing, skip pacing against the global virtual
+// position, duplicate suppression TTL, and slot-index assignment.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+#include "harness/load_client.h"
+#include "tests/test_util.h"
+
+namespace epx {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterOptions;
+using harness::LoadClient;
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::init_logging(); }
+};
+
+TEST_F(CoordinatorTest, BatchesManySmallCommandsPerInstance) {
+  ClusterOptions options;
+  options.params.batch_max_count = 32;
+  options.params.batch_max_delay = 5 * kMillisecond;
+  Cluster cluster(options);
+  const auto s1 = cluster.add_stream();
+  cluster.add_replica(1, {s1});
+
+  LoadClient::Config cfg;
+  cfg.threads = 16;
+  cfg.payload_bytes = 64;
+  cfg.route = [s1] { return s1; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  cluster.run_for(3 * kSecond);
+  client->stop();
+
+  auto* coord = cluster.coordinator(s1);
+  // Far fewer instances than commands -> batching happened. Skip
+  // proposals also consume instances, so compare against commands.
+  EXPECT_GT(coord->commands_proposed(), 1000u);
+  EXPECT_LT(coord->next_instance(), coord->commands_proposed());
+}
+
+TEST_F(CoordinatorTest, AdmissionThrottleCapsThroughput) {
+  ClusterOptions options;
+  options.params.admission_rate = 200.0;
+  Cluster cluster(options);
+  const auto s1 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1});
+
+  LoadClient::Config cfg;
+  cfg.threads = 16;  // would reach thousands/s unthrottled
+  cfg.payload_bytes = 64;
+  cfg.retry_timeout = 3600 * kSecond;
+  cfg.route = [s1] { return s1; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  cluster.run_for(10 * kSecond);
+
+  const double rate = r1->delivery_series().average_rate(2 * kSecond, 10 * kSecond);
+  EXPECT_NEAR(rate, 200.0, 30.0) << "throttle must cap at ~200 ops/s";
+}
+
+TEST_F(CoordinatorTest, RuntimeThrottleChange) {
+  ClusterOptions options;
+  options.params.admission_rate = 100.0;
+  Cluster cluster(options);
+  const auto s1 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1});
+
+  LoadClient::Config cfg;
+  cfg.threads = 8;
+  cfg.payload_bytes = 64;
+  cfg.retry_timeout = 3600 * kSecond;
+  cfg.route = [s1] { return s1; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  cluster.run_for(5 * kSecond);
+  cluster.coordinator(s1)->set_admission_rate(400.0);
+  cluster.run_for(5 * kSecond);
+
+  const double before = r1->delivery_series().average_rate(1 * kSecond, 5 * kSecond);
+  const double after = r1->delivery_series().average_rate(6 * kSecond, 10 * kSecond);
+  EXPECT_NEAR(before, 100.0, 25.0);
+  EXPECT_NEAR(after, 400.0, 60.0);
+}
+
+TEST_F(CoordinatorTest, SkipPacingTracksGlobalPosition) {
+  // An idle stream's virtual position must track lambda * wall-time so
+  // late subscribers' merge points stay reachable.
+  ClusterOptions options;
+  options.params.lambda = 1000.0;
+  Cluster cluster(options);
+  const auto s1 = cluster.add_stream();
+  cluster.add_replica(1, {s1});  // learner present, no client traffic
+  cluster.run_for(10 * kSecond);
+
+  auto* coord = cluster.coordinator(s1);
+  EXPECT_NEAR(static_cast<double>(coord->skip_slots_proposed()), 10000.0, 500.0);
+}
+
+TEST_F(CoordinatorTest, LateStreamPadsToClusterPosition) {
+  ClusterOptions options;
+  options.params.lambda = 1000.0;
+  Cluster cluster(options);
+  cluster.add_stream();  // keeps the virtual clock meaningful
+  cluster.run_for(10 * kSecond);
+  const auto late = cluster.add_stream();
+  cluster.add_replica(1, {late});
+  cluster.run_for(1 * kSecond);
+  // The late stream's position jumps to ~lambda * 11s within one tick.
+  EXPECT_GT(cluster.coordinator(late)->skip_slots_proposed(), 10000u);
+}
+
+TEST_F(CoordinatorTest, DuplicateProposalsSuppressedWithinTtl) {
+  ClusterOptions options;
+  options.params.dedup_ttl = 500 * kMillisecond;
+  Cluster cluster(options);
+  const auto s1 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1});
+
+  // Two immediate copies of the same command: ordered once.
+  paxos::Command cmd;
+  cmd.id = paxos::make_command_id(77, 1);
+  cmd.payload_size = 32;
+  auto* probe = cluster.spawn<harness::LoadClient>("probe", &cluster.directory(),
+                                                   harness::LoadClient::Config{});
+  const auto coord_id = cluster.directory().get(s1).coordinator;
+  probe->send(coord_id, net::make_message<paxos::ClientProposeMsg>(s1, cmd));
+  probe->send(coord_id, net::make_message<paxos::ClientProposeMsg>(s1, cmd));
+  cluster.run_for(1 * kSecond);
+  EXPECT_EQ(r1->delivered(), 1u);
+
+  // After the TTL a re-send is admitted again (the replica-level dedup
+  // then suppresses double execution).
+  probe->send(coord_id, net::make_message<paxos::ClientProposeMsg>(s1, cmd));
+  cluster.run_for(1 * kSecond);
+  EXPECT_EQ(cluster.coordinator(s1)->commands_proposed(), 2u)
+      << "post-TTL re-send must be re-ordered";
+  EXPECT_EQ(r1->delivered(), 1u) << "replica dedup keeps execution exactly-once";
+}
+
+TEST_F(CoordinatorTest, SlotIndexesAreContiguousAcrossBatchesAndSkips) {
+  Cluster cluster;
+  const auto s1 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1});
+
+  LoadClient::Config cfg;
+  cfg.threads = 4;
+  cfg.payload_bytes = 128;
+  cfg.route = [s1] { return s1; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  cluster.run_for(3 * kSecond);
+  client->stop();
+  cluster.run_for(1 * kSecond);
+
+  // The merged queue consumed every slot with no holes: its next index
+  // equals values delivered + skips consumed, i.e. the stream position.
+  auto& q = r1->merger().queue(s1);
+  EXPECT_FALSE(q.has_next());  // fully drained
+  EXPECT_GE(q.next_index(), r1->delivered());
+}
+
+TEST_F(CoordinatorTest, WindowLimitsOutstandingInstances) {
+  ClusterOptions options;
+  options.params.window = 4;
+  options.params.batch_max_count = 1;  // one command per instance
+  options.params.batch_max_delay = 100 * kMicrosecond;
+  // Slow the ring down so the pipeline fills.
+  options.link = {20 * kMillisecond, 0};
+  Cluster cluster(options);
+  const auto s1 = cluster.add_stream();
+  cluster.add_replica(1, {s1});
+
+  LoadClient::Config cfg;
+  cfg.threads = 32;
+  cfg.payload_bytes = 32;
+  cfg.retry_timeout = 3600 * kSecond;
+  cfg.route = [s1] { return s1; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  cluster.run_for(300 * kMillisecond);
+  EXPECT_LE(cluster.coordinator(s1)->outstanding(), 4u);
+}
+
+}  // namespace
+}  // namespace epx

@@ -1,0 +1,238 @@
+// Integration tests of dynamic subscription on a running simulated
+// cluster: subscribe/unsubscribe/prepare under client load, recovery of
+// new-stream backlog, and acyclic ordering across groups.
+#include <gtest/gtest.h>
+
+#include "checker/order_checker.h"
+#include "tests/test_util.h"
+
+namespace epx {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterOptions;
+using harness::LoadClient;
+
+class ElasticIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::init_logging(); }
+
+  /// Runs the simulation in 100 ms steps until `pred` holds or `limit`
+  /// virtual time elapses; returns true if the predicate held.
+  template <typename Pred>
+  bool run_until(Cluster& cluster, Pred pred, Tick limit) {
+    const Tick deadline = cluster.now() + limit;
+    while (cluster.now() < deadline) {
+      if (pred()) return true;
+      cluster.run_for(100 * kMillisecond);
+    }
+    return pred();
+  }
+};
+
+TEST_F(ElasticIntegrationTest, DynamicSubscribeUnderLoad) {
+  Cluster cluster;
+  const auto s1 = cluster.add_stream();
+  const auto s2 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1});
+  auto* r2 = cluster.add_replica(1, {s1});
+
+  checker::OrderChecker order;
+  for (auto* r : {r1, r2}) {
+    r->set_delivery_listener([&order](net::NodeId n, const paxos::Command& c,
+                                      paxos::StreamId) { order.record(n, c.id); });
+  }
+
+  LoadClient::Config cfg1;
+  cfg1.threads = 3;
+  cfg1.payload_bytes = 512;
+  cfg1.route = [s1] { return s1; };
+  auto* c1 = cluster.spawn<LoadClient>("client1", &cluster.directory(), cfg1);
+  LoadClient::Config cfg2 = cfg1;
+  cfg2.route = [s2] { return s2; };
+  auto* c2 = cluster.spawn<LoadClient>("client2", &cluster.directory(), cfg2);
+
+  c1->start();
+  c2->start();
+  cluster.run_for(2 * kSecond);
+
+  // Nothing from S2 is delivered before the subscription.
+  const uint64_t before = r1->delivered();
+  EXPECT_GT(before, 0u);
+
+  cluster.controller().subscribe(/*group=*/1, s2, /*via=*/s1);
+  ASSERT_TRUE(run_until(
+      cluster, [&] { return r1->merger().subscribed_to(s2) && r2->merger().subscribed_to(s2); },
+      10 * kSecond))
+      << "subscription must complete";
+
+  cluster.run_for(3 * kSecond);
+  c1->stop();
+  c2->stop();
+  cluster.run_for(2 * kSecond);
+
+  EXPECT_GT(c2->completed(), 0u) << "S2 commands must now be delivered and answered";
+  EXPECT_EQ(order.sequence(r1->id()), order.sequence(r2->id()));
+  EXPECT_EQ(order.check_all(), "");
+}
+
+TEST_F(ElasticIntegrationTest, SubscribeRecoversBacklog) {
+  // S2 accumulates traffic long before the group subscribes; the new
+  // learner must recover the backlog from the acceptors and the merger
+  // must discard everything before the merge point.
+  Cluster cluster;
+  const auto s1 = cluster.add_stream();
+  const auto s2 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1});
+
+  LoadClient::Config cfg2;
+  cfg2.threads = 2;
+  cfg2.payload_bytes = 256;
+  cfg2.route = [s2] { return s2; };
+  auto* backlog_client = cluster.spawn<LoadClient>("backlog", &cluster.directory(), cfg2);
+  backlog_client->start();
+  cluster.run_for(3 * kSecond);
+  backlog_client->stop();
+  const uint64_t backlog = backlog_client->completed();
+  // Replies only come from replicas; nobody subscribes to S2 yet.
+  EXPECT_EQ(backlog, 0u);
+
+  cluster.controller().subscribe(1, s2, s1);
+  ASSERT_TRUE(run_until(cluster, [&] { return r1->merger().subscribed_to(s2); },
+                        15 * kSecond));
+  // Backlog values ordered before the merge point were discarded, not
+  // delivered (paper Fig. 2 semantics).
+  EXPECT_GT(r1->merger().discarded(), 0u);
+}
+
+TEST_F(ElasticIntegrationTest, UnsubscribeStopsDelivery) {
+  Cluster cluster;
+  const auto s1 = cluster.add_stream();
+  const auto s2 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1, s2});
+
+  LoadClient::Config cfg;
+  cfg.threads = 2;
+  cfg.payload_bytes = 256;
+  cfg.route = [s2] { return s2; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  cluster.run_for(2 * kSecond);
+  EXPECT_GT(client->completed(), 0u);
+
+  cluster.controller().unsubscribe(1, s2, s1);
+  ASSERT_TRUE(run_until(cluster, [&] { return !r1->merger().subscribed_to(s2); },
+                        10 * kSecond));
+
+  // Delivery of S2 traffic stops: completions stall from here on.
+  cluster.run_for(1 * kSecond);
+  const uint64_t after_unsub = client->completed();
+  cluster.run_for(3 * kSecond);
+  EXPECT_LE(client->completed() - after_unsub, 2u)
+      << "at most in-flight commands complete after unsubscription";
+  EXPECT_EQ(r1->merger().subscriptions(), (std::vector<paxos::StreamId>{s1}));
+}
+
+TEST_F(ElasticIntegrationTest, PrepareHintMakesSubscriptionNonBlocking) {
+  // Measure the merged-delivery stall around the subscription point,
+  // with and without the prepare hint, on identical backlogs.
+  auto run_scenario = [&](bool use_prepare) -> Tick {
+    Cluster cluster;
+    const auto s1 = cluster.add_stream();
+    const auto s2 = cluster.add_stream();
+    auto* r1 = cluster.add_replica(1, {s1});
+
+    Tick last_delivery = 0;
+    Tick max_gap = 0;
+    bool tracking = false;
+    r1->set_delivery_listener([&](net::NodeId, const paxos::Command&, paxos::StreamId) {
+      const Tick t = cluster.sim().now();
+      if (tracking && last_delivery > 0) max_gap = std::max(max_gap, t - last_delivery);
+      last_delivery = t;
+    });
+
+    LoadClient::Config cfg1;
+    cfg1.threads = 3;
+    cfg1.payload_bytes = 512;
+    cfg1.route = [s1] { return s1; };
+    auto* c1 = cluster.spawn<LoadClient>("client1", &cluster.directory(), cfg1);
+    LoadClient::Config cfg2 = cfg1;
+    cfg2.route = [s2] { return s2; };
+    auto* c2 = cluster.spawn<LoadClient>("client2", &cluster.directory(), cfg2);
+    c1->start();
+    c2->start();  // builds S2 backlog that the new learner must recover
+
+    cluster.run_for(5 * kSecond);
+    if (use_prepare) {
+      cluster.controller().prepare(1, s2, s1);
+      cluster.run_for(3 * kSecond);  // background catch-up completes
+    }
+    tracking = true;
+    cluster.controller().subscribe(1, s2, s1);
+    const bool subscribed = run_until(
+        cluster, [&] { return r1->merger().subscribed_to(s2); }, 20 * kSecond);
+    EXPECT_TRUE(subscribed);
+    c1->stop();
+    c2->stop();
+    return max_gap;
+  };
+
+  const Tick gap_without = run_scenario(false);
+  const Tick gap_with = run_scenario(true);
+  // Without the hint the merger stalls while scanning the recovered
+  // backlog; with it the learner is already caught up.
+  EXPECT_GT(gap_without, gap_with) << "prepare hint must shrink the stall";
+  EXPECT_LT(gap_with, 200 * kMillisecond);
+}
+
+TEST_F(ElasticIntegrationTest, ReconfigurationSwitchesStreams) {
+  // Paper §VII-E: replace the acceptor set by subscribing to a new
+  // stream and unsubscribing from the old one, under load.
+  Cluster cluster;
+  const auto s1 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1});
+  auto* r2 = cluster.add_replica(1, {s1});
+
+  checker::OrderChecker order;
+  for (auto* r : {r1, r2}) {
+    r->set_delivery_listener([&order](net::NodeId n, const paxos::Command& c,
+                                      paxos::StreamId) { order.record(n, c.id); });
+  }
+
+  // Clients route to whatever the "current" stream is.
+  paxos::StreamId active_stream = s1;
+  LoadClient::Config cfg;
+  cfg.threads = 4;
+  cfg.payload_bytes = 1024;
+  cfg.route = [&active_stream] { return active_stream; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  cluster.run_for(2 * kSecond);
+
+  const auto s2 = cluster.add_stream();
+  cluster.controller().prepare(1, s2, s1);
+  cluster.run_for(1 * kSecond);
+  cluster.controller().subscribe(1, s2, s1);
+  ASSERT_TRUE(run_until(
+      cluster, [&] { return r1->merger().subscribed_to(s2) && r2->merger().subscribed_to(s2); },
+      10 * kSecond));
+  active_stream = s2;  // clients switch to the new stream
+  cluster.controller().unsubscribe(1, s1, s2);
+  ASSERT_TRUE(run_until(
+      cluster,
+      [&] { return !r1->merger().subscribed_to(s1) && !r2->merger().subscribed_to(s1); },
+      10 * kSecond));
+
+  const uint64_t before = client->completed();
+  cluster.run_for(3 * kSecond);
+  client->stop();
+  cluster.run_for(1 * kSecond);
+
+  EXPECT_GT(client->completed(), before + 50) << "system keeps running on the new stream";
+  EXPECT_EQ(order.sequence(r1->id()), order.sequence(r2->id()));
+  EXPECT_EQ(order.check_all(), "");
+  EXPECT_EQ(r1->merger().subscriptions(), (std::vector<paxos::StreamId>{s2}));
+}
+
+}  // namespace
+}  // namespace epx

@@ -1,0 +1,469 @@
+// Unit tests of the Paxos roles: acceptor promise/accept/decide logic on
+// the ring, log trimming, learner catch-up and gap repair, the stream
+// queue's slot accounting, and single-instance safety properties.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "multicast/stream_queue.h"
+#include "paxos/acceptor.h"
+#include "paxos/learner.h"
+#include "sim/process.h"
+#include "tests/test_util.h"
+
+namespace epx {
+namespace {
+
+using net::MessagePtr;
+using net::NodeId;
+using paxos::AcceptMsg;
+using paxos::Acceptor;
+using paxos::Ballot;
+using paxos::Command;
+using paxos::DecisionMsg;
+using paxos::Phase1aMsg;
+using paxos::Phase1bMsg;
+using paxos::Proposal;
+using paxos::RecoverReplyMsg;
+
+// Captures every message sent to it, keyed by type.
+class CaptureProcess : public sim::Process {
+ public:
+  CaptureProcess(sim::Simulation* sim, sim::Network* net, NodeId id)
+      : Process(sim, net, id, "capture" + std::to_string(id)) {}
+
+  std::vector<MessagePtr> messages;
+
+  template <typename T>
+  std::vector<const T*> of_type(net::MsgType type) const {
+    std::vector<const T*> out;
+    for (const auto& m : messages) {
+      if (m->type() == type) out.push_back(static_cast<const T*>(m.get()));
+    }
+    return out;
+  }
+
+ protected:
+  void on_message(NodeId, const MessagePtr& msg) override { messages.push_back(msg); }
+};
+
+Proposal make_value(uint64_t id, paxos::SlotIndex first_slot = 0) {
+  Proposal p;
+  p.first_slot = first_slot;
+  Command c;
+  c.id = id;
+  c.payload_size = 16;
+  p.commands.push_back(std::move(c));
+  return p;
+}
+
+class AcceptorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing::init_logging();
+    net.set_default_link({0, 0});
+    Acceptor::Config cfg;
+    cfg.stream = 1;
+    acc = std::make_unique<Acceptor>(&sim, &net, 10, "acc", cfg);
+    acc->set_quorum(2);
+    sender = std::make_unique<CaptureProcess>(&sim, &net, 20);
+    learner = std::make_unique<CaptureProcess>(&sim, &net, 30);
+  }
+
+  void join_learner() {
+    net.send(sender->id(), acc->id(),
+             net::make_message<paxos::LearnerJoinMsg>(1, learner->id()), 0);
+    sim.run_to_completion();
+  }
+
+  MessagePtr accept_msg(Ballot b, paxos::InstanceId inst, Proposal v, uint32_t count) {
+    auto m = std::make_shared<AcceptMsg>();
+    m->stream = 1;
+    m->ballot = b;
+    m->instance = inst;
+    m->value = std::move(v);
+    m->accept_count = count;
+    return m;
+  }
+
+  sim::Simulation sim;
+  sim::Network net{&sim, 1};
+  std::unique_ptr<Acceptor> acc;
+  std::unique_ptr<CaptureProcess> sender;
+  std::unique_ptr<CaptureProcess> learner;
+};
+
+TEST_F(AcceptorTest, PromisesHigherBallot) {
+  net.send(sender->id(), acc->id(), net::make_message<Phase1aMsg>(1, Ballot{5, 2}, 0), 0);
+  sim.run_to_completion();
+  auto replies = sender->of_type<Phase1bMsg>(net::MsgType::kPhase1b);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0]->ok);
+  EXPECT_EQ(replies[0]->promised, (Ballot{5, 2}));
+  EXPECT_EQ(acc->promised(), (Ballot{5, 2}));
+}
+
+TEST_F(AcceptorTest, RejectsLowerBallotPhase1) {
+  net.send(sender->id(), acc->id(), net::make_message<Phase1aMsg>(1, Ballot{5, 2}, 0), 0);
+  net.send(sender->id(), acc->id(), net::make_message<Phase1aMsg>(1, Ballot{3, 1}, 0), 0);
+  sim.run_to_completion();
+  auto replies = sender->of_type<Phase1bMsg>(net::MsgType::kPhase1b);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_FALSE(replies[1]->ok);
+  EXPECT_EQ(replies[1]->promised, (Ballot{5, 2}));  // tells the caller who won
+}
+
+TEST_F(AcceptorTest, Phase1bReportsAcceptedValues) {
+  net.send(sender->id(), acc->id(), accept_msg({1, 2}, 7, make_value(42), 0), 0);
+  sim.run_to_completion();
+  net.send(sender->id(), acc->id(), net::make_message<Phase1aMsg>(1, Ballot{9, 3}, 0), 0);
+  sim.run_to_completion();
+  auto replies = sender->of_type<Phase1bMsg>(net::MsgType::kPhase1b);
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_EQ(replies[0]->accepted.size(), 1u);
+  EXPECT_EQ(replies[0]->accepted[0].instance, 7u);
+  EXPECT_EQ(replies[0]->accepted[0].value.commands[0].id, 42u);
+}
+
+TEST_F(AcceptorTest, QuorumVoteEmitsDecisionToLearners) {
+  join_learner();
+  // accept_count=1 means one earlier acceptor voted; ours completes the
+  // quorum of 2.
+  net.send(sender->id(), acc->id(), accept_msg({1, 2}, 0, make_value(42), 1), 0);
+  sim.run_to_completion();
+  auto decisions = learner->of_type<DecisionMsg>(net::MsgType::kDecision);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0]->instance, 0u);
+  EXPECT_EQ(decisions[0]->value.commands[0].id, 42u);
+  EXPECT_TRUE(acc->has_decided(0));
+}
+
+TEST_F(AcceptorTest, FirstVoteDoesNotDecide) {
+  join_learner();
+  net.send(sender->id(), acc->id(), accept_msg({1, 2}, 0, make_value(42), 0), 0);
+  sim.run_to_completion();
+  EXPECT_TRUE(learner->of_type<DecisionMsg>(net::MsgType::kDecision).empty());
+  EXPECT_FALSE(acc->has_decided(0));
+}
+
+TEST_F(AcceptorTest, StaleBallotAcceptIgnored) {
+  net.send(sender->id(), acc->id(), net::make_message<Phase1aMsg>(1, Ballot{9, 3}, 0), 0);
+  sim.run_to_completion();
+  net.send(sender->id(), acc->id(), accept_msg({1, 2}, 0, make_value(42), 1), 0);
+  sim.run_to_completion();
+  EXPECT_FALSE(acc->has_decided(0));
+  EXPECT_EQ(acc->log_size(), 0u);
+}
+
+TEST_F(AcceptorTest, ForwardsAlongRing) {
+  auto successor = std::make_unique<CaptureProcess>(&sim, &net, 40);
+  acc->set_ring_successor(successor->id());
+  net.send(sender->id(), acc->id(), accept_msg({1, 2}, 0, make_value(42), 0), 0);
+  sim.run_to_completion();
+  auto forwarded = successor->of_type<AcceptMsg>(net::MsgType::kAccept);
+  ASSERT_EQ(forwarded.size(), 1u);
+  EXPECT_EQ(forwarded[0]->accept_count, 1u);  // our vote added
+}
+
+TEST_F(AcceptorTest, CoordinatorGetsSummaryDecision) {
+  // The ballot leader (node 20 = sender) registered as learner receives
+  // a payload-free summary with identical slot accounting.
+  net.send(sender->id(), acc->id(),
+           net::make_message<paxos::LearnerJoinMsg>(1, sender->id()), 0);
+  sim.run_to_completion();
+  net.send(sender->id(), acc->id(),
+           accept_msg({1, sender->id()}, 0, make_value(42, /*first_slot=*/10), 1), 0);
+  sim.run_to_completion();
+  auto decisions = sender->of_type<DecisionMsg>(net::MsgType::kDecision);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0]->value.commands.empty());
+  EXPECT_EQ(decisions[0]->value.first_slot, 10u);
+  EXPECT_EQ(decisions[0]->value.slot_count(), 1u);
+}
+
+TEST_F(AcceptorTest, TrimDiscardsPrefix) {
+  join_learner();
+  for (paxos::InstanceId i = 0; i < 10; ++i) {
+    net.send(sender->id(), acc->id(), accept_msg({1, 2}, i, make_value(i, i), 1), 0);
+  }
+  sim.run_to_completion();
+  EXPECT_EQ(acc->log_size(), 10u);
+  net.send(sender->id(), acc->id(), net::make_message<paxos::TrimRequestMsg>(1, 6), 0);
+  sim.run_to_completion();
+  EXPECT_EQ(acc->log_size(), 4u);
+  EXPECT_EQ(acc->trim_horizon(), 6u);
+  EXPECT_FALSE(acc->has_decided(3));
+  EXPECT_TRUE(acc->has_decided(7));
+}
+
+TEST_F(AcceptorTest, RecoverReturnsDecidedPrefixAndHorizon) {
+  join_learner();
+  for (paxos::InstanceId i = 0; i < 5; ++i) {
+    net.send(sender->id(), acc->id(), accept_msg({1, 2}, i, make_value(i, i), 1), 0);
+  }
+  sim.run_to_completion();
+  net.send(sender->id(), acc->id(), net::make_message<paxos::RecoverRequestMsg>(1, 0, 100),
+           0);
+  sim.run_to_completion();
+  auto replies = sender->of_type<RecoverReplyMsg>(net::MsgType::kRecoverReply);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0]->entries.size(), 5u);
+  EXPECT_EQ(replies[0]->decided_watermark, 5u);
+  EXPECT_EQ(replies[0]->trim_horizon, 0u);
+}
+
+TEST_F(AcceptorTest, RecoverChunksLargeRanges) {
+  join_learner();
+  const size_t chunk = Acceptor::Config{}.params.recover_chunk;
+  for (paxos::InstanceId i = 0; i < chunk + 50; ++i) {
+    net.send(sender->id(), acc->id(), accept_msg({1, 2}, i, make_value(i, i), 1), 0);
+  }
+  sim.run_to_completion();
+  net.send(sender->id(), acc->id(),
+           net::make_message<paxos::RecoverRequestMsg>(1, 0, chunk + 50), 0);
+  sim.run_to_completion();
+  auto replies = sender->of_type<RecoverReplyMsg>(net::MsgType::kRecoverReply);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0]->entries.size(), chunk);
+}
+
+TEST_F(AcceptorTest, StableStorageSurvivesCrash) {
+  join_learner();
+  net.send(sender->id(), acc->id(), accept_msg({1, 2}, 0, make_value(42), 1), 0);
+  sim.run_to_completion();
+  acc->crash();
+  acc->restart();
+  EXPECT_TRUE(acc->has_decided(0));
+  EXPECT_EQ(acc->promised(), (Ballot{1, 2}));
+}
+
+TEST_F(AcceptorTest, VolatileStorageLosesStateOnCrash) {
+  Acceptor::Config cfg;
+  cfg.stream = 2;
+  cfg.stable_storage = false;
+  Acceptor volatile_acc(&sim, &net, 50, "volatile", cfg);
+  volatile_acc.set_quorum(2);
+  net.send(sender->id(), volatile_acc.id(), accept_msg({1, 2}, 0, make_value(42), 1), 0);
+  sim.run_to_completion();
+  EXPECT_TRUE(volatile_acc.has_decided(0));
+  volatile_acc.crash();
+  volatile_acc.restart();
+  EXPECT_FALSE(volatile_acc.has_decided(0));
+  EXPECT_EQ(volatile_acc.promised(), Ballot{});
+}
+
+TEST_F(AcceptorTest, CrashClearsLearnerRegistrations) {
+  join_learner();
+  EXPECT_EQ(acc->learner_count(), 1u);
+  acc->crash();
+  acc->restart();
+  EXPECT_EQ(acc->learner_count(), 0u);
+}
+
+// ---------------------------------------------------------- Learner --
+
+class LearnerHost : public sim::Process {
+ public:
+  LearnerHost(sim::Simulation* sim, sim::Network* net, NodeId id)
+      : Process(sim, net, id, "lhost") {}
+
+  std::unique_ptr<paxos::Learner> learner;
+  std::vector<std::pair<paxos::InstanceId, uint64_t>> delivered;  // (instance, cmd id)
+
+  void init(std::vector<NodeId> acceptors) {
+    paxos::Learner::Config cfg;
+    cfg.stream = 1;
+    cfg.acceptors = std::move(acceptors);
+    learner = std::make_unique<paxos::Learner>(
+        this, cfg, [this](const Proposal& value, paxos::InstanceId instance) {
+          delivered.emplace_back(instance,
+                                 value.commands.empty() ? 0 : value.commands[0].id);
+        });
+  }
+
+ protected:
+  void on_message(NodeId, const MessagePtr& msg) override {
+    if (msg->type() == net::MsgType::kDecision) {
+      learner->on_decision(static_cast<const DecisionMsg&>(*msg));
+    } else if (msg->type() == net::MsgType::kRecoverReply) {
+      learner->on_recover_reply(static_cast<const RecoverReplyMsg&>(*msg));
+    }
+  }
+};
+
+TEST_F(AcceptorTest, LearnerCatchesUpFromAcceptorLog) {
+  join_learner();
+  for (paxos::InstanceId i = 0; i < 20; ++i) {
+    net.send(sender->id(), acc->id(), accept_msg({1, 2}, i, make_value(100 + i, i), 1), 0);
+  }
+  sim.run_to_completion();
+
+  LearnerHost host(&sim, &net, 60);
+  host.init({acc->id()});
+  host.learner->start(0);
+  sim.run_until(sim.now() + kSecond);
+  ASSERT_EQ(host.delivered.size(), 20u);
+  for (paxos::InstanceId i = 0; i < 20; ++i) {
+    EXPECT_EQ(host.delivered[i].first, i);
+    EXPECT_EQ(host.delivered[i].second, 100 + i);
+  }
+  EXPECT_TRUE(host.learner->caught_up());
+}
+
+TEST_F(AcceptorTest, LearnerJumpsTrimHorizon) {
+  join_learner();
+  for (paxos::InstanceId i = 0; i < 10; ++i) {
+    net.send(sender->id(), acc->id(), accept_msg({1, 2}, i, make_value(100 + i, i), 1), 0);
+  }
+  sim.run_to_completion();
+  net.send(sender->id(), acc->id(), net::make_message<paxos::TrimRequestMsg>(1, 5), 0);
+  sim.run_to_completion();
+
+  LearnerHost host(&sim, &net, 61);
+  host.init({acc->id()});
+  host.learner->start(0);
+  sim.run_until(sim.now() + kSecond);
+  ASSERT_EQ(host.delivered.size(), 5u);
+  EXPECT_EQ(host.delivered[0].first, 5u);  // jumped to the horizon
+}
+
+TEST_F(AcceptorTest, LearnerRepairsGapFromAcceptor) {
+  LearnerHost host(&sim, &net, 62);
+  host.init({acc->id()});
+  host.learner->start(0);
+  sim.run_until(sim.now() + 200 * kMillisecond);
+
+  // Feed decisions 0 and 2 directly — 1 is missing.
+  auto d0 = std::make_shared<DecisionMsg>(1, 0, make_value(100, 0));
+  auto d2 = std::make_shared<DecisionMsg>(1, 2, make_value(102, 2));
+  net.send(sender->id(), host.id(), d0, 0);
+  net.send(sender->id(), host.id(), d2, 0);
+  // The acceptor has everything (it decided all three).
+  for (paxos::InstanceId i = 0; i < 3; ++i) {
+    net.send(sender->id(), acc->id(), accept_msg({1, 2}, i, make_value(100 + i, i), 1), 0);
+  }
+  sim.run_until(sim.now() + kSecond);
+  ASSERT_EQ(host.delivered.size(), 3u);
+  EXPECT_EQ(host.delivered[1].second, 101u);  // gap repaired in order
+}
+
+// ------------------------------------------------------- StreamQueue --
+
+TEST(StreamQueueTest, InitialisesFromFirstProposal) {
+  multicast::StreamQueue q(1);
+  EXPECT_FALSE(q.has_next());
+  q.push_proposal(make_value(1, 100));
+  EXPECT_TRUE(q.has_next());
+  EXPECT_EQ(q.next_index(), 100u);
+}
+
+TEST(StreamQueueTest, SlotAccountingAcrossBatchesAndSkips) {
+  multicast::StreamQueue q(1);
+  Proposal batch;
+  batch.first_slot = 0;
+  for (uint64_t i = 0; i < 3; ++i) {
+    Command c;
+    c.id = i;
+    batch.commands.push_back(c);
+  }
+  q.push_proposal(batch);
+  Proposal skip;
+  skip.first_slot = 3;
+  skip.skip_slots = 5;
+  q.push_proposal(skip);
+  EXPECT_EQ(q.buffered_slots(), 8u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(q.next_is_value());
+    q.consume();
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(q.next_is_value());
+    q.consume();
+  }
+  EXPECT_FALSE(q.has_next());
+  EXPECT_EQ(q.next_index(), 8u);
+}
+
+TEST(StreamQueueTest, DuplicatePushIgnored) {
+  multicast::StreamQueue q(1);
+  q.push_proposal(make_value(1, 0));
+  q.push_proposal(make_value(1, 0));  // duplicate
+  EXPECT_EQ(q.buffered_slots(), 1u);
+}
+
+TEST(StreamQueueTest, PartialOverlapIsClipped) {
+  multicast::StreamQueue q(1);
+  Proposal first;
+  first.first_slot = 0;
+  for (uint64_t i = 0; i < 4; ++i) {
+    Command c;
+    c.id = i;
+    first.commands.push_back(c);
+  }
+  q.push_proposal(first);
+  // Overlapping proposal covering [2, 6): only slots 4 and 5 are new.
+  Proposal second;
+  second.first_slot = 2;
+  for (uint64_t i = 2; i < 6; ++i) {
+    Command c;
+    c.id = i;
+    second.commands.push_back(c);
+  }
+  q.push_proposal(second);
+  EXPECT_EQ(q.buffered_slots(), 6u);
+  for (uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(q.peek_value().id, i);
+    q.consume();
+  }
+}
+
+TEST(StreamQueueTest, FastForwardDropsBufferedSlots) {
+  multicast::StreamQueue q(1);
+  Proposal skip;
+  skip.first_slot = 0;
+  skip.skip_slots = 100;
+  q.push_proposal(skip);
+  q.push_proposal(make_value(7, 100));
+  q.fast_forward(100);
+  EXPECT_EQ(q.next_index(), 100u);
+  EXPECT_TRUE(q.next_is_value());
+  EXPECT_EQ(q.peek_value().id, 7u);
+}
+
+TEST(StreamQueueTest, FastForwardBeyondBufferSetsFloor) {
+  multicast::StreamQueue q(1);
+  q.push_proposal(make_value(1, 0));
+  q.fast_forward(50);
+  EXPECT_EQ(q.next_index(), 50u);
+  EXPECT_FALSE(q.has_next());
+  q.push_proposal(make_value(2, 10));  // below the floor: clipped
+  EXPECT_FALSE(q.has_next());
+  q.push_proposal(make_value(3, 50));
+  EXPECT_TRUE(q.has_next());
+  EXPECT_EQ(q.peek_value().id, 3u);
+}
+
+TEST(StreamQueueTest, NoopProposalContributesNothing) {
+  multicast::StreamQueue q(1);
+  Proposal noop;
+  noop.first_slot = 0;
+  q.push_proposal(noop);
+  EXPECT_FALSE(q.has_next());
+}
+
+TEST(StreamQueueTest, AdjacentSkipRunsCoalesce) {
+  multicast::StreamQueue q(1);
+  for (int i = 0; i < 10; ++i) {
+    Proposal skip;
+    skip.first_slot = static_cast<uint64_t>(i) * 5;
+    skip.skip_slots = 5;
+    q.push_proposal(skip);
+  }
+  EXPECT_EQ(q.buffered_slots(), 50u);
+  q.fast_forward(50);  // consumes all runs in O(runs)
+  EXPECT_EQ(q.next_index(), 50u);
+}
+
+}  // namespace
+}  // namespace epx

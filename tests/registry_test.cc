@@ -1,0 +1,136 @@
+// Registry (ZooKeeper substitute) tests: versioned writes, reads,
+// prefix watches with immediate current-state push, and client-side
+// stale-event suppression.
+#include <gtest/gtest.h>
+
+#include "registry/client.h"
+#include "registry/server.h"
+#include "tests/test_util.h"
+
+namespace epx {
+namespace {
+
+using net::MessagePtr;
+using net::NodeId;
+
+class WatcherProcess : public sim::Process {
+ public:
+  WatcherProcess(sim::Simulation* sim, sim::Network* net, NodeId id, NodeId server)
+      : Process(sim, net, id, "watcher"), client(this, server) {}
+
+  registry::RegistryClient client;
+  std::vector<std::tuple<std::string, std::string, uint64_t>> events;
+  std::vector<registry::RegistryReplyMsg> replies;
+
+  void watch_all(const std::string& prefix) {
+    client.watch(prefix, [this](const std::string& key, const std::string& value,
+                                uint64_t version) {
+      events.emplace_back(key, value, version);
+    });
+  }
+
+ protected:
+  void on_message(NodeId, const MessagePtr& msg) override {
+    if (client.on_message(msg)) return;
+    if (msg->type() == net::MsgType::kRegistryReply) {
+      replies.push_back(static_cast<const registry::RegistryReplyMsg&>(*msg));
+    }
+  }
+};
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing::init_logging();
+    net.set_default_link({100 * kMicrosecond, 0});
+    server = std::make_unique<registry::RegistryServer>(&sim, &net, 1, "registry");
+    watcher = std::make_unique<WatcherProcess>(&sim, &net, 2, server->id());
+  }
+
+  sim::Simulation sim;
+  sim::Network net{&sim, 1};
+  std::unique_ptr<registry::RegistryServer> server;
+  std::unique_ptr<WatcherProcess> watcher;
+};
+
+TEST_F(RegistryTest, DirectPutIsVisible) {
+  server->put("a/b", "v1");
+  EXPECT_EQ(server->value_of("a/b"), "v1");
+  EXPECT_EQ(server->version_of("a/b"), 1u);
+  server->put("a/b", "v2");
+  EXPECT_EQ(server->version_of("a/b"), 2u);
+}
+
+TEST_F(RegistryTest, SetMessageUpdatesStore) {
+  watcher->client.set("x", "42");
+  sim.run_to_completion();
+  EXPECT_EQ(server->value_of("x"), "42");
+}
+
+TEST_F(RegistryTest, GetReturnsValueAndVersion) {
+  server->put("cfg", "abc");
+  watcher->send(server->id(), net::make_message<registry::RegistryGetMsg>(7, "cfg"));
+  sim.run_to_completion();
+  ASSERT_EQ(watcher->replies.size(), 1u);
+  EXPECT_TRUE(watcher->replies[0].found);
+  EXPECT_EQ(watcher->replies[0].value, "abc");
+  EXPECT_EQ(watcher->replies[0].version, 1u);
+}
+
+TEST_F(RegistryTest, GetMissingKeyReportsNotFound) {
+  watcher->send(server->id(), net::make_message<registry::RegistryGetMsg>(8, "nope"));
+  sim.run_to_completion();
+  ASSERT_EQ(watcher->replies.size(), 1u);
+  EXPECT_FALSE(watcher->replies[0].found);
+}
+
+TEST_F(RegistryTest, WatchDeliversSubsequentChanges) {
+  watcher->watch_all("kv/");
+  sim.run_to_completion();
+  server->put("kv/partitions", "m1");
+  server->put("other/key", "x");  // outside the prefix
+  server->put("kv/partitions", "m2");
+  sim.run_to_completion();
+  ASSERT_EQ(watcher->events.size(), 2u);
+  EXPECT_EQ(std::get<1>(watcher->events[0]), "m1");
+  EXPECT_EQ(std::get<1>(watcher->events[1]), "m2");
+  EXPECT_EQ(std::get<2>(watcher->events[1]), 2u);
+}
+
+TEST_F(RegistryTest, LateWatcherGetsCurrentState) {
+  server->put("kv/partitions", "m1");
+  server->put("kv/global", "7");
+  watcher->watch_all("kv/");
+  sim.run_to_completion();
+  EXPECT_EQ(watcher->events.size(), 2u);
+  EXPECT_EQ(watcher->client.cached_value("kv/partitions"), "m1");
+  EXPECT_EQ(watcher->client.cached_version("kv/partitions"), 1u);
+}
+
+TEST_F(RegistryTest, StaleEventsAreIgnoredByClient) {
+  watcher->watch_all("k");
+  sim.run_to_completion();
+  // Deliver v2 then a stale v1 event directly.
+  watcher->enqueue_message(server->id(),
+                           net::make_message<registry::RegistryEventMsg>("k", "new", 2));
+  watcher->enqueue_message(server->id(),
+                           net::make_message<registry::RegistryEventMsg>("k", "old", 1));
+  sim.run_to_completion();
+  EXPECT_EQ(watcher->client.cached_value("k"), "new");
+  ASSERT_EQ(watcher->events.size(), 1u);
+}
+
+TEST_F(RegistryTest, MultipleWatchersAllNotified) {
+  WatcherProcess second(&sim, &net, 3, server->id());
+  watcher->watch_all("kv/");
+  second.watch_all("kv/");
+  sim.run_to_completion();
+  server->put("kv/partitions", "m1");
+  sim.run_to_completion();
+  EXPECT_EQ(watcher->events.size(), 1u);
+  EXPECT_EQ(second.events.size(), 1u);
+  EXPECT_EQ(server->watcher_count(), 2u);
+}
+
+}  // namespace
+}  // namespace epx

@@ -1,0 +1,343 @@
+// Unit tests for the simulation substrate: event queue semantics, the
+// process CPU model, and the network's latency/bandwidth/loss/partition
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/message.h"
+#include "sim/network.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+
+namespace epx {
+namespace {
+
+using net::MessagePtr;
+using net::NodeId;
+
+// A trivial message with a configurable wire size.
+struct PingMsg final : net::Message {
+  explicit PingMsg(size_t size = 0, uint64_t tag_value = 0)
+      : extra(size), tag(tag_value) {}
+  size_t extra;
+  uint64_t tag;
+  net::MsgType type() const override { return net::MsgType::kCoordHeartbeat; }
+  size_t body_size() const override { return extra; }
+  void encode(net::Writer& w) const override {
+    for (size_t i = 0; i < extra; ++i) w.u8(0);
+  }
+};
+
+// Records arrivals; optionally charges CPU per message.
+class SinkProcess : public sim::Process {
+ public:
+  SinkProcess(sim::Simulation* sim, sim::Network* net, NodeId id, Tick cpu_cost = 0)
+      : Process(sim, net, id, "sink" + std::to_string(id)), cpu_cost_(cpu_cost) {}
+
+  std::vector<std::pair<Tick, uint64_t>> arrivals;
+
+ protected:
+  void on_message(NodeId, const MessagePtr& msg) override {
+    arrivals.emplace_back(now(), static_cast<const PingMsg&>(*msg).tag);
+    if (cpu_cost_ > 0) charge(cpu_cost_);
+  }
+
+ private:
+  Tick cpu_cost_;
+};
+
+class SimTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  sim::Network net{&sim, 1};
+};
+
+// -------------------------------------------------------------- Events --
+
+TEST_F(SimTest, EventsRunInTimeOrder) {
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST_F(SimTest, SameTimestampRunsFifo) {
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST_F(SimTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  sim.run_until(123456);
+  EXPECT_EQ(sim.now(), 123456);
+}
+
+TEST_F(SimTest, RunUntilDoesNotRunLaterEvents) {
+  bool ran = false;
+  sim.schedule_at(2 * kSecond, [&] { ran = true; });
+  sim.run_until(kSecond);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(2 * kSecond);
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(SimTest, PastEventsClampToNow) {
+  sim.run_until(100);
+  Tick fired_at = -1;
+  sim.schedule_at(50, [&] { fired_at = sim.now(); });
+  sim.run_to_completion();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST_F(SimTest, EventsScheduledDuringEventsRun) {
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(10, recurse);
+  };
+  sim.schedule_after(0, recurse);
+  sim.run_to_completion();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+// ------------------------------------------------------------- Network --
+
+TEST_F(SimTest, DeliveryAfterLinkLatency) {
+  net.set_default_link({1 * kMillisecond, 0});
+  SinkProcess a(&sim, &net, 1);
+  SinkProcess b(&sim, &net, 2);
+  net.send(a.id(), b.id(), std::make_shared<PingMsg>(), 0);
+  sim.run_to_completion();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].first, 1 * kMillisecond);
+}
+
+TEST_F(SimTest, JitterStaysWithinBound) {
+  net.set_default_link({1 * kMillisecond, 500 * kMicrosecond});
+  SinkProcess a(&sim, &net, 1);
+  SinkProcess b(&sim, &net, 2);
+  for (int i = 0; i < 100; ++i) net.send(a.id(), b.id(), std::make_shared<PingMsg>(), 0);
+  sim.run_to_completion();
+  ASSERT_EQ(b.arrivals.size(), 100u);
+  for (const auto& [t, tag] : b.arrivals) {
+    EXPECT_GE(t, 1 * kMillisecond);
+    EXPECT_LE(t, 1500 * kMicrosecond);
+  }
+}
+
+TEST_F(SimTest, BandwidthSerialisesEgress) {
+  net.set_default_link({0, 0});
+  net.set_node_bandwidth(1, 8e6);  // 8 Mbit/s = 1 MB/s
+  SinkProcess a(&sim, &net, 1);
+  SinkProcess b(&sim, &net, 2);
+  // Two 1 MB-ish messages: the second waits for the first transmission.
+  const size_t big = 1000000 - net::kEnvelopeBytes;
+  net.send(a.id(), b.id(), std::make_shared<PingMsg>(big, 1), 0);
+  net.send(a.id(), b.id(), std::make_shared<PingMsg>(big, 2), 0);
+  sim.run_to_completion();
+  ASSERT_EQ(b.arrivals.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(b.arrivals[0].first), 1.0 * kSecond, 0.01 * kSecond);
+  EXPECT_NEAR(static_cast<double>(b.arrivals[1].first), 2.0 * kSecond, 0.01 * kSecond);
+}
+
+TEST_F(SimTest, UnlimitedBandwidthDeliversConcurrently) {
+  net.set_default_link({0, 0});
+  SinkProcess a(&sim, &net, 1);
+  SinkProcess b(&sim, &net, 2);
+  net.send(a.id(), b.id(), std::make_shared<PingMsg>(1000000, 1), 0);
+  net.send(a.id(), b.id(), std::make_shared<PingMsg>(1000000, 2), 0);
+  sim.run_to_completion();
+  ASSERT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ(b.arrivals[1].first, b.arrivals[0].first);
+}
+
+TEST_F(SimTest, LossDropsApproximately) {
+  net.set_default_link({0, 0});
+  net.set_loss_probability(0.5);
+  SinkProcess a(&sim, &net, 1);
+  SinkProcess b(&sim, &net, 2);
+  for (int i = 0; i < 1000; ++i) net.send(a.id(), b.id(), std::make_shared<PingMsg>(), 0);
+  sim.run_to_completion();
+  EXPECT_NEAR(static_cast<double>(b.arrivals.size()), 500.0, 80.0);
+  EXPECT_EQ(net.messages_dropped() + b.arrivals.size(), 1000u);
+}
+
+TEST_F(SimTest, PartitionBlocksCrossIslandTraffic) {
+  net.set_default_link({0, 0});
+  SinkProcess a(&sim, &net, 1);
+  SinkProcess b(&sim, &net, 2);
+  SinkProcess c(&sim, &net, 3);
+  net.partition({1, 2});  // {1,2} vs {3}
+  net.send(a.id(), b.id(), std::make_shared<PingMsg>(0, 1), 0);
+  net.send(a.id(), c.id(), std::make_shared<PingMsg>(0, 2), 0);
+  sim.run_to_completion();
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(c.arrivals.size(), 0u);
+  net.heal();
+  net.send(a.id(), c.id(), std::make_shared<PingMsg>(0, 3), 0);
+  sim.run_to_completion();
+  EXPECT_EQ(c.arrivals.size(), 1u);
+}
+
+TEST_F(SimTest, PartitionInstalledMidFlightDropsMessage) {
+  net.set_default_link({10 * kMillisecond, 0});
+  SinkProcess a(&sim, &net, 1);
+  SinkProcess b(&sim, &net, 2);
+  net.send(a.id(), b.id(), std::make_shared<PingMsg>(), 0);
+  sim.schedule_at(5 * kMillisecond, [&] { net.partition({1}); });
+  sim.run_to_completion();
+  EXPECT_EQ(b.arrivals.size(), 0u);
+}
+
+TEST_F(SimTest, SendToUnknownNodeIsDropped) {
+  SinkProcess a(&sim, &net, 1);
+  net.send(a.id(), 99, std::make_shared<PingMsg>(), 0);
+  sim.run_to_completion();
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+// ------------------------------------------------------------- Process --
+
+TEST_F(SimTest, CpuChargeSerialisesHandlers) {
+  net.set_default_link({0, 0});
+  SinkProcess a(&sim, &net, 1);
+  SinkProcess busy(&sim, &net, 2, /*cpu_cost=*/10 * kMillisecond);
+  for (uint64_t i = 1; i <= 3; ++i) {
+    net.send(a.id(), busy.id(), std::make_shared<PingMsg>(0, i), 0);
+  }
+  sim.run_to_completion();
+  ASSERT_EQ(busy.arrivals.size(), 3u);
+  // First handled at 0, second after the first's CPU cost, etc.
+  EXPECT_EQ(busy.arrivals[0].first, 0);
+  EXPECT_EQ(busy.arrivals[1].first, 10 * kMillisecond);
+  EXPECT_EQ(busy.arrivals[2].first, 20 * kMillisecond);
+  EXPECT_EQ(busy.busy_total(), 30 * kMillisecond);
+}
+
+TEST_F(SimTest, UtilizationReflectsBusyTime) {
+  net.set_default_link({0, 0});
+  SinkProcess a(&sim, &net, 1);
+  SinkProcess busy(&sim, &net, 2, /*cpu_cost=*/100 * kMillisecond);
+  for (uint64_t i = 0; i < 5; ++i) {
+    net.send(a.id(), busy.id(), std::make_shared<PingMsg>(), 0);
+  }
+  sim.run_until(kSecond);
+  EXPECT_NEAR(busy.utilization(0, kSecond), 0.5, 0.01);
+}
+
+TEST_F(SimTest, CrashDropsInboxAndIgnoresMessages) {
+  net.set_default_link({0, 0});
+  SinkProcess a(&sim, &net, 1);
+  SinkProcess victim(&sim, &net, 2, /*cpu_cost=*/10 * kMillisecond);
+  net.send(a.id(), victim.id(), std::make_shared<PingMsg>(0, 1), 0);
+  net.send(a.id(), victim.id(), std::make_shared<PingMsg>(0, 2), 0);
+  sim.schedule_at(5 * kMillisecond, [&] { victim.crash(); });
+  // Message sent while crashed is dropped at delivery.
+  sim.schedule_at(6 * kMillisecond,
+                  [&] { net.send(a.id(), victim.id(), std::make_shared<PingMsg>(0, 3), 0); });
+  sim.run_to_completion();
+  // Only the first message (handled at t=0) got through; the queued
+  // second one was discarded by the crash.
+  ASSERT_EQ(victim.arrivals.size(), 1u);
+  EXPECT_EQ(victim.arrivals[0].second, 1u);
+  EXPECT_FALSE(victim.alive());
+}
+
+TEST_F(SimTest, RestartResumesDelivery) {
+  net.set_default_link({0, 0});
+  SinkProcess a(&sim, &net, 1);
+  SinkProcess victim(&sim, &net, 2);
+  victim.crash();
+  victim.restart();
+  net.send(a.id(), victim.id(), std::make_shared<PingMsg>(0, 7), 0);
+  sim.run_to_completion();
+  ASSERT_EQ(victim.arrivals.size(), 1u);
+  EXPECT_EQ(victim.arrivals[0].second, 7u);
+}
+
+// Charges CPU, then sends: the message must not leave the NIC before
+// the charged work is "done".
+class ChargeThenSendProcess : public sim::Process {
+ public:
+  ChargeThenSendProcess(sim::Simulation* sim, sim::Network* net, NodeId id, NodeId peer)
+      : Process(sim, net, id, "cts"), peer_(peer) {}
+
+ protected:
+  void on_message(NodeId, const MessagePtr&) override {
+    charge(5 * kMillisecond);  // "processing" before the reply
+    send(peer_, std::make_shared<PingMsg>(0, 1));
+  }
+
+ private:
+  NodeId peer_;
+};
+
+TEST_F(SimTest, SendsDepartAfterChargedCpu) {
+  net.set_default_link({0, 0});
+  // Bandwidth must be limited for departure times to matter.
+  net.set_node_bandwidth(2, 1e9);
+  SinkProcess a(&sim, &net, 1);
+  SinkProcess peer(&sim, &net, 3);
+  ChargeThenSendProcess worker(&sim, &net, 2, peer.id());
+  net.send(a.id(), worker.id(), std::make_shared<PingMsg>(), 0);
+  sim.run_to_completion();
+  ASSERT_EQ(peer.arrivals.size(), 1u);
+  EXPECT_GE(peer.arrivals[0].first, 5 * kMillisecond)
+      << "reply must not arrive before the 5ms of processing it follows";
+}
+
+// A process exercising timers.
+class TimerProcess : public sim::Process {
+ public:
+  TimerProcess(sim::Simulation* sim, sim::Network* net, NodeId id)
+      : Process(sim, net, id, "timer") {}
+  std::vector<Tick> fired;
+  void arm(Tick delay) {
+    after(delay, [this] { fired.push_back(now()); });
+  }
+
+ protected:
+  void on_message(NodeId, const MessagePtr&) override {}
+};
+
+TEST_F(SimTest, TimersFireAfterDelay) {
+  TimerProcess p(&sim, &net, 1);
+  p.arm(5 * kMillisecond);
+  p.arm(10 * kMillisecond);
+  sim.run_to_completion();
+  ASSERT_EQ(p.fired.size(), 2u);
+  EXPECT_EQ(p.fired[0], 5 * kMillisecond);
+  EXPECT_EQ(p.fired[1], 10 * kMillisecond);
+}
+
+TEST_F(SimTest, CrashCancelsPendingTimers) {
+  TimerProcess p(&sim, &net, 1);
+  p.arm(5 * kMillisecond);
+  sim.schedule_at(1 * kMillisecond, [&] { p.crash(); });
+  sim.run_to_completion();
+  EXPECT_TRUE(p.fired.empty());
+}
+
+TEST_F(SimTest, RestartCancelsPreCrashTimers) {
+  TimerProcess p(&sim, &net, 1);
+  p.arm(10 * kMillisecond);
+  sim.schedule_at(1 * kMillisecond, [&] {
+    p.crash();
+    p.restart();
+    p.arm(5 * kMillisecond);  // fires at 6ms
+  });
+  sim.run_to_completion();
+  ASSERT_EQ(p.fired.size(), 1u);
+  EXPECT_EQ(p.fired[0], 6 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace epx

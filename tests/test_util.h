@@ -1,0 +1,51 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/load_client.h"
+#include "util/logging.h"
+
+namespace epx::testing {
+
+/// Quiet logs by default; set EPX_TEST_LOG=debug for troubleshooting.
+inline void init_logging() {
+  const char* env = std::getenv("EPX_TEST_LOG");
+  if (env == nullptr) {
+    log::set_level(log::Level::kError);
+  } else if (std::string_view(env) == "debug") {
+    log::set_level(log::Level::kDebug);
+  } else if (std::string_view(env) == "info") {
+    log::set_level(log::Level::kInfo);
+  }
+}
+
+/// Records the sequence of app commands delivered by each replica.
+class DeliveryLog {
+ public:
+  void attach(elastic::Replica* replica) {
+    replica->set_delivery_listener(
+        [this](net::NodeId node, const paxos::Command& cmd, paxos::StreamId stream) {
+          sequences_[node].push_back(cmd.id);
+          streams_[node].push_back(stream);
+        });
+  }
+
+  const std::vector<uint64_t>& sequence(net::NodeId node) const {
+    static const std::vector<uint64_t> empty;
+    auto it = sequences_.find(node);
+    return it == sequences_.end() ? empty : it->second;
+  }
+
+  const std::map<net::NodeId, std::vector<uint64_t>>& all() const { return sequences_; }
+
+ private:
+  std::map<net::NodeId, std::vector<uint64_t>> sequences_;
+  std::map<net::NodeId, std::vector<paxos::StreamId>> streams_;
+};
+
+}  // namespace epx::testing

@@ -1,0 +1,304 @@
+// Unit tests for the utility layer: RNG, histogram, time series, status,
+// hashing and unit formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/hash.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/timeseries.h"
+#include "util/units.h"
+
+namespace epx {
+namespace {
+
+// ---------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+    const int64_t v = rng.uniform_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversFullRange) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(9);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+// ---------------------------------------------------------- Histogram --
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 1000, 1000 * 0.07);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (Tick v = 0; v < 16; ++v) h.record(v);
+  // Values below one sub-bucket span are stored exactly.
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(1.0), 15);
+}
+
+TEST(HistogramTest, QuantilePrecisionWithinBucketWidth) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.record(i * kMicrosecond);
+  // p50 should be ~5000us within ~7% relative error (16 sub-buckets).
+  const double p50 = static_cast<double>(h.p50());
+  EXPECT_NEAR(p50, 5000.0 * kMicrosecond, 5000.0 * kMicrosecond * 0.07);
+  const double p95 = static_cast<double>(h.p95());
+  EXPECT_NEAR(p95, 9500.0 * kMicrosecond, 9500.0 * kMicrosecond * 0.07);
+}
+
+TEST(HistogramTest, QuantileIsCappedByMax) {
+  Histogram h;
+  h.record(100);
+  h.record(1000000);
+  EXPECT_LE(h.quantile(1.0), 1000000);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(-50);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(kMillisecond);
+  for (int i = 0; i < 100; ++i) b.record(3 * kMillisecond);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.max(), 3 * kMillisecond);
+  EXPECT_NEAR(a.mean(), 2.0 * kMillisecond, 0.2 * kMillisecond);
+}
+
+TEST(HistogramTest, RecordNIsEquivalentToLoop) {
+  Histogram a, b;
+  a.record_n(5 * kMillisecond, 50);
+  for (int i = 0; i < 50; ++i) b.record(5 * kMillisecond);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.p50(), b.p50());
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.record(123456);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0);
+}
+
+TEST(HistogramTest, MeanMatchesArithmetic) {
+  Histogram h;
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+// --------------------------------------------------------- TimeSeries --
+
+TEST(WindowedCounterTest, BucketsEventsByWindow) {
+  WindowedCounter c(kSecond);
+  c.add(0, 5);
+  c.add(999 * kMillisecond, 5);
+  c.add(kSecond, 7);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.count_at(0), 10u);
+  EXPECT_EQ(c.count_at(1), 7u);
+  EXPECT_DOUBLE_EQ(c.rate_at(0), 10.0);
+  EXPECT_EQ(c.total(), 17u);
+}
+
+TEST(WindowedCounterTest, AverageRate) {
+  WindowedCounter c(kSecond);
+  for (int s = 0; s < 10; ++s) c.add(s * kSecond, 100);
+  EXPECT_DOUBLE_EQ(c.average_rate(0, 10 * kSecond), 100.0);
+  EXPECT_DOUBLE_EQ(c.average_rate(5 * kSecond, 10 * kSecond), 100.0);
+  EXPECT_DOUBLE_EQ(c.average_rate(10 * kSecond, 20 * kSecond), 0.0);
+}
+
+TEST(WindowedCounterTest, NegativeTimeClampsToZero) {
+  WindowedCounter c(kSecond);
+  c.add(-5, 3);
+  EXPECT_EQ(c.count_at(0), 3u);
+}
+
+TEST(GaugeSeriesTest, AverageInWindow) {
+  GaugeSeries g;
+  g.sample(0, 1.0);
+  g.sample(kSecond, 2.0);
+  g.sample(2 * kSecond, 3.0);
+  EXPECT_DOUBLE_EQ(g.average_in(0, 2 * kSecond), 1.5);
+  EXPECT_DOUBLE_EQ(g.average_in(0, 3 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(g.average_in(5 * kSecond, 6 * kSecond), 0.0);
+}
+
+TEST(PhaseAveragesTest, SplitsAtBoundaries) {
+  WindowedCounter c(kSecond);
+  for (int s = 0; s < 4; ++s) c.add(s * kSecond, 100);
+  for (int s = 4; s < 8; ++s) c.add(s * kSecond, 200);
+  const auto phases = phase_averages(c, {4 * kSecond}, 8 * kSecond);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(phases[0].rate, 100.0);
+  EXPECT_DOUBLE_EQ(phases[1].rate, 200.0);
+}
+
+TEST(PhaseAveragesTest, UnsortedBoundariesAreSorted) {
+  WindowedCounter c(kSecond);
+  c.add(0, 10);
+  const auto phases = phase_averages(c, {3 * kSecond, 1 * kSecond}, 5 * kSecond);
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].to, 1 * kSecond);
+  EXPECT_EQ(phases[1].to, 3 * kSecond);
+}
+
+// ------------------------------------------------------------- Status --
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::timeout("no reply after 1s");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+  EXPECT_EQ(s.to_string(), "TIMEOUT: no reply after 1s");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::not_found("missing"));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+// --------------------------------------------------------------- Hash --
+
+TEST(HashTest, StableAcrossCalls) {
+  EXPECT_EQ(key_hash("alpha"), key_hash("alpha"));
+  EXPECT_NE(key_hash("alpha"), key_hash("beta"));
+}
+
+TEST(HashTest, KnownFnvVector) {
+  // FNV-1a of the empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(HashTest, SimilarKeysSpreadAcrossSpace) {
+  // Sequential keys should land in different halves of the hash space
+  // often enough for hash partitioning to balance.
+  int upper = 0;
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    if (key_hash("key" + std::to_string(i)) > (~0ULL / 2)) ++upper;
+  }
+  EXPECT_NEAR(upper, n / 2, n / 10);
+}
+
+// -------------------------------------------------------------- Units --
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(1500 * kMillisecond), 1.5);
+  EXPECT_DOUBLE_EQ(to_millis(2500 * kMicrosecond), 2.5);
+  EXPECT_EQ(from_seconds(0.25), 250 * kMillisecond);
+}
+
+TEST(UnitsTest, DurationFormatting) {
+  EXPECT_EQ(format_duration(1500 * kMillisecond), "1.500s");
+  EXPECT_EQ(format_duration(2500 * kMicrosecond), "2.500ms");
+  EXPECT_EQ(format_duration(1500), "1.500us");
+  EXPECT_EQ(format_duration(999), "999ns");
+}
+
+TEST(UnitsTest, ByteFormatting) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(32 * kKiB), "32.0KiB");
+  EXPECT_EQ(format_bytes(3 * kMiB), "3.0MiB");
+}
+
+}  // namespace
+}  // namespace epx
