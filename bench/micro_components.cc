@@ -1,15 +1,28 @@
 // Micro benchmarks (host-hardware throughput of the library's hot
 // components): wire codec, histogram, stream queue, deterministic merge,
-// partitioner, RNG, event queue, and whole-cluster simulation rate.
+// partitioner, RNG, event engine, and whole-cluster simulation rate.
+//
+// `--json[=path]` additionally writes machine-readable results to
+// BENCH_micro.json (benchmark name -> ns/op and, where meaningful,
+// events/sec) for EXPERIMENTS.md and regression tracking.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
 
 #include "elastic/elastic_merger.h"
 #include "harness/cluster.h"
 #include "harness/load_client.h"
 #include "kvstore/partition_map.h"
+#include "multicast/static_merger.h"
 #include "multicast/stream_queue.h"
 #include "net/message.h"
 #include "paxos/messages.h"
+#include "sim/event_queue.h"
 #include "sim/simulation.h"
 #include "util/hash.h"
 #include "util/histogram.h"
@@ -164,6 +177,144 @@ void BM_EventQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue);
 
+/// The pre-overhaul engine, kept here as the reference point for the
+/// mixed-horizon comparison: one heap-allocated std::function per event,
+/// ordered by a binary heap over (time, insertion seq).
+class LegacyEventQueue {
+ public:
+  template <typename F>
+  void schedule(Tick t, F&& fn) {
+    heap_.push(Ev{t, seq_++, std::function<void()>(std::forward<F>(fn))});
+  }
+  bool empty() const { return heap_.empty(); }
+  Tick next_time() const { return heap_.top().time; }
+  void pop_and_run() {
+    std::function<void()> fn = std::move(const_cast<Ev&>(heap_.top()).fn);
+    heap_.pop();
+    fn();
+  }
+
+ private:
+  struct Ev {
+    Tick time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Ev& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> heap_;
+  uint64_t seq_ = 0;
+};
+
+/// Mixed-horizon steady-state load matching what a running cluster
+/// produces: mostly short timers (RPC hops, queue drains), some in the
+/// tens-of-microseconds-to-milliseconds band (batching, retries), a tail
+/// of far-future timers (load ramps, failure detection). The queue holds
+/// a standing population of 1024 events; every fired event schedules a
+/// successor at a fresh mixed horizon, so each iteration is one full
+/// schedule+fire cycle through the engine. The callback captures 32
+/// bytes — the size of Network::send's delivery lambda, the simulator's
+/// dominant event — which exceeds libstdc++'s std::function inline
+/// buffer, exactly as in the real send path.
+template <typename Engine>
+void mixed_horizon_events(benchmark::State& state) {
+  Engine q;
+  Rng rng(42);
+  Tick now = 0;
+  uint64_t fired = 0;
+  const auto horizon = [&rng]() -> Tick {
+    const uint64_t bucket = rng.uniform(100);
+    if (bucket < 60) return static_cast<Tick>(rng.uniform(4096));
+    if (bucket < 90) return static_cast<Tick>(rng.uniform(30 * kMillisecond));
+    return static_cast<Tick>(rng.uniform(5 * kSecond));
+  };
+  uint64_t a = 1, b = 2, c = 3;  // pads the capture to delivery-lambda size
+  const auto schedule_one = [&] {
+    q.schedule(now + horizon(), [&fired, a, b, c] { fired += a + b + c; });
+  };
+  constexpr int kPopulation = 1024;
+  for (int i = 0; i < kPopulation; ++i) schedule_one();
+  for (auto _ : state) {
+    now = q.next_time();
+    q.pop_and_run();
+    schedule_one();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_EventEngineMixedHorizon(benchmark::State& state) {
+  mixed_horizon_events<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventEngineMixedHorizon);
+
+void BM_EventEngineMixedHorizonLegacy(benchmark::State& state) {
+  mixed_horizon_events<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_EventEngineMixedHorizonLegacy);
+
+/// Timer-wheel stress: every event lands in the wheel window or beyond
+/// it, so draining exercises slot scans, bitmap skips and far-heap
+/// rebases rather than the near heap.
+void BM_TimerWheelSpread(benchmark::State& state) {
+  sim::EventQueue q;
+  Rng rng(7);
+  Tick now = 0;
+  uint64_t sink = 0;
+  constexpr int kBatch = 1024;
+  const Tick span = static_cast<Tick>(state.range(0)) * kMillisecond;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      q.schedule(now + 1 + static_cast<Tick>(rng.uniform(static_cast<uint64_t>(span))),
+                 [&sink] { ++sink; });
+    }
+    while (!q.empty()) {
+      now = q.next_time();
+      q.pop_and_run();
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_TimerWheelSpread)->Arg(30)->Arg(500);
+
+/// Bulk skip-run consumption: every stream heads a skip run (the steady
+/// state skip pacing creates on idle streams) followed by one value.
+/// Args are (streams, skip run length); items/sec counts consumed slots.
+void BM_BulkSkipMerge(benchmark::State& state) {
+  const int num_streams = static_cast<int>(state.range(0));
+  const uint64_t run = static_cast<uint64_t>(state.range(1));
+  uint64_t delivered = 0;
+  std::vector<paxos::StreamId> streams;
+  for (int s = 1; s <= num_streams; ++s) streams.push_back(static_cast<uint32_t>(s));
+  multicast::StaticMerger merger(streams,
+                                 [&](const paxos::Command&, paxos::StreamId) { ++delivered; });
+  paxos::SlotIndex pos = 0;
+  paxos::Command cmd;
+  cmd.payload_size = 64;
+  uint64_t id = 0;
+  for (auto _ : state) {
+    for (paxos::StreamId s : streams) {
+      paxos::Proposal skip;
+      skip.first_slot = pos;
+      skip.skip_slots = run;
+      merger.queue(s).push_proposal(skip);
+      paxos::Proposal value;
+      value.first_slot = pos + run;
+      cmd.id = ++id;
+      value.commands.push_back(cmd);
+      merger.queue(s).push_proposal(value);
+    }
+    pos += run + 1;
+    merger.pump();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(num_streams) *
+                          static_cast<int64_t>(run + 1));
+}
+BENCHMARK(BM_BulkSkipMerge)->Args({4, 256})->Args({8, 1024});
+
 /// Whole-cluster rate: one virtual second of a loaded 1-stream cluster
 /// per iteration; items = delivered commands.
 void BM_SimulatedClusterSecond(benchmark::State& state) {
@@ -189,6 +340,83 @@ void BM_SimulatedClusterSecond(benchmark::State& state) {
 BENCHMARK(BM_SimulatedClusterSecond);
 
 }  // namespace
+
+/// Console reporter that additionally writes one JSON object per
+/// finished benchmark to a file:
+///   {"name": ..., "ns_per_op": ..., "events_per_second": ...}
+/// keyed for scripts (EXPERIMENTS.md, CI regression tracking) that do
+/// not want to parse Google Benchmark's full console/JSON formats.
+class JsonDumpReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonDumpReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Entry e;
+      e.name = run.benchmark_name();
+      e.ns_per_op = run.iterations == 0
+                        ? 0.0
+                        : run.real_accumulated_time * 1e9 /
+                              static_cast<double>(run.iterations);
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) e.events_per_second = it->second.value;
+      entries_.push_back(std::move(e));
+    }
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    std::ofstream out(path_);
+    out << "{\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << "  \"" << e.name << "\": {\"ns_per_op\": " << e.ns_per_op;
+      if (e.events_per_second > 0) {
+        out << ", \"events_per_second\": " << e.events_per_second;
+      }
+      out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ns_per_op = 0.0;
+    double events_per_second = 0.0;
+  };
+  std::string path_;
+  std::vector<Entry> entries_;
+};
+
 }  // namespace epx
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our own --json[=path] flag before Google Benchmark sees
+  // (and rejects) it.
+  std::string json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_micro.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    epx::JsonDumpReporter reporter(json_path);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

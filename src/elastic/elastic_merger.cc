@@ -18,6 +18,13 @@ void ElasticMerger::bootstrap(const std::vector<StreamId>& initial) {
     queue(s);
     if (learners_running_.insert(s).second) hooks_.start_learner(s);
   }
+  rebuild_sigma_queues();
+}
+
+void ElasticMerger::rebuild_sigma_queues() {
+  sigma_qs_.clear();
+  sigma_qs_.reserve(sigma_.size());
+  for (StreamId s : sigma_) sigma_qs_.push_back(&queue(s));
 }
 
 void ElasticMerger::restore(const std::vector<std::pair<StreamId, SlotIndex>>& cut,
@@ -76,7 +83,7 @@ void ElasticMerger::pump() {
 
 bool ElasticMerger::step_normal() {
   if (sigma_.empty()) return false;
-  StreamQueue& q = queue(sigma_[rr_]);
+  StreamQueue& q = *sigma_qs_[rr_];
   if (!q.has_next()) return false;
 
   const StreamId cur = q.id();
@@ -89,9 +96,29 @@ bool ElasticMerger::step_normal() {
       ++delivered_;
       hooks_.deliver(cmd, cur);
     }
-  } else {
-    q.consume();
+    advance_from(cur);
+    return true;
   }
+
+  // Head is a skip. When every subscribed stream heads a skip run — the
+  // steady state that skip pacing (lambda) creates on idle streams —
+  // consume the aligned prefix min(run lengths) from all of them in one
+  // step. Skips deliver nothing, so the merged value order is untouched;
+  // the cursor stays put because every stream advanced equally.
+  uint64_t bulk = q.head_skip_run();
+  for (StreamQueue* sq : sigma_qs_) {
+    const uint64_t run = sq->head_skip_run();
+    if (run == 0) {
+      bulk = 0;
+      break;
+    }
+    bulk = std::min(bulk, run);
+  }
+  if (bulk > 0) {
+    for (StreamQueue* sq : sigma_qs_) sq->consume_skips(bulk);
+    return true;
+  }
+  q.consume();
   advance_from(cur);
   return true;
 }
@@ -161,7 +188,9 @@ bool ElasticMerger::step_scanning() {
       ++discarded_;  // pre-merge-point value of the new stream
     }
   } else {
-    q.consume();
+    // The scan only looks for the twin subscribe request; a whole skip
+    // run can never contain it, so swallow it in one step.
+    q.consume_skips(q.head_skip_run());
   }
   return true;
 }
@@ -186,7 +215,7 @@ bool ElasticMerger::step_aligning() {
   // sit at the merge point).
   for (size_t probe = 0; probe < sigma_.size(); ++probe) {
     const size_t idx = (rr_ + probe) % sigma_.size();
-    StreamQueue& q = queue(sigma_[idx]);
+    StreamQueue& q = *sigma_qs_[idx];
     if (q.next_index() >= merge_point_) continue;  // already aligned
     if (!q.has_next()) return false;               // wait for its learner
     const StreamId cur = q.id();
@@ -200,7 +229,11 @@ bool ElasticMerger::step_aligning() {
         hooks_.deliver(cmd, cur);
       }
     } else {
-      q.consume();
+      // Skips emit nothing, so drain the head run up to the merge point
+      // in one step instead of one slot per round.
+      const uint64_t take =
+          std::min<uint64_t>(q.head_skip_run(), merge_point_ - q.next_index());
+      q.consume_skips(take);
     }
     if (phase_ == Phase::kAligning) advance_from(cur);
     return true;
@@ -214,6 +247,7 @@ void ElasticMerger::apply_unsubscribe(const Command& cmd) {
   sigma_.erase(it);
   queues_.erase(cmd.target_stream);
   learners_running_.erase(cmd.target_stream);
+  rebuild_sigma_queues();
   hooks_.stop_learner(cmd.target_stream);
   EPX_DEBUG << "merger G" << group_ << ": unsubscribed S" << cmd.target_stream;
   hooks_.control(cmd);
@@ -222,6 +256,7 @@ void ElasticMerger::apply_unsubscribe(const Command& cmd) {
 
 void ElasticMerger::complete_subscription() {
   sigma_.insert(std::upper_bound(sigma_.begin(), sigma_.end(), pending_sn_), pending_sn_);
+  rebuild_sigma_queues();
   rr_ = 0;  // "S <- first(Sigma)" — all streams are aligned at merge_point_
   phase_ = Phase::kNormal;
   const Command completed = pending_cmd_;

@@ -107,6 +107,8 @@ class ElasticMerger {
   /// Moves the round-robin cursor to the stream after `current`
   /// (ascending-id order, wrapping to the next round).
   void advance_from(StreamId current);
+  /// Refreshes sigma_qs_ after sigma_ changes.
+  void rebuild_sigma_queues();
   /// Applies a control command addressed to this group.
   void handle_control(const Command& cmd);
   void begin_subscription(const Command& cmd);
@@ -116,6 +118,7 @@ class ElasticMerger {
   GroupId group_;
   Hooks hooks_;
   std::vector<StreamId> sigma_;  // ascending stream-id order
+  std::vector<StreamQueue*> sigma_qs_;  // parallel to sigma_, pump's hot view
   std::map<StreamId, std::unique_ptr<StreamQueue>> queues_;
   std::set<StreamId> learners_running_;
   size_t rr_ = 0;

@@ -3,20 +3,20 @@
 namespace epx::kv {
 
 std::shared_ptr<Message> KvSignalMsg::decode(Reader& r) {
-  auto m = std::make_shared<KvSignalMsg>();
+  auto m = net::make_mutable_message<KvSignalMsg>();
   m->command_id = r.varint();
   m->partition_id = static_cast<uint32_t>(r.varint());
   return m;
 }
 
 std::shared_ptr<Message> SnapshotRequestMsg::decode(Reader& r) {
-  auto m = std::make_shared<SnapshotRequestMsg>();
+  auto m = net::make_mutable_message<SnapshotRequestMsg>();
   m->request_id = r.varint();
   return m;
 }
 
 std::shared_ptr<Message> SnapshotReplyMsg::decode(Reader& r) {
-  auto m = std::make_shared<SnapshotReplyMsg>();
+  auto m = net::make_mutable_message<SnapshotReplyMsg>();
   m->request_id = r.varint();
   m->store = std::make_shared<const std::string>(r.bytes());
   const uint64_t n = r.varint();

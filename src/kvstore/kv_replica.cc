@@ -167,7 +167,7 @@ void KvReplica::execute_getrange(const Command& cmd, const KvOp& op) {
     ++visited;
   }
   charge(static_cast<Tick>(visited) * kv_config_.scan_cpu_per_key);
-  auto msg = std::make_shared<multicast::ReplyMsg>(cmd.id, 0);
+  auto msg = net::make_mutable_message<multicast::ReplyMsg>(cmd.id, 0);
   msg->shard = kv_config_.partition_id;
   msg->payload = std::make_shared<const std::string>(encode_pairs(result));
   if (cmd.client != net::kInvalidNode) send(cmd.client, std::move(msg));
@@ -176,7 +176,7 @@ void KvReplica::execute_getrange(const Command& cmd, const KvOp& op) {
 void KvReplica::reply(const Command& cmd, uint8_t status,
                       std::shared_ptr<const std::string> payload) {
   if (cmd.client == net::kInvalidNode) return;
-  auto msg = std::make_shared<multicast::ReplyMsg>(cmd.id, status);
+  auto msg = net::make_mutable_message<multicast::ReplyMsg>(cmd.id, status);
   msg->shard = kv_config_.partition_id;
   msg->payload = std::move(payload);
   send(cmd.client, std::move(msg));
@@ -205,7 +205,7 @@ void KvReplica::on_app_message(NodeId from, const MessagePtr& msg) {
     }
     case net::MsgType::kSnapshotRequest: {
       const auto& req = static_cast<const SnapshotRequestMsg&>(*msg);
-      auto reply_msg = std::make_shared<SnapshotReplyMsg>();
+      auto reply_msg = net::make_mutable_message<SnapshotReplyMsg>();
       reply_msg->request_id = req.request_id;
       reply_msg->clean =
           merger().phase() == elastic::ElasticMerger::Phase::kNormal;

@@ -3,7 +3,7 @@
 namespace epx::multicast {
 
 std::shared_ptr<Message> ReplyMsg::decode(Reader& r) {
-  auto m = std::make_shared<ReplyMsg>();
+  auto m = net::make_mutable_message<ReplyMsg>();
   m->command_id = r.varint();
   m->status = r.u8();
   m->shard = r.varint();

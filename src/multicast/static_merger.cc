@@ -7,7 +7,11 @@ namespace epx::multicast {
 StaticMerger::StaticMerger(std::vector<StreamId> streams, DeliverFn deliver)
     : streams_(std::move(streams)), deliver_(std::move(deliver)) {
   std::sort(streams_.begin(), streams_.end());
-  for (StreamId s : streams_) queues_.emplace(s, std::make_unique<StreamQueue>(s));
+  for (StreamId s : streams_) {
+    auto q = std::make_unique<StreamQueue>(s);
+    qs_.push_back(q.get());
+    queues_.emplace(s, std::move(q));
+  }
 }
 
 StreamQueue& StaticMerger::queue(StreamId stream) { return *queues_.at(stream); }
@@ -15,16 +19,35 @@ StreamQueue& StaticMerger::queue(StreamId stream) { return *queues_.at(stream); 
 void StaticMerger::pump() {
   if (streams_.empty()) return;
   for (;;) {
-    StreamQueue& q = *queues_.at(streams_[rr_]);
+    StreamQueue& q = *qs_[rr_];
     if (!q.has_next()) return;  // wait for the learner to feed this stream
     if (q.next_is_value()) {
       const Command cmd = q.peek_value();
       q.consume();
       ++delivered_;
       deliver_(cmd, q.id());
-    } else {
-      q.consume();
+      rr_ = (rr_ + 1) % streams_.size();
+      continue;
     }
+    // Head is a skip. When every stream heads a skip run — the idle-
+    // stream pattern skip pacing produces — advance all of them by the
+    // aligned prefix min(run lengths) in one step. Skips deliver
+    // nothing, so the merged value order is untouched, and the cursor
+    // stays put because every stream moved by the same amount.
+    uint64_t bulk = q.head_skip_run();
+    for (StreamQueue* other : qs_) {
+      const uint64_t run = other->head_skip_run();
+      if (run == 0) {
+        bulk = 0;
+        break;
+      }
+      bulk = std::min(bulk, run);
+    }
+    if (bulk > 0) {
+      for (StreamQueue* other : qs_) other->consume_skips(bulk);
+      continue;
+    }
+    q.consume();
     rr_ = (rr_ + 1) % streams_.size();
   }
 }

@@ -41,6 +41,7 @@ class StaticMerger {
  private:
   std::vector<StreamId> streams_;  // ascending id order
   std::map<StreamId, std::unique_ptr<StreamQueue>> queues_;
+  std::vector<StreamQueue*> qs_;  // parallel to streams_, pump's hot view
   size_t rr_ = 0;
   DeliverFn deliver_;
   uint64_t delivered_ = 0;

@@ -69,6 +69,15 @@ void StreamQueue::consume() {
   ++next_index_;
 }
 
+void StreamQueue::consume_skips(uint64_t n) {
+  if (n == 0) return;
+  Entry& front = entries_.front();
+  front.count -= n;  // caller guarantees the head is a skip run of >= n
+  if (front.count == 0) entries_.pop_front();
+  buffered_ -= n;
+  next_index_ += n;
+}
+
 void StreamQueue::fast_forward(SlotIndex index) {
   initialized_ = true;
   if (index <= next_index_) return;

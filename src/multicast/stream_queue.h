@@ -43,8 +43,19 @@ class StreamQueue {
   /// Command at the head slot; only valid if next_is_value().
   const Command& peek_value() const { return entries_.front().cmd; }
 
+  /// Length of the skip run at the head; 0 if the head is a value or the
+  /// queue is empty. Lets mergers consume aligned idle runs in bulk.
+  uint64_t head_skip_run() const {
+    return (!entries_.empty() && !entries_.front().is_value) ? entries_.front().count
+                                                             : 0;
+  }
+
   /// Consumes exactly one slot (value or one unit of a skip run).
   void consume();
+
+  /// Consumes `n` slots from the head skip run in one step.
+  /// Pre: n <= head_skip_run().
+  void consume_skips(uint64_t n);
 
   /// Drops every slot below `index` and moves the head there. Future
   /// proposals overlapping the floor are clipped on push. Used to

@@ -30,6 +30,13 @@ class Writer {
     u64(bits);
   }
 
+  /// Grows capacity for `additional` more bytes in one step. Encoders
+  /// that know their output size (Message::body_size, encoded_size)
+  /// call this up front to avoid repeated vector regrowth — on the
+  /// 32 KB-value codec path that is the difference between one
+  /// allocation and a doubling cascade.
+  void reserve(size_t additional) { buf_.reserve(buf_.size() + additional); }
+
   /// LEB128 unsigned varint.
   void varint(uint64_t v);
 
@@ -39,6 +46,9 @@ class Writer {
   const std::vector<uint8_t>& data() const { return buf_; }
   size_t size() const { return buf_.size(); }
   void clear() { buf_.clear(); }
+
+  /// Moves the encoded bytes out, leaving the writer empty.
+  std::vector<uint8_t> take() { return std::move(buf_); }
 
   /// Wire size of a varint without writing it.
   static size_t varint_size(uint64_t v);

@@ -47,9 +47,10 @@ bool MessageCodec::has(MsgType type) const {
 
 std::vector<uint8_t> MessageCodec::encode(const Message& m) const {
   Writer w;
+  w.reserve(sizeof(uint16_t) + m.body_size());
   w.u16(static_cast<uint16_t>(m.type()));
   m.encode(w);
-  return w.data();
+  return w.take();
 }
 
 Result<MessagePtr> MessageCodec::decode(std::string_view bytes) const {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "net/buffer.h"
+#include "net/pool.h"
 #include "util/status.h"
 
 namespace epx::net {
@@ -84,10 +85,20 @@ class Message {
 
 using MessagePtr = std::shared_ptr<const Message>;
 
-/// Constructs a shared immutable message in one call.
+/// Constructs a shared immutable message in one call. Envelope storage
+/// (control block + object) is drawn from the EnvelopePool, so steady-
+/// state sends allocate nothing.
 template <typename T, typename... Args>
 MessagePtr make_message(Args&&... args) {
-  return std::make_shared<const T>(std::forward<Args>(args)...);
+  return std::allocate_shared<const T>(PoolAllocator<const T>(),
+                                       std::forward<Args>(args)...);
+}
+
+/// Pooled construction of a message that is filled in field-by-field
+/// before being sent (the build-then-freeze idiom of the protocol code).
+template <typename T, typename... Args>
+std::shared_ptr<T> make_mutable_message(Args&&... args) {
+  return std::allocate_shared<T>(PoolAllocator<T>(), std::forward<Args>(args)...);
 }
 
 /// Registry of decode functions, keyed by MsgType. Modules register

@@ -1,0 +1,54 @@
+#include "net/pool.h"
+
+namespace epx::net {
+
+EnvelopePool& EnvelopePool::instance() {
+  static EnvelopePool* pool = new EnvelopePool;  // never destroyed
+  return *pool;
+}
+
+#if defined(EPX_SANITIZE_BUILD)
+
+// Pass-through under sanitizers: every envelope is a distinct allocation
+// so ASan sees the true object lifetimes.
+void* EnvelopePool::allocate(std::size_t bytes) {
+  ++oversize_;
+  return ::operator new(bytes);
+}
+
+void EnvelopePool::deallocate(void* p, std::size_t bytes) noexcept {
+  (void)bytes;
+  ::operator delete(p);
+}
+
+#else
+
+void* EnvelopePool::allocate(std::size_t bytes) {
+  const std::size_t cls = size_class(bytes);
+  if (cls > kClasses) {
+    ++oversize_;
+    return ::operator new(bytes);
+  }
+  if (FreeNode* n = buckets_[cls]) {
+    buckets_[cls] = n->next;
+    ++reused_;
+    return n;
+  }
+  ++fresh_;
+  return ::operator new(cls * kGranularity);
+}
+
+void EnvelopePool::deallocate(void* p, std::size_t bytes) noexcept {
+  const std::size_t cls = size_class(bytes);
+  if (cls > kClasses) {
+    ::operator delete(p);
+    return;
+  }
+  auto* n = static_cast<FreeNode*>(p);
+  n->next = buckets_[cls];
+  buckets_[cls] = n;
+}
+
+#endif  // EPX_SANITIZE_BUILD
+
+}  // namespace epx::net

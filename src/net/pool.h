@@ -1,0 +1,83 @@
+// Size-class freelist pool for message envelopes.
+//
+// Every message in the simulator is a shared_ptr<const Message>; at the
+// paper's throughputs that is hundreds of thousands of allocations per
+// simulated second, all short-lived and of a handful of sizes. The pool
+// recycles the combined control-block + object allocation that
+// std::allocate_shared produces, making the Network::send -> Process
+// delivery path allocation-free in steady state.
+//
+// Single-threaded by design: the simulation runs on one thread (the
+// whole engine assumes it — see sim/simulation.h). Blocks above the
+// pooled ceiling fall through to operator new.
+//
+// Sanitizer builds (-DEPX_SANITIZE=ON) compile the pool as a pass-
+// through so ASan retains full use-after-free coverage of message
+// lifetimes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace epx::net {
+
+class EnvelopePool {
+ public:
+  /// The process-wide pool. Intentionally never destroyed so that
+  /// envelopes released during static teardown stay safe; cached blocks
+  /// remain reachable through the instance, keeping leak checkers quiet.
+  static EnvelopePool& instance();
+
+  void* allocate(std::size_t bytes);
+  void deallocate(void* p, std::size_t bytes) noexcept;
+
+  // --- stats -------------------------------------------------------------
+  uint64_t reused() const { return reused_; }     ///< freelist hits
+  uint64_t fresh() const { return fresh_; }       ///< new blocks carved
+  uint64_t oversize() const { return oversize_; } ///< fell through to new
+
+ private:
+  EnvelopePool() = default;
+
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kClasses = 64;  // pools blocks up to 4 KiB
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static std::size_t size_class(std::size_t bytes) {
+    return (bytes + kGranularity - 1) / kGranularity;
+  }
+
+  FreeNode* buckets_[kClasses + 1] = {};
+  uint64_t reused_ = 0;
+  uint64_t fresh_ = 0;
+  uint64_t oversize_ = 0;
+};
+
+/// Minimal allocator adapter so std::allocate_shared draws envelope
+/// storage from the pool.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(EnvelopePool::instance().allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    EnvelopePool::instance().deallocate(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  friend bool operator==(const PoolAllocator&, const PoolAllocator<U>&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace epx::net

@@ -65,7 +65,7 @@ void Acceptor::on_crash() {
 
 void Acceptor::handle_phase1a(NodeId from, const Phase1aMsg& msg) {
   charge(config_.params.acceptor_cpu_per_msg);
-  auto reply = std::make_shared<Phase1bMsg>();
+  auto reply = net::make_mutable_message<Phase1bMsg>();
   reply->stream = config_.stream;
   reply->ballot = msg.ballot;
   reply->acceptor = id();
@@ -117,7 +117,7 @@ void Acceptor::handle_accept(const AcceptMsg& msg) {
     send(msg.ballot.leader,
          net::make_message<DecisionMsg>(config_.stream, msg.instance, std::move(summary)));
     if (successor_ != net::kInvalidNode) {
-      auto fwd = std::make_shared<AcceptMsg>(msg);
+      auto fwd = net::make_mutable_message<AcceptMsg>(msg);
       fwd->accept_count = msg.accept_count + 1;
       send(successor_, std::move(fwd));
     }
@@ -152,7 +152,7 @@ void Acceptor::handle_accept(const AcceptMsg& msg) {
 
   // Forward along the ring so every acceptor stores the value.
   if (successor_ != net::kInvalidNode) {
-    auto fwd = std::make_shared<AcceptMsg>(msg);
+    auto fwd = net::make_mutable_message<AcceptMsg>(msg);
     fwd->accept_count = count;
     send(successor_, std::move(fwd));
   }
@@ -168,7 +168,7 @@ void Acceptor::advance_decided_contiguous() {
 
 void Acceptor::handle_recover(NodeId from, const RecoverRequestMsg& msg) {
   charge(config_.params.acceptor_cpu_per_msg);
-  auto reply = std::make_shared<RecoverReplyMsg>();
+  auto reply = net::make_mutable_message<RecoverReplyMsg>();
   reply->stream = config_.stream;
   reply->trim_horizon = trim_horizon_;
   reply->decided_watermark = decided_contiguous_;

@@ -226,7 +226,7 @@ void Coordinator::send_accept(InstanceId instance, const Proposal& value) {
   for (const auto& c : value.commands) bytes += c.payload_bytes();
   charge(config_.params.coord_cpu_per_cmd / 2 +
          static_cast<Tick>(bytes / kKiB) * config_.params.coord_cpu_per_kib);
-  auto accept = std::make_shared<AcceptMsg>();
+  auto accept = net::make_mutable_message<AcceptMsg>();
   accept->stream = config_.stream;
   accept->ballot = ballot_;
   accept->instance = instance;

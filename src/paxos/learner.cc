@@ -9,22 +9,24 @@ namespace epx::paxos {
 Learner::Learner(sim::Process* host, Config config, ProposalSink sink)
     : host_(host), config_(std::move(config)), sink_(std::move(sink)) {}
 
+Learner::~Learner() { ++*gen_; }
+
 void Learner::start(InstanceId from_instance) {
   started_ = true;
   caught_up_ = false;
   next_ = from_instance;
-  ++generation_;
+  ++*gen_;
   for (NodeId acc : config_.acceptors) {
     host_->send(acc, net::make_message<LearnerJoinMsg>(config_.stream, host_->id()));
   }
   request_recovery(next_, next_ + config_.params.recover_chunk);
-  const uint64_t gen = generation_;
-  host_->after(config_.params.learner_gap_timeout, [this, gen] {
-    if (gen == generation_) gap_check();
+  const uint64_t gen = *gen_;
+  host_->after(config_.params.learner_gap_timeout, [this, alive = gen_, gen] {
+    if (*alive == gen) gap_check();
   });
   if (config_.coordinator != net::kInvalidNode) {
-    host_->after(config_.params.learner_report_interval, [this, gen] {
-      if (gen == generation_) report_position();
+    host_->after(config_.params.learner_report_interval, [this, alive = gen_, gen] {
+      if (*alive == gen) report_position();
     });
   }
 }
@@ -33,16 +35,16 @@ void Learner::report_position() {
   if (!started_) return;
   host_->send(config_.coordinator,
               net::make_message<LearnerReportMsg>(config_.stream, host_->id(), next_));
-  const uint64_t gen = generation_;
-  host_->after(config_.params.learner_report_interval, [this, gen] {
-    if (gen == generation_) report_position();
+  const uint64_t gen = *gen_;
+  host_->after(config_.params.learner_report_interval, [this, alive = gen_, gen] {
+    if (*alive == gen) report_position();
   });
 }
 
 void Learner::stop() {
   if (!started_) return;
   started_ = false;
-  ++generation_;
+  ++*gen_;
   pending_.clear();
   for (NodeId acc : config_.acceptors) {
     host_->send(acc, net::make_message<LearnerLeaveMsg>(config_.stream, host_->id()));
@@ -61,9 +63,9 @@ void Learner::request_recovery(InstanceId from, InstanceId to) {
               net::make_message<RecoverRequestMsg>(config_.stream, from, to));
   // Guard the request with a timeout so a lost reply does not wedge the
   // learner. The generation check discards stale guards.
-  const uint64_t gen = generation_;
-  host_->after(4 * config_.params.learner_gap_timeout, [this, gen] {
-    if (gen == generation_ && recover_inflight_) {
+  const uint64_t gen = *gen_;
+  host_->after(4 * config_.params.learner_gap_timeout, [this, alive = gen_, gen] {
+    if (*alive == gen && recover_inflight_) {
       recover_inflight_ = false;
       if (!caught_up_) request_recovery(next_, next_ + config_.params.recover_chunk);
     }
@@ -147,9 +149,9 @@ void Learner::gap_check() {
       gap_since_ = host_->now();
     }
   }
-  const uint64_t gen = generation_;
-  host_->after(config_.params.learner_gap_timeout, [this, gen] {
-    if (gen == generation_) gap_check();
+  const uint64_t gen = *gen_;
+  host_->after(config_.params.learner_gap_timeout, [this, alive = gen_, gen] {
+    if (*alive == gen) gap_check();
   });
 }
 

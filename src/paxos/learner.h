@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "paxos/messages.h"
 #include "paxos/params.h"
@@ -37,6 +38,9 @@ class Learner {
   using ProposalSink = std::function<void(const Proposal&, InstanceId)>;
 
   Learner(sim::Process* host, Config config, ProposalSink sink);
+  /// Invalidates outstanding timers: elastic unsubscribes destroy the
+  /// learner while its periodic gap/report timers are still queued.
+  ~Learner();
 
   /// Joins the stream and starts catch-up from `from_instance`
   /// (normally 0; the acceptors' trim horizon is respected).
@@ -78,7 +82,10 @@ class Learner {
   Tick last_progress_ = 0;
   size_t acceptor_rr_ = 0;
   uint64_t proposals_delivered_ = 0;
-  uint64_t generation_ = 0;  // invalidates timers after stop()
+  // Invalidates timers after stop() or destruction. Timer lambdas hold
+  // the shared counter, so the staleness check never touches `this` on a
+  // destroyed learner (they compare *gen_ first and only then call in).
+  std::shared_ptr<uint64_t> gen_ = std::make_shared<uint64_t>(0);
 };
 
 }  // namespace epx::paxos

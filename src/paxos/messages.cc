@@ -3,14 +3,14 @@
 namespace epx::paxos {
 
 std::shared_ptr<Message> ClientProposeMsg::decode(Reader& r) {
-  auto m = std::make_shared<ClientProposeMsg>();
+  auto m = net::make_mutable_message<ClientProposeMsg>();
   m->stream = static_cast<StreamId>(r.varint());
   m->command = Command::decode(r);
   return m;
 }
 
 std::shared_ptr<Message> ProposeRejectMsg::decode(Reader& r) {
-  auto m = std::make_shared<ProposeRejectMsg>();
+  auto m = net::make_mutable_message<ProposeRejectMsg>();
   m->stream = static_cast<StreamId>(r.varint());
   m->command_id = r.varint();
   m->current_leader = r.u32();
@@ -41,7 +41,7 @@ std::shared_ptr<Message> Phase1bMsg::decode(Reader& r) {
 }
 
 std::shared_ptr<Message> AcceptMsg::decode(Reader& r) {
-  auto m = std::make_shared<AcceptMsg>();
+  auto m = net::make_mutable_message<AcceptMsg>();
   m->stream = static_cast<StreamId>(r.varint());
   m->ballot.round = r.u32();
   m->ballot.leader = r.u32();
@@ -52,7 +52,7 @@ std::shared_ptr<Message> AcceptMsg::decode(Reader& r) {
 }
 
 std::shared_ptr<Message> DecisionMsg::decode(Reader& r) {
-  auto m = std::make_shared<DecisionMsg>();
+  auto m = net::make_mutable_message<DecisionMsg>();
   m->stream = static_cast<StreamId>(r.varint());
   m->instance = r.varint();
   m->value = Proposal::decode(r);
@@ -60,21 +60,21 @@ std::shared_ptr<Message> DecisionMsg::decode(Reader& r) {
 }
 
 std::shared_ptr<Message> LearnerJoinMsg::decode(Reader& r) {
-  auto m = std::make_shared<LearnerJoinMsg>();
+  auto m = net::make_mutable_message<LearnerJoinMsg>();
   m->stream = static_cast<StreamId>(r.varint());
   m->learner = r.u32();
   return m;
 }
 
 std::shared_ptr<Message> LearnerLeaveMsg::decode(Reader& r) {
-  auto m = std::make_shared<LearnerLeaveMsg>();
+  auto m = net::make_mutable_message<LearnerLeaveMsg>();
   m->stream = static_cast<StreamId>(r.varint());
   m->learner = r.u32();
   return m;
 }
 
 std::shared_ptr<Message> RecoverRequestMsg::decode(Reader& r) {
-  auto m = std::make_shared<RecoverRequestMsg>();
+  auto m = net::make_mutable_message<RecoverRequestMsg>();
   m->stream = static_cast<StreamId>(r.varint());
   m->from = r.varint();
   m->to = r.varint();
@@ -82,7 +82,7 @@ std::shared_ptr<Message> RecoverRequestMsg::decode(Reader& r) {
 }
 
 std::shared_ptr<Message> RecoverReplyMsg::decode(Reader& r) {
-  auto m = std::make_shared<RecoverReplyMsg>();
+  auto m = net::make_mutable_message<RecoverReplyMsg>();
   m->stream = static_cast<StreamId>(r.varint());
   m->trim_horizon = r.varint();
   m->decided_watermark = r.varint();
@@ -95,14 +95,14 @@ std::shared_ptr<Message> RecoverReplyMsg::decode(Reader& r) {
 }
 
 std::shared_ptr<Message> TrimRequestMsg::decode(Reader& r) {
-  auto m = std::make_shared<TrimRequestMsg>();
+  auto m = net::make_mutable_message<TrimRequestMsg>();
   m->stream = static_cast<StreamId>(r.varint());
   m->up_to = r.varint();
   return m;
 }
 
 std::shared_ptr<Message> CoordHeartbeatMsg::decode(Reader& r) {
-  auto m = std::make_shared<CoordHeartbeatMsg>();
+  auto m = net::make_mutable_message<CoordHeartbeatMsg>();
   m->stream = static_cast<StreamId>(r.varint());
   m->ballot.round = r.u32();
   m->ballot.leader = r.u32();
@@ -111,7 +111,7 @@ std::shared_ptr<Message> CoordHeartbeatMsg::decode(Reader& r) {
 }
 
 std::shared_ptr<Message> LearnerReportMsg::decode(Reader& r) {
-  auto m = std::make_shared<LearnerReportMsg>();
+  auto m = net::make_mutable_message<LearnerReportMsg>();
   m->stream = static_cast<StreamId>(r.varint());
   m->learner = r.u32();
   m->next_instance = r.varint();

@@ -3,21 +3,21 @@
 namespace epx::registry {
 
 std::shared_ptr<Message> RegistrySetMsg::decode(Reader& r) {
-  auto m = std::make_shared<RegistrySetMsg>();
+  auto m = net::make_mutable_message<RegistrySetMsg>();
   m->key = r.bytes();
   m->value = r.bytes();
   return m;
 }
 
 std::shared_ptr<Message> RegistryGetMsg::decode(Reader& r) {
-  auto m = std::make_shared<RegistryGetMsg>();
+  auto m = net::make_mutable_message<RegistryGetMsg>();
   m->request_id = r.varint();
   m->key = r.bytes();
   return m;
 }
 
 std::shared_ptr<Message> RegistryReplyMsg::decode(Reader& r) {
-  auto m = std::make_shared<RegistryReplyMsg>();
+  auto m = net::make_mutable_message<RegistryReplyMsg>();
   m->request_id = r.varint();
   m->key = r.bytes();
   m->value = r.bytes();
@@ -27,14 +27,14 @@ std::shared_ptr<Message> RegistryReplyMsg::decode(Reader& r) {
 }
 
 std::shared_ptr<Message> RegistryWatchMsg::decode(Reader& r) {
-  auto m = std::make_shared<RegistryWatchMsg>();
+  auto m = net::make_mutable_message<RegistryWatchMsg>();
   m->prefix = r.bytes();
   m->watcher = r.u32();
   return m;
 }
 
 std::shared_ptr<Message> RegistryEventMsg::decode(Reader& r) {
-  auto m = std::make_shared<RegistryEventMsg>();
+  auto m = net::make_mutable_message<RegistryEventMsg>();
   m->key = r.bytes();
   m->value = r.bytes();
   m->version = r.varint();

@@ -47,7 +47,7 @@ void RegistryServer::on_message(NodeId from, const net::MessagePtr& msg) {
     }
     case net::MsgType::kRegistryGet: {
       const auto& get = static_cast<const RegistryGetMsg&>(*msg);
-      auto reply = std::make_shared<RegistryReplyMsg>();
+      auto reply = net::make_mutable_message<RegistryReplyMsg>();
       reply->request_id = get.request_id;
       reply->key = get.key;
       auto it = entries_.find(get.key);

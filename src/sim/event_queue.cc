@@ -1,0 +1,67 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace epx::sim {
+
+EventQueue::EventQueue() : slots_(kWheelSlots, nullptr), occupied_(kBitmapWords, 0) {
+  near_.reserve(64);
+  far_.reserve(64);
+}
+
+EventQueue::~EventQueue() { clear(); }
+
+void EventQueue::grow_slab() {
+  auto chunk = std::make_unique<unsigned char[]>(kChunkNodes * sizeof(Node));
+  unsigned char* base = chunk.get();
+  for (size_t i = kChunkNodes; i-- > 0;) {
+    Node* n = ::new (static_cast<void*>(base + i * sizeof(Node))) Node;
+    n->next = free_list_;
+    free_list_ = n;
+  }
+  chunks_.push_back(std::move(chunk));
+}
+
+void EventQueue::rebase_from_far() {
+  // Every wheel slot is empty: anchor the window at the earliest far
+  // event and pull everything inside the new window back into the wheel.
+  wheel_base_q_ = far_.front().time >> kQuantumShift;
+  cursor_q_ = wheel_base_q_ - 1;
+  const int64_t end_q = wheel_base_q_ + static_cast<int64_t>(kWheelSlots);
+  while (!far_.empty() && (far_.front().time >> kQuantumShift) < end_q) {
+    std::pop_heap(far_.begin(), far_.end(), After{});
+    Node* n = far_.back().node;
+    far_.pop_back();
+    const size_t idx = static_cast<size_t>((n->time >> kQuantumShift) - wheel_base_q_);
+    n->next = slots_[idx];
+    slots_[idx] = n;
+    occupied_[idx >> 6] |= uint64_t{1} << (idx & 63);
+  }
+}
+
+void EventQueue::clear() {
+  for (const Entry& e : near_) {
+    e.node->destroy(e.node);
+    free_node(e.node);
+  }
+  near_.clear();
+  for (size_t idx = 0; idx < kWheelSlots; ++idx) {
+    Node* n = slots_[idx];
+    slots_[idx] = nullptr;
+    while (n != nullptr) {
+      Node* next = n->next;
+      n->destroy(n);
+      free_node(n);
+      n = next;
+    }
+  }
+  std::fill(occupied_.begin(), occupied_.end(), 0);
+  for (const Entry& e : far_) {
+    e.node->destroy(e.node);
+    free_node(e.node);
+  }
+  far_.clear();
+  size_ = 0;
+}
+
+}  // namespace epx::sim

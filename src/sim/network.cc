@@ -15,9 +15,15 @@ uint64_t link_key(NodeId from, NodeId to) {
 
 Network::Network(Simulation* sim, uint64_t seed) : sim_(sim), rng_(seed) {}
 
-void Network::attach(Process* process) { endpoints_[process->id()] = process; }
+void Network::attach(Process* process) {
+  const NodeId id = process->id();
+  if (id >= endpoints_.size()) endpoints_.resize(id + 1, nullptr);
+  endpoints_[id] = process;
+}
 
-void Network::detach(NodeId id) { endpoints_.erase(id); }
+void Network::detach(NodeId id) {
+  if (id < endpoints_.size()) endpoints_[id] = nullptr;
+}
 
 void Network::set_link(NodeId from, NodeId to, LinkParams params) {
   links_[link_key(from, to)] = params;
@@ -43,11 +49,13 @@ bool Network::crosses_partition(NodeId from, NodeId to) const {
 }
 
 LinkParams Network::link_for(NodeId from, NodeId to) const {
+  if (links_.empty()) return default_link_;
   auto it = links_.find(link_key(from, to));
   return it != links_.end() ? it->second : default_link_;
 }
 
 double Network::bandwidth_for(NodeId id) const {
+  if (bandwidth_.empty()) return default_bw_;
   auto it = bandwidth_.find(id);
   return it != bandwidth_.end() ? it->second : default_bw_;
 }
@@ -68,6 +76,7 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg, Tick earliest) {
   Tick tx_time = 0;
   if (bw > 0.0) {
     tx_time = static_cast<Tick>(static_cast<double>(bytes) * 8.0 / bw * kSecond);
+    if (from >= egress_free_at_.size()) egress_free_at_.resize(from + 1, 0);
     Tick& free_at = egress_free_at_[from];
     depart = std::max(depart, free_at);
     free_at = depart + tx_time;
@@ -78,9 +87,11 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg, Tick earliest) {
   if (link.jitter > 0) jitter = static_cast<Tick>(rng_.uniform(static_cast<uint64_t>(link.jitter)));
   const Tick arrival = depart + tx_time + link.latency + jitter;
 
-  sim_->schedule_at(arrival, [this, from, to, msg = std::move(msg)] {
-    auto it = endpoints_.find(to);
-    if (it == endpoints_.end()) {
+  // The delivery capture (this, from, to, msg) fits the event queue's
+  // inline storage, so scheduling the delivery allocates nothing.
+  sim_->schedule_at(arrival, [this, from, to, msg = std::move(msg)]() mutable {
+    Process* dest = endpoint(to);
+    if (dest == nullptr) {
       ++messages_dropped_;
       return;
     }
@@ -90,7 +101,7 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg, Tick earliest) {
       ++messages_dropped_;
       return;
     }
-    it->second->enqueue_message(from, std::move(msg));
+    dest->enqueue_message(from, std::move(msg));
   });
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "net/message.h"
 #include "sim/simulation.h"
@@ -74,14 +75,22 @@ class Network {
   LinkParams link_for(NodeId from, NodeId to) const;
   double bandwidth_for(NodeId id) const;
 
+  /// Endpoint / NIC state is held in flat vectors indexed by NodeId: the
+  /// harness assigns small sequential ids, and the per-message delivery
+  /// path must not pay a hash lookup. Links and per-node bandwidth
+  /// overrides are rare, so those stay in maps behind an empty() check.
+  Process* endpoint(NodeId id) const {
+    return id < endpoints_.size() ? endpoints_[id] : nullptr;
+  }
+
   Simulation* sim_;
   Rng rng_;
-  std::unordered_map<NodeId, Process*> endpoints_;
+  std::vector<Process*> endpoints_;                 // indexed by NodeId
   std::unordered_map<uint64_t, LinkParams> links_;  // key = from<<32|to
   LinkParams default_link_;
   std::unordered_map<NodeId, double> bandwidth_;
   double default_bw_ = 0.0;  // unlimited
-  std::unordered_map<NodeId, Tick> egress_free_at_;
+  std::vector<Tick> egress_free_at_;  // indexed by NodeId
   double loss_probability_ = 0.0;
   std::unordered_set<NodeId> island_;
   bool partitioned_ = false;

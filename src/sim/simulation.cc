@@ -8,25 +8,17 @@ Simulation::Simulation() {
   log::set_time_source([this] { return now_; });
 }
 
-void Simulation::schedule_at(Tick t, std::function<void()> fn) {
-  if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
-}
-
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top returns const&; move the callable out before pop
-  // to avoid copying a potentially large closure.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.time;
+  // The clock must read the event's time while its callback runs.
+  now_ = queue_.next_time();
   ++processed_;
-  ev.fn();
+  queue_.pop_and_run();
   return true;
 }
 
 void Simulation::run_until(Tick t) {
-  while (!queue_.empty() && queue_.top().time <= t) step();
+  while (!queue_.empty() && queue_.next_time() <= t) step();
   if (now_ < t) now_ = t;
 }
 

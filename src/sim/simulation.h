@@ -4,13 +4,16 @@
 // (time, insertion sequence). Everything in the simulated cluster —
 // message deliveries, CPU completions, timers — is an event. Runs are
 // fully deterministic for a fixed configuration and RNG seed.
+//
+// The engine is a slab-allocated timing wheel (see sim/event_queue.h):
+// scheduling the common small-capture callbacks performs no heap
+// allocation and near-future schedule/pop are O(1).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include <utility>
 
+#include "sim/event_queue.h"
 #include "util/units.h"
 
 namespace epx::sim {
@@ -23,12 +26,21 @@ class Simulation {
 
   Tick now() const { return now_; }
 
-  /// Schedules `fn` to run at absolute virtual time `t` (clamped to now).
-  void schedule_at(Tick t, std::function<void()> fn);
+  /// Schedules `fn` to run at absolute virtual time `t`.
+  ///
+  /// Past times clamp to the present: if `t < now()` the event runs at
+  /// now(), ordered FIFO after everything already scheduled for now().
+  /// This makes zero-delay self-posts and timers armed from stale state
+  /// safe — they can never run before events that were queued first.
+  template <typename F>
+  void schedule_at(Tick t, F&& fn) {
+    queue_.schedule(t < now_ ? now_ : t, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` to run `delay` ticks from now.
-  void schedule_after(Tick delay, std::function<void()> fn) {
-    schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  void schedule_after(Tick delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Runs one event; returns false if the queue is empty.
@@ -47,21 +59,12 @@ class Simulation {
   size_t pending_events() const { return queue_.size(); }
   uint64_t events_processed() const { return processed_; }
 
- private:
-  struct Event {
-    Tick time;
-    uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
-  };
+  EventQueue& event_queue() { return queue_; }
 
+ private:
   Tick now_ = 0;
-  uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  EventQueue queue_;
 };
 
 }  // namespace epx::sim

@@ -1,0 +1,115 @@
+// Determinism regression for the event engine: the same seeded cluster,
+// run twice in separate Simulation instances, must produce bit-identical
+// delivery-order traces and identical event counts.
+//
+// This pins the engine's ordering contract — events pop in exact
+// (time, insertion seq) order — so the timing wheel, slab allocation and
+// bulk skip consumption can never silently reorder same-tick events.
+// Any divergence between two runs (or between tiers of the queue) shows
+// up here as a trace-hash mismatch.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/test_util.h"
+#include "util/hash.h"
+
+namespace epx {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterOptions;
+using harness::LoadClient;
+
+struct TraceResult {
+  /// Order-sensitive hash over every (replica, stream, command) delivery.
+  uint64_t trace_hash = 0;
+  uint64_t events_processed = 0;
+  uint64_t delivered = 0;
+  uint64_t completed = 0;
+};
+
+uint64_t mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// One seeded multi-stream cluster: two groups, three streams, a mid-run
+/// elastic subscription, and skip pacing exercising the bulk-merge path.
+TraceResult run_cluster(uint64_t seed) {
+  ClusterOptions options;
+  options.seed = seed;
+  Cluster cluster(options);
+  const auto s1 = cluster.add_stream();
+  const auto s2 = cluster.add_stream();
+  const auto s3 = cluster.add_stream();
+
+  auto* r1 = cluster.add_replica(/*group=*/1, {s1, s2});
+  auto* r2 = cluster.add_replica(/*group=*/1, {s1, s2});
+  auto* r3 = cluster.add_replica(/*group=*/2, {s3});
+
+  TraceResult result;
+  for (auto* r : {r1, r2, r3}) {
+    r->set_delivery_listener(
+        [&result](net::NodeId node, const paxos::Command& cmd, paxos::StreamId stream) {
+          result.trace_hash = mix(result.trace_hash, node);
+          result.trace_hash = mix(result.trace_hash, stream);
+          result.trace_hash = mix(result.trace_hash, cmd.id);
+        });
+  }
+
+  LoadClient::Config cfg;
+  cfg.threads = 4;
+  cfg.payload_bytes = 512;
+  cfg.route = [s1] { return s1; };
+  auto* c1 = cluster.spawn<LoadClient>("client1", &cluster.directory(), cfg);
+  cfg.route = [s3] { return s3; };
+  auto* c2 = cluster.spawn<LoadClient>("client2", &cluster.directory(), cfg);
+  c1->start();
+  c2->start();
+
+  // Group 1 picks up s3 mid-run: scanning + aligning phases execute.
+  cluster.sim().schedule_at(2 * kSecond, [&cluster, s3, s1] {
+    cluster.controller().subscribe(/*group=*/1, s3, /*via_stream=*/s1);
+  });
+
+  cluster.run_for(5 * kSecond);
+  c1->stop();
+  c2->stop();
+  cluster.run_for(1 * kSecond);
+
+  result.events_processed = cluster.sim().events_processed();
+  result.delivered = r1->delivered() + r2->delivered() + r3->delivered();
+  result.completed = c1->completed() + c2->completed();
+  return result;
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::init_logging(); }
+};
+
+TEST_F(DeterminismTest, SeededRunsProduceIdenticalTraces) {
+  const TraceResult a = run_cluster(/*seed=*/7);
+  const TraceResult b = run_cluster(/*seed=*/7);
+
+  EXPECT_GT(a.completed, 100u) << "workload should make real progress";
+  EXPECT_GT(a.delivered, 0u);
+  EXPECT_EQ(a.trace_hash, b.trace_hash)
+      << "same seed must yield a bit-identical delivery-order trace";
+  EXPECT_EQ(a.events_processed, b.events_processed)
+      << "same seed must process exactly the same number of events";
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.completed, b.completed);
+}
+
+TEST_F(DeterminismTest, DifferentSeedsDiverge) {
+  // Sanity check that the trace hash actually captures ordering: with a
+  // different seed the jittered timings change and so must the trace.
+  const TraceResult a = run_cluster(/*seed=*/7);
+  const TraceResult b = run_cluster(/*seed=*/8);
+  EXPECT_NE(a.trace_hash, b.trace_hash);
+}
+
+}  // namespace
+}  // namespace epx

@@ -3,12 +3,15 @@
 // behaviour.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <vector>
 
 #include "net/message.h"
 #include "sim/network.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
+#include "util/rng.h"
 
 namespace epx {
 namespace {
@@ -95,6 +98,112 @@ TEST_F(SimTest, PastEventsClampToNow) {
   sim.schedule_at(50, [&] { fired_at = sim.now(); });
   sim.run_to_completion();
   EXPECT_EQ(fired_at, 100);
+}
+
+// The documented clamp contract: a past-time event runs at now(), FIFO
+// after everything already scheduled for now() — regardless of how far
+// in the past the requested times were relative to each other.
+TEST_F(SimTest, ClampedPastEventsKeepFifoOrderWithPresentEvents) {
+  sim.run_until(1 * kMillisecond);
+  std::vector<int> order;
+  sim.schedule_at(sim.now(), [&] { order.push_back(1); });
+  sim.schedule_at(500, [&] { order.push_back(2); });  // far past
+  sim.schedule_at(900, [&] { order.push_back(3); });  // nearer past
+  sim.schedule_at(sim.now(), [&] { order.push_back(4); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.now(), 1 * kMillisecond);
+}
+
+TEST_F(SimTest, ClampedEventScheduledInsideHandlerRunsAfterSameTickEvents) {
+  std::vector<int> order;
+  sim.schedule_at(10, [&] {
+    order.push_back(1);
+    // Requests the past; must run at t=10 but after the already-queued
+    // same-tick event below.
+    sim.schedule_at(3, [&] { order.push_back(3); });
+  });
+  sim.schedule_at(10, [&] { order.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// ------------------------------------------------- Engine stress/order --
+
+// Events far beyond the timing-wheel window (>> 33ms) must interleave
+// correctly with near events, including events scheduled after the far
+// ones (exercises the overflow heap and window rebase).
+TEST_F(SimTest, FarFutureEventsOrderAcrossWheelRebase) {
+  std::vector<int> order;
+  sim.schedule_at(10 * kSecond, [&] { order.push_back(5); });
+  sim.schedule_at(1 * kSecond, [&] { order.push_back(3); });
+  sim.schedule_at(5 * kMicrosecond, [&] { order.push_back(1); });
+  sim.schedule_at(2 * kSecond, [&] { order.push_back(4); });
+  sim.schedule_at(40 * kMillisecond, [&] { order.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST_F(SimTest, SameTimestampFifoAcrossHorizons) {
+  // All at the same far-future instant, scheduled in FIFO order from
+  // different starting horizons (some land in the wheel, some in the
+  // overflow heap depending on when they were scheduled).
+  std::vector<int> order;
+  const Tick target = 500 * kMillisecond;
+  for (int i = 0; i < 4; ++i) sim.schedule_at(target, [&order, i] { order.push_back(i); });
+  sim.schedule_at(450 * kMillisecond, [&] {
+    for (int i = 4; i < 8; ++i) sim.schedule_at(target, [&order, i] { order.push_back(i); });
+  });
+  sim.run_to_completion();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+// Randomised ordering oracle: the engine must pop events in exactly
+// (time, insertion seq) order for an adversarial mix of horizons.
+TEST_F(SimTest, RandomisedScheduleMatchesReferenceOrder) {
+  Rng rng(42);
+  struct Ref {
+    Tick time;
+    uint64_t seq;
+  };
+  std::vector<Ref> expect;
+  std::vector<uint64_t> got;
+  uint64_t seq = 0;
+  // Three waves with the clock advancing in between, so schedules happen
+  // relative to different wheel positions.
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 500; ++i) {
+      Tick horizon;
+      switch (rng.uniform(4)) {
+        case 0: horizon = static_cast<Tick>(rng.uniform(10 * kMicrosecond)); break;
+        case 1: horizon = static_cast<Tick>(rng.uniform(1 * kMillisecond)); break;
+        case 2: horizon = static_cast<Tick>(rng.uniform(100 * kMillisecond)); break;
+        default: horizon = static_cast<Tick>(rng.uniform(5 * kSecond)); break;
+      }
+      const Tick t = sim.now() + horizon;
+      const uint64_t id = seq++;
+      expect.push_back({t, id});
+      sim.schedule_at(t, [&got, id] { got.push_back(id); });
+    }
+    sim.run_for(200 * kMillisecond);
+  }
+  sim.run_to_completion();
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const Ref& a, const Ref& b) { return a.time < b.time; });
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) EXPECT_EQ(got[i], expect[i].seq) << "at " << i;
+}
+
+// Callbacks with captures too large for the inline slab storage must
+// still work (boxed fallback path).
+TEST_F(SimTest, OversizedCaptureFallsBackToBoxedCallback) {
+  std::array<uint64_t, 32> big{};  // 256 bytes, over the 80-byte inline cap
+  big[31] = 77;
+  uint64_t seen = 0;
+  sim.schedule_at(10, [big, &seen] { seen = big[31]; });
+  sim.run_to_completion();
+  EXPECT_EQ(seen, 77u);
 }
 
 TEST_F(SimTest, EventsScheduledDuringEventsRun) {
