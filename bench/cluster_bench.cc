@@ -1,0 +1,173 @@
+// Cluster-level benchmark: end-to-end throughput, latency and CPU of
+// (a) a broadcast cluster (1 stream, 2 replicas, closed-loop clients)
+// and (b) a partitioned KV store, each run for a few virtual seconds.
+//
+// Writes BENCH_cluster.json (override with --json=path): one object per
+// scenario with headline numbers plus the full metrics-registry
+// snapshot, all pulled through the observability subsystem — the bench
+// touches no role-level stat getters.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench/bench_common.h"
+
+using namespace epx;            // NOLINT(google-build-using-namespace)
+using namespace epx::harness;   // NOLINT(google-build-using-namespace)
+
+namespace {
+
+struct ScenarioResult {
+  std::string name;
+  double seconds = 0.0;
+  double throughput = 0.0;   // completed ops/s (client side)
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double replica_cpu_pct = 0.0;  // busiest replica, mean over the run
+  std::string metrics_json;      // registry snapshot (no per-second series)
+};
+
+double cpu_pct(const obs::MetricsRegistry& metrics, const std::string& node,
+               Tick elapsed) {
+  const obs::Counter* busy =
+      metrics.find_counter(obs::metric_key("cpu.busy", {{"node", node}}));
+  if (busy == nullptr || elapsed <= 0) return 0.0;
+  return static_cast<double>(busy->total()) / static_cast<double>(elapsed) * 100.0;
+}
+
+void latency_quantiles(const obs::MetricsRegistry& metrics, const std::string& node,
+                       ScenarioResult* out) {
+  const obs::Timer* t =
+      metrics.find_timer(obs::metric_key("client.latency", {{"node", node}}));
+  if (t == nullptr) return;
+  out->p50_ms = to_millis(t->total().p50());
+  out->p95_ms = to_millis(t->total().p95());
+  out->p99_ms = to_millis(t->total().p99());
+}
+
+ScenarioResult run_broadcast(Tick duration) {
+  auto options = bench::broadcast_options();
+  options.params.admission_rate = 0.0;  // unthrottled
+  Cluster cluster(options);
+  const StreamId s1 = cluster.add_stream();
+  elastic::Replica::Config rcfg;
+  rcfg.group = 1;
+  rcfg.initial_streams = {s1};
+  rcfg.params = options.params;
+  bench::tune_broadcast_replica(rcfg);
+  auto* r1 = cluster.add_replica(rcfg);
+  cluster.add_replica(rcfg);
+
+  LoadClient::Config cfg;
+  cfg.threads = 8;
+  cfg.payload_bytes = 1024;
+  cfg.route = [s1] { return s1; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  cluster.run_until(duration);
+
+  const obs::MetricsRegistry& metrics = cluster.sim().metrics();
+  ScenarioResult r;
+  r.name = "broadcast";
+  r.seconds = to_seconds(duration);
+  const obs::Counter* completions = metrics.find_counter(
+      obs::metric_key("client.completions", {{"node", client->name()}}));
+  r.throughput = completions != nullptr
+                     ? static_cast<double>(completions->total()) / r.seconds
+                     : 0.0;
+  latency_quantiles(metrics, client->name(), &r);
+  r.replica_cpu_pct = std::max(cpu_pct(metrics, r1->name(), duration),
+                               cpu_pct(metrics, "replica2", duration));
+  r.metrics_json = metrics.to_json(/*include_series=*/false);
+  return r;
+}
+
+ScenarioResult run_kv(Tick duration) {
+  auto options = bench::kv_options();
+  KvCluster kvc(options);
+  const uint32_t p1 = kvc.add_partition(2);
+  (void)p1;
+  kvc.publish();
+
+  kv::KvClient::Config ccfg;
+  ccfg.threads = 50;
+  ccfg.key_space = 50000;
+  ccfg.value_bytes = 1024;
+  auto* client = kvc.add_client(ccfg);
+  client->start();
+  Cluster& cluster = kvc.cluster();
+  cluster.run_until(duration);
+
+  const obs::MetricsRegistry& metrics = cluster.sim().metrics();
+  ScenarioResult r;
+  r.name = "kv";
+  r.seconds = to_seconds(duration);
+  const obs::Counter* completions = metrics.find_counter(
+      obs::metric_key("client.completions", {{"node", client->name()}}));
+  r.throughput = completions != nullptr
+                     ? static_cast<double>(completions->total()) / r.seconds
+                     : 0.0;
+  latency_quantiles(metrics, client->name(), &r);
+  for (const auto* replica : kvc.replicas()) {
+    r.replica_cpu_pct =
+        std::max(r.replica_cpu_pct, cpu_pct(metrics, replica->name(), duration));
+  }
+  r.metrics_json = metrics.to_json(/*include_series=*/false);
+  return r;
+}
+
+void append_scenario(std::string* out, const ScenarioResult& r, bool last) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "  \"%s\": {\n"
+                "    \"virtual_seconds\": %.1f,\n"
+                "    \"throughput_ops_per_sec\": %.1f,\n"
+                "    \"latency_p50_ms\": %.3f,\n"
+                "    \"latency_p95_ms\": %.3f,\n"
+                "    \"latency_p99_ms\": %.3f,\n"
+                "    \"replica_cpu_pct\": %.1f,\n",
+                r.name.c_str(), r.seconds, r.throughput, r.p50_ms, r.p95_ms, r.p99_ms,
+                r.replica_cpu_pct);
+  *out += buf;
+  *out += "    \"metrics\": ";
+  *out += r.metrics_json;
+  *out += "\n  }";
+  *out += last ? "\n" : ",\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::bench_logging();
+  std::string json_path = "BENCH_cluster.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  const Tick duration = 5 * kSecond;
+  const ScenarioResult broadcast = run_broadcast(duration);
+  const ScenarioResult kv = run_kv(duration);
+
+  print_header("Cluster bench (5 virtual seconds per scenario)");
+  for (const ScenarioResult* r : {&broadcast, &kv}) {
+    std::printf("%-10s %10.1f ops/s  p50 %7.3f ms  p95 %7.3f ms  p99 %7.3f ms  "
+                "replica CPU %5.1f%%\n",
+                r->name.c_str(), r->throughput, r->p50_ms, r->p95_ms, r->p99_ms,
+                r->replica_cpu_pct);
+  }
+
+  std::string json = "{\n";
+  append_scenario(&json, broadcast, /*last=*/false);
+  append_scenario(&json, kv, /*last=*/true);
+  json += "}\n";
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

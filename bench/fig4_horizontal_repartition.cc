@@ -62,15 +62,22 @@ int main() {
     }
   }
 
-  print_rate_table("Executed commands per replica (ops/s)",
-                   {{"replica1", &r1->executed_series(), 1.0},
-                    {"replica2", &r2->executed_series(), 1.0},
-                    {"clients", &client->completions(), 1.0}},
+  const obs::MetricsRegistry& metrics = cluster.sim().metrics();
+  auto node_key = [](const char* name, const std::string& node) {
+    return obs::metric_key(name, {{"node", node}});
+  };
+  print_rate_table(metrics, "Executed commands per replica (ops/s)",
+                   {{"replica1", node_key("kv.executed", r1->name()), 1.0},
+                    {"replica2", node_key("kv.executed", r2->name()), 1.0},
+                    {"clients", node_key("client.completions", client->name()), 1.0}},
                    0, end);
-  print_cpu_table("CPU utilisation (%)",
-                  {{"replica1", r1}, {"replica2", r2}}, 0, end);
-  print_latency_table("Client latency p95 (ms)",
-                      {{"p95(ms)", &client->latency_windows(), 0.95}}, 0, end);
+  print_cpu_table(metrics, "CPU utilisation (%)",
+                  {{"replica1", node_key("cpu.busy", r1->name())},
+                   {"replica2", node_key("cpu.busy", r2->name())}},
+                  0, end);
+  print_latency_table(metrics, "Client latency p95 (ms)",
+                      {{"p95(ms)", node_key("client.latency", client->name()), 0.95}},
+                      0, end);
 
   print_header("Summary");
   std::printf("overall latency: %s\n", client->latency().summary().c_str());

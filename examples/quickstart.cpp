@@ -53,5 +53,12 @@ int main() {
               static_cast<unsigned long long>(replica2->delivered()));
   std::printf("median client latency: %s\n",
               format_duration(client->latency().p50()).c_str());
+
+  // Every metric the run produced — CPU, queue depths, per-role protocol
+  // counters, client latency — lives in one registry owned by the
+  // simulation. Dump it as JSON (pass include_series=true for the
+  // per-second rate series the figure benches plot).
+  std::printf("\nmetrics snapshot (JSON):\n%s\n",
+              cluster.sim().metrics().to_json(/*include_series=*/false).c_str());
   return 0;
 }

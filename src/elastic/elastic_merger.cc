@@ -10,6 +10,11 @@ namespace epx::elastic {
 ElasticMerger::ElasticMerger(GroupId group, Hooks hooks)
     : group_(group), hooks_(std::move(hooks)) {}
 
+void ElasticMerger::trace_event(obs::TraceKind kind, StreamId stream, uint64_t a,
+                                uint64_t b) {
+  if (obs_.trace != nullptr) obs_.trace->record(mnow(), kind, obs_.node, stream, a, b);
+}
+
 void ElasticMerger::bootstrap(const std::vector<StreamId>& initial) {
   sigma_ = initial;
   std::sort(sigma_.begin(), sigma_.end());
@@ -160,6 +165,8 @@ void ElasticMerger::begin_subscription(const Command& cmd) {
   pending_cmd_ = cmd;
   pending_sn_ = cmd.target_stream;
   phase_ = Phase::kScanning;
+  scan_begin_ = mnow();
+  trace_event(obs::TraceKind::kSubscribeBegin, pending_sn_, cmd.id);
   queue(pending_sn_);
   if (learners_running_.insert(pending_sn_).second) {
     hooks_.start_learner(pending_sn_);
@@ -180,17 +187,22 @@ bool ElasticMerger::step_scanning() {
       SlotIndex merge = q.next_index();  // == b + 1
       for (StreamId s : sigma_) merge = std::max(merge, queue(s).next_index());
       merge_point_ = merge;
+      trace_event(obs::TraceKind::kMergePoint, pending_sn_, merge_point_);
       q.fast_forward(merge_point_);
       phase_ = Phase::kAligning;
       EPX_DEBUG << "merger G" << group_ << ": merge point " << merge_point_ << " for S"
                 << pending_sn_;
     } else {
       ++discarded_;  // pre-merge-point value of the new stream
+      if (obs_.discarded != nullptr) obs_.discarded->add(mnow());
+      if (obs_.scan_slots != nullptr) obs_.scan_slots->add(mnow());
     }
   } else {
     // The scan only looks for the twin subscribe request; a whole skip
     // run can never contain it, so swallow it in one step.
-    q.consume_skips(q.head_skip_run());
+    const uint64_t run = q.head_skip_run();
+    if (obs_.scan_slots != nullptr) obs_.scan_slots->add(mnow(), run);
+    q.consume_skips(run);
   }
   return true;
 }
@@ -248,6 +260,7 @@ void ElasticMerger::apply_unsubscribe(const Command& cmd) {
   queues_.erase(cmd.target_stream);
   learners_running_.erase(cmd.target_stream);
   rebuild_sigma_queues();
+  trace_event(obs::TraceKind::kUnsubscribe, cmd.target_stream, cmd.id);
   hooks_.stop_learner(cmd.target_stream);
   EPX_DEBUG << "merger G" << group_ << ": unsubscribed S" << cmd.target_stream;
   hooks_.control(cmd);
@@ -259,6 +272,10 @@ void ElasticMerger::complete_subscription() {
   rebuild_sigma_queues();
   rr_ = 0;  // "S <- first(Sigma)" — all streams are aligned at merge_point_
   phase_ = Phase::kNormal;
+  if (obs_.subscribe_latency != nullptr) {
+    obs_.subscribe_latency->record(mnow(), mnow() - scan_begin_);
+  }
+  trace_event(obs::TraceKind::kSubscribeComplete, pending_sn_, merge_point_);
   const Command completed = pending_cmd_;
   pending_sn_ = paxos::kInvalidStream;
   EPX_DEBUG << "merger G" << group_ << ": subscription to S" << completed.target_stream

@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "multicast/stream_queue.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace epx::elastic {
 
@@ -60,7 +62,22 @@ class ElasticMerger {
     std::function<void(const Command&)> control;
   };
 
+  /// Observability handles, bound by the hosting replica. The merger is
+  /// not a Process, so its host supplies registry handles, the trace
+  /// ring and a virtual clock. All optional: an unbound merger (unit
+  /// tests) records nothing.
+  struct Instruments {
+    obs::Counter* discarded = nullptr;        ///< merge.discarded{node=}
+    obs::Counter* scan_slots = nullptr;       ///< merge.scan_slots{node=}
+    obs::Timer* subscribe_latency = nullptr;  ///< merge.subscribe_latency{node=}
+    obs::Trace* trace = nullptr;
+    std::function<Tick()> clock;
+    uint32_t node = 0;  ///< NodeId stamped on trace events
+  };
+
   ElasticMerger(GroupId group, Hooks hooks);
+
+  void bind_instruments(Instruments instruments) { obs_ = std::move(instruments); }
 
   /// Installs the initial subscriptions (the "default stream(s)") and
   /// starts their learners. Call once before the first pump().
@@ -124,11 +141,18 @@ class ElasticMerger {
   size_t rr_ = 0;
   Phase phase_ = Phase::kNormal;
 
+  /// Current virtual time, 0 when no clock is bound.
+  Tick mnow() const { return obs_.clock ? obs_.clock() : 0; }
+  void trace_event(obs::TraceKind kind, StreamId stream, uint64_t a, uint64_t b = 0);
+
   // Pending subscription (kScanning / kAligning).
   Command pending_cmd_;
   StreamId pending_sn_ = paxos::kInvalidStream;
   SlotIndex merge_point_ = 0;
+  Tick scan_begin_ = 0;  ///< when the pending subscription started scanning
   std::deque<Command> deferred_subscribes_;
+
+  Instruments obs_;
 
   uint64_t delivered_ = 0;
   uint64_t discarded_ = 0;

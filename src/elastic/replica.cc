@@ -17,7 +17,31 @@ Replica::Replica(sim::Simulation* sim, sim::Network* net, NodeId id, std::string
                   [this](StreamId s) { stop_learner(s); },
                   [this](const Command& c, StreamId s) { on_deliver(c, s); },
                   [this](const Command& c) { on_control(c); },
-              }) {}
+              }) {
+  const obs::Labels labels{{"node", this->name()}};
+  delivered_total_ = &metrics().counter("replica.delivered", labels);
+  delivered_bytes_ = &metrics().counter("replica.bytes", labels);
+  merger_.bind_instruments(ElasticMerger::Instruments{
+      &metrics().counter("merge.discarded", labels),
+      &metrics().counter("merge.scan_slots", labels),
+      &metrics().timer("merge.subscribe_latency", labels),
+      &trace(),
+      [this] { return now(); },
+      this->id(),
+  });
+}
+
+obs::Counter& Replica::per_stream_counter(StreamId stream) {
+  if (stream >= per_stream_delivered_.size()) {
+    per_stream_delivered_.resize(stream + 1, nullptr);
+  }
+  if (per_stream_delivered_[stream] == nullptr) {
+    per_stream_delivered_[stream] = &metrics().counter(
+        "replica.delivered",
+        {{"node", name()}, {"stream", std::to_string(stream)}});
+  }
+  return *per_stream_delivered_[stream];
+}
 
 void Replica::start() { merger_.bootstrap(config_.initial_streams); }
 
@@ -90,9 +114,12 @@ void Replica::on_deliver(const Command& cmd, StreamId stream) {
   }
   charge(config_.apply_cpu_per_cmd +
          static_cast<Tick>(cmd.payload_bytes() / kKiB) * config_.apply_cpu_per_kib);
-  ++delivered_;
-  delivered_bytes_ += cmd.payload_bytes();
-  delivery_series_.add(now(), 1);
+  const Tick t = now();  // frozen while this handler runs
+  delivered_total_->add(t);
+  delivered_bytes_->add(t, cmd.payload_bytes());
+  per_stream_counter(stream).add(t);
+  trace().record(t, obs::TraceKind::kDeliver, id(), stream, cmd.id,
+                 cmd.payload_bytes());
   if (delivery_listener_) delivery_listener_(id(), cmd, stream);
   if (app_handler_) app_handler_(cmd, stream);
   if (config_.send_replies && cmd.client != net::kInvalidNode) {

@@ -76,9 +76,12 @@ class Replica : public sim::Process {
   const ElasticMerger& merger() const { return merger_; }
 
   // --- metrics ------------------------------------------------------------
-  uint64_t delivered() const { return delivered_; }
-  uint64_t delivered_bytes() const { return delivered_bytes_; }
-  const WindowedCounter& delivery_series() const { return delivery_series_; }
+  // Registry-backed: `replica.delivered{node=}` (plus one
+  // `replica.delivered{node=,stream=}` per stream) and
+  // `replica.bytes{node=}`.
+  uint64_t delivered() const { return delivered_total_->total(); }
+  uint64_t delivered_bytes() const { return delivered_bytes_->total(); }
+  const WindowedCounter& delivery_series() const { return delivered_total_->series(); }
 
  protected:
   void on_message(NodeId from, const MessagePtr& msg) override;
@@ -94,6 +97,7 @@ class Replica : public sim::Process {
   void stop_learner(StreamId stream);
   void on_deliver(const Command& cmd, StreamId stream);
   void on_control(const Command& cmd);
+  obs::Counter& per_stream_counter(StreamId stream);
 
   const paxos::StreamDirectory* directory_;
   Config config_;
@@ -104,9 +108,12 @@ class Replica : public sim::Process {
   ControlHandler control_handler_;
   DeliveryListener delivery_listener_;
 
-  uint64_t delivered_ = 0;
-  uint64_t delivered_bytes_ = 0;
-  WindowedCounter delivery_series_{kSecond};
+  // Registry-owned handles; the per-stream handles are cached in a flat
+  // vector indexed by stream id so the delivery hot path pays no map
+  // lookup.
+  obs::Counter* delivered_total_;
+  obs::Counter* delivered_bytes_;
+  std::vector<obs::Counter*> per_stream_delivered_;
 
   std::set<uint64_t> seen_ids_;
   std::deque<uint64_t> seen_order_;

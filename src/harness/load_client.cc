@@ -9,7 +9,12 @@ LoadClient::LoadClient(sim::Simulation* sim, sim::Network* net, NodeId id,
                        Config config)
     : Process(sim, net, id, std::move(name)),
       directory_(directory),
-      config_(std::move(config)) {}
+      config_(std::move(config)) {
+  const obs::Labels labels{{"node", this->name()}};
+  latency_ = &metrics().timer("client.latency", labels);
+  completions_ = &metrics().counter("client.completions", labels);
+  retries_ = &metrics().counter("client.retries", labels);
+}
 
 void LoadClient::start() {
   running_ = true;
@@ -59,7 +64,7 @@ void LoadClient::arm_timeout(size_t thread_index, uint64_t cmd_id) {
     if (!running_) return;
     ThreadState& t = threads_[thread_index];
     if (!t.outstanding || t.current_cmd != cmd_id) return;
-    ++retries_;
+    retries_->add(now());
     auto it = commands_.find(cmd_id);
     if (it == commands_.end()) return;
     send_current(thread_index, it->second);  // route re-evaluated
@@ -80,12 +85,8 @@ void LoadClient::on_message(NodeId from, const MessagePtr& msg) {
   ThreadState& t = threads_[thread_index];
   t.outstanding = false;
   const Tick latency = now() - t.sent_at;
-  latency_.record(latency);
-  const auto window = static_cast<size_t>(now() / kSecond);
-  if (latency_windows_.size() <= window) latency_windows_.resize(window + 1);
-  latency_windows_[window].record(latency);
-  completions_.add(now(), 1);
-  ++completed_;
+  latency_->record(now(), latency);
+  completions_->add(now());
 
   if (config_.think_time > 0) {
     after(config_.think_time, [this, thread_index] { issue(thread_index); });

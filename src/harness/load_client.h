@@ -49,13 +49,14 @@ class LoadClient : public sim::Process {
   void stop();
 
   // --- metrics ------------------------------------------------------------
-  const Histogram& latency() const { return latency_; }
-  Histogram& latency() { return latency_; }
-  const WindowedCounter& completions() const { return completions_; }
+  // Registry-backed: `client.latency{node=}` (timer),
+  // `client.completions{node=}` and `client.retries{node=}` (counters).
+  const Histogram& latency() const { return latency_->total(); }
+  const WindowedCounter& completions() const { return completions_->series(); }
   /// Per-window latency histograms (for latency-over-time panels).
-  const std::vector<Histogram>& latency_windows() const { return latency_windows_; }
-  uint64_t completed() const { return completed_; }
-  uint64_t retries() const { return retries_; }
+  const std::vector<Histogram>& latency_windows() const { return latency_->windows(); }
+  uint64_t completed() const { return completions_->total(); }
+  uint64_t retries() const { return retries_->total(); }
 
  protected:
   void on_message(NodeId from, const MessagePtr& msg) override;
@@ -79,11 +80,10 @@ class LoadClient : public sim::Process {
   std::unordered_map<uint64_t, size_t> inflight_;  // cmd id -> thread
   std::unordered_map<uint64_t, paxos::Command> commands_;  // for re-sends
 
-  Histogram latency_;
-  std::vector<Histogram> latency_windows_;
-  WindowedCounter completions_{kSecond};
-  uint64_t completed_ = 0;
-  uint64_t retries_ = 0;
+  // Registry-owned handles, labelled {node=<name>}.
+  obs::Timer* latency_;
+  obs::Counter* completions_;
+  obs::Counter* retries_;
 };
 
 }  // namespace epx::harness

@@ -1,72 +1,125 @@
 #include "harness/report.h"
 
 #include <cstdio>
+#include <fstream>
 
 namespace epx::harness {
+namespace {
+
+/// Bounded-size formatted append (all table cells are short).
+template <typename... Args>
+void appendf(std::string* out, const char* fmt, Args... args) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  *out += buf;
+}
+
+std::string header_text(const std::string& title) {
+  return "\n==== " + title + " ====\n";
+}
+
+template <typename Column>
+void append_column_headers(std::string* out, const std::vector<Column>& columns) {
+  appendf(out, "%6s", "t(s)");
+  for (const auto& c : columns) appendf(out, " %12s", c.label.c_str());
+  *out += '\n';
+}
+
+}  // namespace
 
 void print_header(const std::string& title) {
-  std::printf("\n==== %s ====\n", title.c_str());
+  std::fputs(header_text(title).c_str(), stdout);
 }
 
-void print_rate_table(const std::string& title, const std::vector<RateColumn>& columns,
-                      Tick from, Tick to) {
-  print_header(title);
-  std::printf("%6s", "t(s)");
-  for (const auto& c : columns) std::printf(" %12s", c.label.c_str());
-  std::printf("\n");
+std::string render_rate_table(const obs::MetricsRegistry& metrics,
+                              const std::string& title,
+                              const std::vector<RateColumn>& columns, Tick from,
+                              Tick to) {
+  std::string out = header_text(title);
+  append_column_headers(&out, columns);
   for (Tick t = from; t < to; t += kSecond) {
-    std::printf("%6lld", static_cast<long long>(t / kSecond));
+    appendf(&out, "%6lld", static_cast<long long>(t / kSecond));
     for (const auto& c : columns) {
+      const obs::Counter* counter = metrics.find_counter(c.metric);
       const auto idx = static_cast<size_t>(t / kSecond);
-      const double rate =
-          (c.counter != nullptr && idx < c.counter->size()) ? c.counter->rate_at(idx) : 0.0;
-      std::printf(" %12.1f", rate * c.scale);
+      const double rate = (counter != nullptr && idx < counter->series().size())
+                              ? counter->series().rate_at(idx)
+                              : 0.0;
+      appendf(&out, " %12.1f", rate * c.scale);
     }
-    std::printf("\n");
+    out += '\n';
   }
+  return out;
 }
 
-void print_cpu_table(const std::string& title, const std::vector<CpuColumn>& columns,
-                     Tick from, Tick to) {
-  print_header(title);
-  std::printf("%6s", "t(s)");
-  for (const auto& c : columns) std::printf(" %12s", c.label.c_str());
-  std::printf("\n");
+void print_rate_table(const obs::MetricsRegistry& metrics, const std::string& title,
+                      const std::vector<RateColumn>& columns, Tick from, Tick to) {
+  std::fputs(render_rate_table(metrics, title, columns, from, to).c_str(), stdout);
+}
+
+std::string render_cpu_table(const obs::MetricsRegistry& metrics,
+                             const std::string& title,
+                             const std::vector<CpuColumn>& columns, Tick from,
+                             Tick to) {
+  std::string out = header_text(title);
+  append_column_headers(&out, columns);
   for (Tick t = from; t < to; t += kSecond) {
-    std::printf("%6lld", static_cast<long long>(t / kSecond));
+    appendf(&out, "%6lld", static_cast<long long>(t / kSecond));
     for (const auto& c : columns) {
+      const obs::Counter* busy = metrics.find_counter(c.metric);
       const double util =
-          c.process != nullptr ? c.process->utilization(t, t + kSecond) * 100.0 : 0.0;
-      std::printf(" %11.1f%%", util);
+          busy != nullptr
+              ? static_cast<double>(busy->series().total_in(t, t + kSecond)) /
+                    static_cast<double>(kSecond) * 100.0
+              : 0.0;
+      appendf(&out, " %11.1f%%", util);
     }
-    std::printf("\n");
+    out += '\n';
   }
+  return out;
 }
 
-void print_latency_table(const std::string& title,
-                         const std::vector<LatencyColumn>& columns, Tick from, Tick to) {
-  print_header(title);
-  std::printf("%6s", "t(s)");
-  for (const auto& c : columns) std::printf(" %12s", c.label.c_str());
-  std::printf("\n");
+void print_cpu_table(const obs::MetricsRegistry& metrics, const std::string& title,
+                     const std::vector<CpuColumn>& columns, Tick from, Tick to) {
+  std::fputs(render_cpu_table(metrics, title, columns, from, to).c_str(), stdout);
+}
+
+std::string render_latency_table(const obs::MetricsRegistry& metrics,
+                                 const std::string& title,
+                                 const std::vector<LatencyColumn>& columns,
+                                 Tick from, Tick to) {
+  std::string out = header_text(title);
+  append_column_headers(&out, columns);
   for (Tick t = from; t < to; t += kSecond) {
-    std::printf("%6lld", static_cast<long long>(t / kSecond));
+    appendf(&out, "%6lld", static_cast<long long>(t / kSecond));
     for (const auto& c : columns) {
+      const obs::Timer* timer = metrics.find_timer(c.metric);
       const auto idx = static_cast<size_t>(t / kSecond);
       double ms = 0.0;
-      if (c.windows != nullptr && idx < c.windows->size()) {
-        ms = to_millis((*c.windows)[idx].quantile(c.quantile));
+      if (timer != nullptr && idx < timer->windows().size()) {
+        ms = to_millis(timer->windows()[idx].quantile(c.quantile));
       }
-      std::printf(" %12.2f", ms);
+      appendf(&out, " %12.2f", ms);
     }
-    std::printf("\n");
+    out += '\n';
   }
+  return out;
 }
 
-void print_phase_averages(const std::string& title, const WindowedCounter& counter,
+void print_latency_table(const obs::MetricsRegistry& metrics, const std::string& title,
+                         const std::vector<LatencyColumn>& columns, Tick from,
+                         Tick to) {
+  std::fputs(render_latency_table(metrics, title, columns, from, to).c_str(), stdout);
+}
+
+void print_phase_averages(const obs::MetricsRegistry& metrics, const std::string& title,
+                          const std::string& metric,
                           const std::vector<Tick>& boundaries, Tick end) {
   print_header(title);
-  const auto phases = phase_averages(counter, boundaries, end);
+  const obs::Counter* counter = metrics.find_counter(metric);
+  static const WindowedCounter kEmpty(kSecond);
+  const auto phases =
+      phase_averages(counter != nullptr ? counter->series() : kEmpty, boundaries, end);
   for (size_t i = 0; i < phases.size(); ++i) {
     std::printf("phase %zu  [%5.1fs, %5.1fs)  avg %10.1f ops/s\n", i + 1,
                 to_seconds(phases[i].from), to_seconds(phases[i].to), phases[i].rate);
@@ -77,6 +130,14 @@ void paper_check(const std::string& id, const std::string& claim, bool pass,
                  const std::string& measured) {
   std::printf("PAPER-CHECK %-28s %s | paper: %s | measured: %s\n", id.c_str(),
               pass ? "PASS" : "FAIL", claim.c_str(), measured.c_str());
+}
+
+bool write_json_snapshot(const obs::MetricsRegistry& metrics, const std::string& path,
+                         bool include_series) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << metrics.to_json(include_series) << '\n';
+  return static_cast<bool>(out);
 }
 
 }  // namespace epx::harness

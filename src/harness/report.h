@@ -4,56 +4,88 @@
 // per-phase interval averages (Fig. 3's "Interval avg." line), latency
 // percentiles, and a PAPER-CHECK verdict comparing the measured shape
 // against the paper's claim.
+//
+// The report layer is a pure consumer of the observability registry:
+// columns name metrics by their canonical key (`name{k=v,...}`, see
+// obs::metric_key) and every renderer resolves the key at print time.
+// A metric that does not exist — a role was never instantiated, or was
+// destroyed mid-run by an elastic unsubscribe — renders as 0.0 instead
+// of chasing a dangling pointer into freed role state.
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "sim/process.h"
+#include "obs/metrics.h"
 #include "util/histogram.h"
 #include "util/timeseries.h"
 
 namespace epx::harness {
 
-/// One column of a per-second rate table.
+/// One column of a per-second rate table, fed by a registry counter.
 struct RateColumn {
   std::string label;
-  const WindowedCounter* counter = nullptr;
+  /// Canonical registry key of a counter (obs::metric_key(...)).
+  std::string metric;
   /// Multiplier applied to the rate (e.g. bytes -> Mbps).
   double scale = 1.0;
 };
 
-/// One column of a per-second CPU-utilisation table (0..100%).
+/// One column of a per-second CPU-utilisation table (0..100%), fed by a
+/// busy-nanoseconds counter (`cpu.busy{node=...}`).
 struct CpuColumn {
   std::string label;
-  const sim::Process* process = nullptr;
+  std::string metric;
 };
 
-/// Per-second latency percentile column.
+/// Per-second latency percentile column, fed by a registry timer.
 struct LatencyColumn {
   std::string label;
-  const std::vector<Histogram>* windows = nullptr;
+  std::string metric;
   double quantile = 0.95;
 };
 
 void print_header(const std::string& title);
 
-/// Prints "t  col1  col2 ..." rows for each 1 s window in [from, to).
-void print_rate_table(const std::string& title, const std::vector<RateColumn>& columns,
-                      Tick from, Tick to);
+// The render_* functions produce the exact table text (used by tests to
+// check output without capturing stdout); the print_* wrappers emit it.
 
-void print_cpu_table(const std::string& title, const std::vector<CpuColumn>& columns,
-                     Tick from, Tick to);
+/// "t  col1  col2 ..." rows for each 1 s window in [from, to).
+std::string render_rate_table(const obs::MetricsRegistry& metrics,
+                              const std::string& title,
+                              const std::vector<RateColumn>& columns, Tick from,
+                              Tick to);
+void print_rate_table(const obs::MetricsRegistry& metrics, const std::string& title,
+                      const std::vector<RateColumn>& columns, Tick from, Tick to);
 
-void print_latency_table(const std::string& title,
-                         const std::vector<LatencyColumn>& columns, Tick from, Tick to);
+std::string render_cpu_table(const obs::MetricsRegistry& metrics,
+                             const std::string& title,
+                             const std::vector<CpuColumn>& columns, Tick from,
+                             Tick to);
+void print_cpu_table(const obs::MetricsRegistry& metrics, const std::string& title,
+                     const std::vector<CpuColumn>& columns, Tick from, Tick to);
 
-/// Prints the average rate within each phase delimited by `boundaries`.
-void print_phase_averages(const std::string& title, const WindowedCounter& counter,
+std::string render_latency_table(const obs::MetricsRegistry& metrics,
+                                 const std::string& title,
+                                 const std::vector<LatencyColumn>& columns,
+                                 Tick from, Tick to);
+void print_latency_table(const obs::MetricsRegistry& metrics, const std::string& title,
+                         const std::vector<LatencyColumn>& columns, Tick from,
+                         Tick to);
+
+/// Prints the average rate of the named counter within each phase
+/// delimited by `boundaries`. A missing metric renders zero rates.
+void print_phase_averages(const obs::MetricsRegistry& metrics, const std::string& title,
+                          const std::string& metric,
                           const std::vector<Tick>& boundaries, Tick end);
 
 /// Records a paper-vs-measured comparison; prints PASS/FAIL.
 void paper_check(const std::string& id, const std::string& claim, bool pass,
                  const std::string& measured);
+
+/// Writes a full registry snapshot (counters, gauges, timers — see
+/// obs::MetricsRegistry::to_json) to `path`. Returns false on I/O error.
+bool write_json_snapshot(const obs::MetricsRegistry& metrics, const std::string& path,
+                         bool include_series = true);
 
 }  // namespace epx::harness

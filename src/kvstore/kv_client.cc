@@ -12,7 +12,12 @@ KvClient::KvClient(sim::Simulation* sim, sim::Network* net, NodeId id, std::stri
       directory_(directory),
       config_(std::move(config)),
       registry_client_(this, config_.registry),
-      rng_(config_.seed) {}
+      rng_(config_.seed) {
+  const obs::Labels labels{{"node", this->name()}};
+  latency_ = &metrics().timer("client.latency", labels);
+  completions_ = &metrics().counter("client.completions", labels);
+  retries_ = &metrics().counter("client.retries", labels);
+}
 
 std::string KvClient::key_name(size_t index) {
   char buf[24];
@@ -124,7 +129,7 @@ void KvClient::arm_timeout(size_t thread_index, uint64_t cmd_id) {
     auto it = inflight_.find(cmd_id);
     if (it == inflight_.end() || it->second != thread_index) return;
     if (threads_[thread_index].done) return;
-    ++retries_;
+    retries_->add(now());
     dispatch(thread_index);  // re-routed through the refreshed map
     arm_timeout(thread_index, cmd_id);
   });
@@ -134,12 +139,8 @@ void KvClient::complete(size_t thread_index, const std::string& get_value) {
   Outstanding& t = threads_[thread_index];
   t.done = true;
   const Tick latency = now() - t.sent_at;
-  latency_.record(latency);
-  const auto window = static_cast<size_t>(now() / kSecond);
-  if (latency_windows_.size() <= window) latency_windows_.resize(window + 1);
-  latency_windows_[window].record(latency);
-  completions_.add(now(), 1);
-  ++completed_;
+  latency_->record(now(), latency);
+  completions_->add(now());
 
   if (config_.record_history && t.op.kind != OpKind::kGetRange) {
     checker::KvOp h;

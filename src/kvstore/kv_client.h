@@ -62,11 +62,13 @@ class KvClient : public sim::Process {
   void stop();
 
   // --- metrics ---------------------------------------------------------
-  const Histogram& latency() const { return latency_; }
-  const std::vector<Histogram>& latency_windows() const { return latency_windows_; }
-  const WindowedCounter& completions() const { return completions_; }
-  uint64_t completed() const { return completed_; }
-  uint64_t retries() const { return retries_; }
+  // Registry-backed: `client.latency{node=}` (timer),
+  // `client.completions{node=}` and `client.retries{node=}` (counters).
+  const Histogram& latency() const { return latency_->total(); }
+  const std::vector<Histogram>& latency_windows() const { return latency_->windows(); }
+  const WindowedCounter& completions() const { return completions_->series(); }
+  uint64_t completed() const { return completions_->total(); }
+  uint64_t retries() const { return retries_->total(); }
   const checker::LinearizabilityChecker& history() const { return history_; }
   const PartitionMap& partition_map() const { return map_; }
 
@@ -106,11 +108,10 @@ class KvClient : public sim::Process {
   std::unordered_map<uint64_t, size_t> inflight_;  // cmd id -> thread
   std::unordered_map<uint64_t, paxos::Command> commands_;
 
-  Histogram latency_;
-  std::vector<Histogram> latency_windows_;
-  WindowedCounter completions_{kSecond};
-  uint64_t completed_ = 0;
-  uint64_t retries_ = 0;
+  // Registry-owned handles, labelled {node=<name>}.
+  obs::Timer* latency_;
+  obs::Counter* completions_;
+  obs::Counter* retries_;
   checker::LinearizabilityChecker history_;
 };
 

@@ -13,6 +13,11 @@ KvReplica::KvReplica(sim::Simulation* sim, sim::Network* net, NodeId id, std::st
                 return base;
               }()),
       kv_config_(kv_config) {
+  const obs::Labels labels{{"node", this->name()}};
+  executed_ = &metrics().counter("kv.executed", labels);
+  discarded_ = &metrics().counter("kv.discarded", labels);
+  signals_sent_ = &metrics().counter("kv.signals", labels);
+  snapshot_bytes_ = &metrics().counter("kv.snapshot_bytes", labels);
   set_app_handler([this](const Command& cmd, StreamId) { on_kv_deliver(cmd); });
 }
 
@@ -91,6 +96,7 @@ void KvReplica::drain_exec_queue() {
         // Tell every other partition we delivered this command.
         for (const PeerReplica& peer : peers_) {
           if (peer.partition_id == kv_config_.partition_id) continue;
+          signals_sent_->add(now());
           send(peer.node,
                net::make_message<KvSignalMsg>(head.cmd.id, kv_config_.partition_id));
         }
@@ -132,11 +138,10 @@ void KvReplica::execute_single(const Command& cmd, const KvOp& op) {
   if (!owns(op.hash())) {
     // Wrong partition (command raced a re-partitioning): discard; the
     // client re-sends to the correct partition after its timeout.
-    ++discarded_wrong_partition_;
+    discarded_->add(now());
     return;
   }
-  ++executed_;
-  executed_series_.add(now(), 1);
+  executed_->add(now());
   switch (op.kind) {
     case OpKind::kPut:
       store_[op.key] = op.value;
@@ -157,8 +162,7 @@ void KvReplica::execute_single(const Command& cmd, const KvOp& op) {
 }
 
 void KvReplica::execute_getrange(const Command& cmd, const KvOp& op) {
-  ++executed_;
-  executed_series_.add(now(), 1);
+  executed_->add(now());
   std::vector<std::pair<std::string, std::string>> result;
   auto it = store_.lower_bound(op.key);
   size_t visited = 0;
@@ -213,6 +217,7 @@ void KvReplica::on_app_message(NodeId from, const MessagePtr& msg) {
         std::vector<std::pair<std::string, std::string>> pairs(store_.begin(),
                                                                store_.end());
         reply_msg->store = std::make_shared<const std::string>(encode_pairs(pairs));
+        snapshot_bytes_->add(now(), reply_msg->store->size());
         for (StreamId s : merger().subscriptions()) {
           reply_msg->stream_positions.emplace_back(s, merger().queue(s).next_index());
         }

@@ -64,9 +64,10 @@ class KvReplica : public elastic::Replica {
     return hash >= kv_config_.hash_lo && hash <= kv_config_.hash_hi;
   }
   const std::map<std::string, std::string>& store() const { return store_; }
-  uint64_t executed() const { return executed_; }
-  uint64_t discarded_wrong_partition() const { return discarded_wrong_partition_; }
-  const WindowedCounter& executed_series() const { return executed_series_; }
+  // Registry-backed: `kv.executed{node=}`, `kv.discarded{node=}`.
+  uint64_t executed() const { return executed_->total(); }
+  uint64_t discarded_wrong_partition() const { return discarded_->total(); }
+  const WindowedCounter& executed_series() const { return executed_->series(); }
 
   /// Installs a snapshot (store + merger cut) received from a peer; used
   /// when this replica joins an existing group. Must be called before
@@ -118,9 +119,11 @@ class KvReplica : public elastic::Replica {
   bool joined_ = false;
   uint64_t join_request_id_ = 0;
 
-  uint64_t executed_ = 0;
-  uint64_t discarded_wrong_partition_ = 0;
-  WindowedCounter executed_series_{kSecond};
+  // Registry-owned handles, labelled {node=<name>}.
+  obs::Counter* executed_;        // kv.executed: ops applied to the store
+  obs::Counter* discarded_;       // kv.discarded: wrong-partition discards
+  obs::Counter* signals_sent_;    // kv.signals: getrange signals sent to peers
+  obs::Counter* snapshot_bytes_;  // kv.snapshot_bytes: snapshot payload served
 };
 
 }  // namespace epx::kv

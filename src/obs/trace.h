@@ -1,0 +1,127 @@
+// Bounded structured trace of protocol events.
+//
+// Every interesting protocol transition (propose, decide, deliver,
+// skip-run, subscribe alignment, takeover, trim, crash/restart) is
+// recorded as a typed, fixed-size event with its sim-time stamp into a
+// ring buffer. The ring is bounded: once full, the oldest events are
+// overwritten and counted as dropped, so tracing can stay on for
+// arbitrarily long runs with O(capacity) memory.
+//
+// Recording is two pointer-free stores plus a ring-index increment —
+// cheap enough for control-plane events on every run. The *hot* data
+// events (kPropose/kDecide/kDeliver, millions per simulated second) are
+// only recorded when `verbose()` is enabled, so the default cost on the
+// delivery path is a single predictable branch.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.h"
+
+namespace epx::obs {
+
+enum class TraceKind : uint8_t {
+  // Hot data-plane events — recorded only when verbose() is on.
+  kPropose,
+  kDecide,
+  kDeliver,
+  // Control-plane events — always recorded.
+  kSkipRun,
+  kSubscribeBegin,
+  kMergePoint,
+  kSubscribeComplete,
+  kUnsubscribe,
+  kPrepare,
+  kTakeoverBegin,
+  kTakeoverComplete,
+  kTrim,
+  kCrash,
+  kRestart,
+  kLog,
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  Tick time = 0;
+  TraceKind kind = TraceKind::kLog;
+  uint32_t node = 0;    ///< NodeId of the acting process (0 when n/a).
+  uint32_t stream = 0;  ///< StreamId the event belongs to (0 when n/a).
+  uint64_t a = 0;       ///< kind-specific payload (instance, slot, point...)
+  uint64_t b = 0;       ///< kind-specific payload (run length, position...)
+  char detail[40] = {};  ///< short free-form annotation, truncated.
+
+  std::string to_string() const;
+};
+
+class Trace {
+ public:
+  explicit Trace(size_t capacity = 4096) : capacity_(capacity) {
+    ring_.reserve(capacity_ < 64 ? capacity_ : 64);
+  }
+
+  /// Hot events (propose/decide/deliver) are recorded only when set.
+  void set_verbose(bool on) { verbose_ = on; }
+  bool verbose() const { return verbose_; }
+
+  void record(Tick time, TraceKind kind, uint32_t node = 0, uint32_t stream = 0,
+              uint64_t a = 0, uint64_t b = 0, std::string_view detail = {}) {
+    if (is_hot(kind) && !verbose_) return;
+    TraceEvent& ev = slot();
+    ev.time = time;
+    ev.kind = kind;
+    ev.node = node;
+    ev.stream = stream;
+    ev.a = a;
+    ev.b = b;
+    const size_t n = detail.size() < sizeof(ev.detail) - 1 ? detail.size() : sizeof(ev.detail) - 1;
+    if (n > 0) std::memcpy(ev.detail, detail.data(), n);
+    ev.detail[n] = '\0';
+  }
+
+  /// Events still held in the ring, oldest first.
+  std::vector<TraceEvent> events() const;
+  /// Events of one kind still held in the ring, oldest first.
+  std::vector<TraceEvent> events(TraceKind kind) const;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return ring_.size(); }
+  uint64_t recorded() const { return recorded_; }
+  uint64_t dropped() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+
+  void clear() {
+    ring_.clear();
+    head_ = 0;
+    recorded_ = 0;
+  }
+
+  static bool is_hot(TraceKind kind) {
+    return kind == TraceKind::kPropose || kind == TraceKind::kDecide ||
+           kind == TraceKind::kDeliver;
+  }
+
+ private:
+  TraceEvent& slot() {
+    ++recorded_;
+    if (ring_.size() < capacity_) {
+      return ring_.emplace_back();
+    }
+    TraceEvent& ev = ring_[head_];
+    head_ = (head_ + 1) % capacity_;
+    return ev;
+  }
+
+  size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;  ///< index of the oldest event once the ring is full.
+  uint64_t recorded_ = 0;
+  bool verbose_ = false;
+};
+
+}  // namespace epx::obs

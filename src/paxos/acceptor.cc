@@ -11,7 +11,10 @@ using net::MsgType;
 
 Acceptor::Acceptor(sim::Simulation* sim, sim::Network* net, NodeId id, std::string name,
                    Config config)
-    : Process(sim, net, id, std::move(name)), config_(std::move(config)) {}
+    : Process(sim, net, id, std::move(name)), config_(std::move(config)) {
+  decisions_ = &metrics().counter("acceptor.decisions", {{"node", this->name()}});
+  recoveries_ = &metrics().counter("acceptor.recoveries", {{"node", this->name()}});
+}
 
 bool Acceptor::has_decided(InstanceId instance) const {
   auto it = log_.find(instance);
@@ -65,6 +68,8 @@ void Acceptor::on_crash() {
 
 void Acceptor::handle_phase1a(NodeId from, const Phase1aMsg& msg) {
   charge(config_.params.acceptor_cpu_per_msg);
+  trace().record(now(), obs::TraceKind::kPrepare, id(), config_.stream, msg.ballot.round,
+                 msg.from_instance);
   auto reply = net::make_mutable_message<Phase1bMsg>();
   reply->stream = config_.stream;
   reply->ballot = msg.ballot;
@@ -136,6 +141,9 @@ void Acceptor::handle_accept(const AcceptMsg& msg) {
   // an equivalent skip run, preserving first_slot and slot_count()
   // without shipping the payload bytes again.
   if (count == quorum_ && !was_decided) {
+    decisions_->add(now());
+    trace().record(now(), obs::TraceKind::kDecide, id(), config_.stream, msg.instance,
+                   msg.value.slot_count());
     for (NodeId learner : learners_) {
       if (learner == msg.ballot.leader) {
         Proposal summary;
@@ -168,6 +176,7 @@ void Acceptor::advance_decided_contiguous() {
 
 void Acceptor::handle_recover(NodeId from, const RecoverRequestMsg& msg) {
   charge(config_.params.acceptor_cpu_per_msg);
+  recoveries_->add(now());
   auto reply = net::make_mutable_message<RecoverReplyMsg>();
   reply->stream = config_.stream;
   reply->trim_horizon = trim_horizon_;

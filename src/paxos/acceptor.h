@@ -68,6 +68,10 @@ class Acceptor : public sim::Process {
   NodeId successor_ = net::kInvalidNode;
   size_t quorum_ = 2;
 
+  // Registry-owned handles, labelled {node=<name>}.
+  obs::Counter* decisions_;   // acceptor.decisions: quorum completions published
+  obs::Counter* recoveries_;  // acceptor.recoveries: catch-up requests served
+
   Ballot promised_;
   std::map<InstanceId, Entry> log_;
   InstanceId trim_horizon_ = 0;

@@ -23,6 +23,12 @@ Coordinator::Coordinator(sim::Simulation* sim, sim::Network* net, NodeId id,
   // provisioned (add_stream_after) must not order anything yet.
   ballot_ = Ballot{config_.initial_round, this->id()};
   max_round_seen_ = config_.initial_round;
+  const obs::Labels labels{{"stream", std::to_string(config_.stream)}};
+  commands_ = &metrics().counter("coord.commands", labels);
+  skips_ = &metrics().counter("coord.skips", labels);
+  retries_ = &metrics().counter("coord.retries", labels);
+  takeovers_ = &metrics().counter("coord.takeovers", labels);
+  trim_pos_ = &metrics().gauge("coord.trim", labels);
 }
 
 void Coordinator::start() {
@@ -203,7 +209,7 @@ void Coordinator::flush_batches() {
     }
     pending_bytes_ -= std::min(pending_bytes_, bytes);
     oldest_pending_since_ = now();
-    commands_proposed_ += batch.commands.size();
+    commands_->add(now(), batch.commands.size());
     propose(std::move(batch));
   }
 }
@@ -213,6 +219,8 @@ void Coordinator::propose(Proposal value) {
   value.first_slot = next_slot_;
   next_slot_ += value.slot_count();
   slots_this_window_ += value.slot_count();
+  trace().record(now(), obs::TraceKind::kPropose, id(), config_.stream, instance,
+                 value.slot_count());
   Outstanding& out = outstanding_[instance];
   out.value = std::move(value);
   out.proposed_at = now();
@@ -271,6 +279,8 @@ void Coordinator::trim_tick() {
       const InstanceId trim_to = min_pos - config_.params.trim_backlog;
       if (trim_to > last_trim_) {
         last_trim_ = trim_to;
+        trim_pos_->set(static_cast<double>(trim_to));
+        trace().record(now(), obs::TraceKind::kTrim, id(), config_.stream, trim_to);
         EPX_DEBUG << name() << ": trimming S" << config_.stream << " below " << trim_to;
         request_trim(trim_to);
       }
@@ -296,7 +306,9 @@ void Coordinator::pacing_tick() {
     if (position < target && outstanding_.size() < config_.params.window) {
       Proposal skip;
       skip.skip_slots = target - position;
-      skip_slots_proposed_ += skip.skip_slots;
+      skips_->add(now(), skip.skip_slots);
+      trace().record(now(), obs::TraceKind::kSkipRun, id(), config_.stream, position,
+                     skip.skip_slots);
       propose(std::move(skip));
     }
   }
@@ -311,6 +323,7 @@ void Coordinator::retry_tick() {
       if (now() - out.proposed_at < kAcceptTimeout) continue;
       out.proposed_at = now();
       ++out.attempts;
+      retries_->add(now());
       if (out.attempts > kAttemptsBeforeNewBallot && !takeover_in_progress_) {
         // Our ballot is probably stale (another leader took over and then
         // died, or acceptors promised higher). Re-establish leadership.
@@ -367,6 +380,9 @@ void Coordinator::begin_takeover() {
   phase1_replies_.clear();
   ballot_ = Ballot{std::max(ballot_.round, max_round_seen_) + 1, id()};
   max_round_seen_ = ballot_.round;
+  takeovers_->add(now());
+  trace().record(now(), obs::TraceKind::kTakeoverBegin, id(), config_.stream, ballot_.round,
+                 decided_contiguous_);
   EPX_DEBUG << name() << ": phase 1 with " << ballot_.to_string() << " from instance "
             << decided_contiguous_;
   for (NodeId acc : config_.acceptors) {
@@ -426,6 +442,8 @@ void Coordinator::finish_takeover() {
     send_accept(i, out.value);
   }
   next_instance_ = highest;
+  trace().record(now(), obs::TraceKind::kTakeoverComplete, id(), config_.stream,
+                 ballot_.round, outstanding_.size());
   EPX_DEBUG << name() << ": leader with " << ballot_.to_string() << ", re-proposed "
             << outstanding_.size() << " instances, next=" << next_instance_;
   heartbeat_tick();

@@ -52,8 +52,8 @@ class Coordinator : public sim::Process {
   bool is_active() const { return active_; }
   const Ballot& ballot() const { return ballot_; }
   InstanceId next_instance() const { return next_instance_; }
-  uint64_t commands_proposed() const { return commands_proposed_; }
-  uint64_t skip_slots_proposed() const { return skip_slots_proposed_; }
+  uint64_t commands_proposed() const { return commands_->total(); }
+  uint64_t skip_slots_proposed() const { return skips_->total(); }
   size_t outstanding() const { return outstanding_.size(); }
 
   /// Changes the admission throttle at run time (harness use).
@@ -133,8 +133,12 @@ class Coordinator : public sim::Process {
   std::unordered_map<NodeId, std::pair<InstanceId, Tick>> learner_positions_;
   InstanceId last_trim_ = 0;
 
-  uint64_t commands_proposed_ = 0;
-  uint64_t skip_slots_proposed_ = 0;
+  // Registry-owned handles, all labelled {stream=<id>}.
+  obs::Counter* commands_;   // coord.commands: client commands proposed
+  obs::Counter* skips_;      // coord.skips: skip slots proposed for pacing
+  obs::Counter* retries_;    // coord.retries: accept re-sends after timeout
+  obs::Counter* takeovers_;  // coord.takeovers: phase-1 rounds started
+  obs::Gauge* trim_pos_;     // coord.trim: last trim position requested
 };
 
 }  // namespace epx::paxos

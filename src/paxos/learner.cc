@@ -7,7 +7,12 @@
 namespace epx::paxos {
 
 Learner::Learner(sim::Process* host, Config config, ProposalSink sink)
-    : host_(host), config_(std::move(config)), sink_(std::move(sink)) {}
+    : host_(host), config_(std::move(config)), sink_(std::move(sink)) {
+  const obs::Labels labels{{"node", host_->name()},
+                           {"stream", std::to_string(config_.stream)}};
+  delivered_ = &host_->metrics().counter("learner.delivered", labels);
+  gap_repairs_ = &host_->metrics().counter("learner.gap_repairs", labels);
+}
 
 Learner::~Learner() { ++*gen_; }
 
@@ -103,12 +108,13 @@ void Learner::on_recover_reply(const RecoverReplyMsg& msg) {
 
 void Learner::deliver_ready() {
   auto it = pending_.find(next_);
-  if (it != pending_.end()) last_progress_ = host_->now();
+  const Tick t = host_->now();  // frozen while this handler runs
+  if (it != pending_.end()) last_progress_ = t;
   while (it != pending_.end()) {
     // Charge a small per-proposal bookkeeping cost; the application
     // charges its own execution cost on delivery.
     host_->charge(config_.params.acceptor_cpu_per_msg / 2);
-    ++proposals_delivered_;
+    delivered_->add(t);
     sink_(it->second, next_);
     pending_.erase(it);
     ++next_;
@@ -137,6 +143,7 @@ void Learner::gap_check() {
       gap_since_ = host_->now();
     } else if (host_->now() - gap_since_ >= config_.params.learner_gap_timeout) {
       const InstanceId hole_end = pending_.begin()->first;
+      gap_repairs_->add(host_->now());
       EPX_DEBUG << host_->name() << ": S" << config_.stream << " gap [" << next_ << ","
                 << hole_end << ") — recovering";
       // Re-register while repairing: a crashed-and-restarted acceptor

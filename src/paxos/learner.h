@@ -60,7 +60,7 @@ class Learner {
   /// True once the learner has drained the acceptors' backlog and is
   /// running on live decisions only.
   bool caught_up() const { return caught_up_; }
-  uint64_t proposals_delivered() const { return proposals_delivered_; }
+  uint64_t proposals_delivered() const { return delivered_->total(); }
 
  private:
   void deliver_ready();
@@ -81,7 +81,9 @@ class Learner {
   Tick gap_since_ = -1;
   Tick last_progress_ = 0;
   size_t acceptor_rr_ = 0;
-  uint64_t proposals_delivered_ = 0;
+  // Registry-owned (outlive this learner), labelled {node=,stream=}.
+  obs::Counter* delivered_;    // learner.delivered: proposals handed to the sink
+  obs::Counter* gap_repairs_;  // learner.gap_repairs: hole-recovery rounds
   // Invalidates timers after stop() or destruction. Timer lambdas hold
   // the shared counter, so the staleness check never touches `this` on a
   // destroyed learner (they compare *gen_ first and only then call in).

@@ -10,12 +10,16 @@ constexpr Tick kHandleCost = 5 * kMicrosecond;
 
 RegistryServer::RegistryServer(sim::Simulation* sim, sim::Network* net, NodeId id,
                                std::string name)
-    : Process(sim, net, id, std::move(name)) {}
+    : Process(sim, net, id, std::move(name)) {
+  puts_ = &metrics().counter("registry.puts", {{"node", this->name()}});
+  notifications_ = &metrics().counter("registry.notifications", {{"node", this->name()}});
+}
 
 void RegistryServer::put(const std::string& key, const std::string& value) {
   EntryState& e = entries_[key];
   e.value = value;
   ++e.version;
+  puts_->add(now());
   notify(key, e);
 }
 
@@ -32,6 +36,7 @@ std::string RegistryServer::value_of(const std::string& key) const {
 void RegistryServer::notify(const std::string& key, const EntryState& entry) {
   for (const Watcher& w : watchers_) {
     if (key.compare(0, w.prefix.size(), w.prefix) == 0) {
+      notifications_->add(now());
       send(w.node, net::make_message<RegistryEventMsg>(key, entry.value, entry.version));
     }
   }

@@ -44,6 +44,10 @@ class RegistryServer : public sim::Process {
 
   std::map<std::string, EntryState> entries_;
   std::vector<Watcher> watchers_;
+
+  // Registry-owned handles, labelled {node=<name>}.
+  obs::Counter* puts_;           // registry.puts: key writes accepted
+  obs::Counter* notifications_;  // registry.notifications: watch events pushed
 };
 
 }  // namespace epx::registry

@@ -13,12 +13,18 @@ uint64_t link_key(NodeId from, NodeId to) {
 }
 }  // namespace
 
-Network::Network(Simulation* sim, uint64_t seed) : sim_(sim), rng_(seed) {}
+Network::Network(Simulation* sim, uint64_t seed) : sim_(sim), rng_(seed) {
+  messages_sent_ = &sim_->metrics().counter("net.messages_sent");
+  messages_dropped_ = &sim_->metrics().counter("net.messages_dropped");
+  bytes_sent_ = &sim_->metrics().counter("net.bytes_sent");
+}
 
 void Network::attach(Process* process) {
   const NodeId id = process->id();
   if (id >= endpoints_.size()) endpoints_.resize(id + 1, nullptr);
   endpoints_[id] = process;
+  if (id >= egress_bytes_.size()) egress_bytes_.resize(id + 1, nullptr);
+  egress_bytes_[id] = &sim_->metrics().counter("net.egress_bytes", {{"node", process->name()}});
 }
 
 void Network::detach(NodeId id) {
@@ -61,12 +67,16 @@ double Network::bandwidth_for(NodeId id) const {
 }
 
 void Network::send(NodeId from, NodeId to, MessagePtr msg, Tick earliest) {
-  ++messages_sent_;
+  const Tick now = sim_->now();
+  messages_sent_->add(now);
   const size_t bytes = msg->wire_size();
-  bytes_sent_ += bytes;
+  bytes_sent_->add(now, bytes);
+  if (from < egress_bytes_.size() && egress_bytes_[from] != nullptr) {
+    egress_bytes_[from]->add(now, bytes);
+  }
 
   if (crosses_partition(from, to) || rng_.chance(loss_probability_)) {
-    ++messages_dropped_;
+    messages_dropped_->add(now);
     return;
   }
 
@@ -92,13 +102,13 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg, Tick earliest) {
   sim_->schedule_at(arrival, [this, from, to, msg = std::move(msg)]() mutable {
     Process* dest = endpoint(to);
     if (dest == nullptr) {
-      ++messages_dropped_;
+      messages_dropped_->add(sim_->now());
       return;
     }
     // Re-check the partition at delivery time so an in-flight message
     // cannot cross a partition installed after it was sent.
     if (crosses_partition(from, to)) {
-      ++messages_dropped_;
+      messages_dropped_->add(sim_->now());
       return;
     }
     dest->enqueue_message(from, std::move(msg));

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/message.h"
+#include "obs/metrics.h"
 #include "sim/simulation.h"
 #include "util/rng.h"
 
@@ -64,9 +65,12 @@ class Network {
   void heal();
 
   // --- stats ------------------------------------------------------------
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_dropped() const { return messages_dropped_; }
-  uint64_t bytes_sent() const { return bytes_sent_; }
+  // Registry-backed: `net.messages_sent`, `net.messages_dropped`,
+  // `net.bytes_sent`, plus per-sender `net.egress_bytes{node=<name>}`
+  // registered when the process attaches.
+  uint64_t messages_sent() const { return messages_sent_->total(); }
+  uint64_t messages_dropped() const { return messages_dropped_->total(); }
+  uint64_t bytes_sent() const { return bytes_sent_->total(); }
 
   Simulation& simulation() { return *sim_; }
 
@@ -95,9 +99,10 @@ class Network {
   std::unordered_set<NodeId> island_;
   bool partitioned_ = false;
 
-  uint64_t messages_sent_ = 0;
-  uint64_t messages_dropped_ = 0;
-  uint64_t bytes_sent_ = 0;
+  obs::Counter* messages_sent_;
+  obs::Counter* messages_dropped_;
+  obs::Counter* bytes_sent_;
+  std::vector<obs::Counter*> egress_bytes_;  // indexed by sender NodeId
 };
 
 }  // namespace epx::sim

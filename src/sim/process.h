@@ -15,6 +15,8 @@
 #include <variant>
 
 #include "net/message.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
 #include "util/timeseries.h"
@@ -34,6 +36,12 @@ class Process {
   bool alive() const { return alive_; }
   Tick now() const { return sim_->now(); }
 
+  /// Simulation-wide observability. Public so role objects hosted inside
+  /// a process (stream learners, mergers, client stubs) can register and
+  /// record their own metrics and trace events.
+  obs::MetricsRegistry& metrics() { return sim_->metrics(); }
+  obs::Trace& trace() { return sim_->trace(); }
+
   /// Crashes the process: pending inbox and timers are discarded and
   /// incoming messages are dropped until restart(). Subclasses override
   /// on_crash() to model loss of volatile state.
@@ -47,10 +55,12 @@ class Process {
   void enqueue_message(NodeId from, MessagePtr msg);
 
   // --- CPU metrics -----------------------------------------------------
+  // Backed by the registry counter `cpu.busy{node=<name>}`; the process
+  // holds the handle, the registry owns the storage.
   /// Total virtual CPU time consumed.
-  Tick busy_total() const { return busy_total_; }
+  Tick busy_total() const { return static_cast<Tick>(cpu_busy_->total()); }
   /// Busy nanoseconds recorded per 1s window, for utilisation series.
-  const WindowedCounter& busy_series() const { return busy_series_; }
+  const WindowedCounter& busy_series() const { return cpu_busy_->series(); }
   /// Utilisation (0..1) over [from, to).
   double utilization(Tick from, Tick to) const;
 
@@ -105,10 +115,12 @@ class Process {
   bool dispatch_scheduled_ = false;
   Tick busy_until_ = 0;
   Tick handler_elapsed_ = 0;  // CPU charged inside the current handler
+  Tick pending_busy_ = 0;     // charges batched for one cpu.busy add per handler
+  size_t inbox_peak_ = 0;     // high-water mark mirrored into inbox_depth_
   bool in_handler_ = false;
 
-  Tick busy_total_ = 0;
-  WindowedCounter busy_series_{kSecond};
+  obs::Counter* cpu_busy_;    // registry-owned `cpu.busy{node=<name>}`
+  obs::Gauge* inbox_depth_;   // registry-owned `inbox.depth{node=<name>}`
 };
 
 }  // namespace epx::sim

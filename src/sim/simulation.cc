@@ -4,8 +4,30 @@
 
 namespace epx::sim {
 
+namespace {
+// The logging hooks capture `this`; track which Simulation installed
+// them so its destructor can uninstall and later Simulations can take
+// over. Without this, the hooks dangle once the Simulation dies (e.g.
+// benches that run several clusters back to back).
+Simulation* g_log_hook_owner = nullptr;
+}  // namespace
+
 Simulation::Simulation() {
+  g_log_hook_owner = this;
   log::set_time_source([this] { return now_; });
+  // Trace-level log lines become structured events in the trace ring
+  // instead of flooding stderr (see util/logging.h).
+  log::set_trace_sink([this](const std::string& msg) {
+    trace_.record(now_, obs::TraceKind::kLog, 0, 0, 0, 0, msg);
+  });
+}
+
+Simulation::~Simulation() {
+  if (g_log_hook_owner == this) {
+    g_log_hook_owner = nullptr;
+    log::set_time_source(nullptr);
+    log::set_trace_sink(nullptr);
+  }
 }
 
 bool Simulation::step() {

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "util/units.h"
 
@@ -21,6 +23,7 @@ namespace epx::sim {
 class Simulation {
  public:
   Simulation();
+  ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -61,10 +64,22 @@ class Simulation {
 
   EventQueue& event_queue() { return queue_; }
 
+  // --- observability ---------------------------------------------------
+  // The simulation owns the metrics registry and the protocol trace
+  // ring; every process and role publishes through these. Registry
+  // ownership (rather than role ownership) is what lets reports outlive
+  // the roles whose activity they summarise.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::Trace& trace() { return trace_; }
+  const obs::Trace& trace() const { return trace_; }
+
  private:
   Tick now_ = 0;
   uint64_t processed_ = 0;
   EventQueue queue_;
+  obs::MetricsRegistry metrics_;
+  obs::Trace trace_;
 };
 
 }  // namespace epx::sim

@@ -1,14 +1,26 @@
 #include "util/logging.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
 namespace epx::log {
 namespace {
 
-Level g_level = Level::kWarn;
+// EPX_LOG pins the level: it is read once at startup and, when present
+// and valid, later set_level() calls are ignored so a user-exported
+// level survives benches that programmatically lower verbosity.
+bool g_level_from_env = false;
+Level g_level = [] {
+  Level level = Level::kWarn;
+  if (const char* env = std::getenv("EPX_LOG"); env != nullptr) {
+    g_level_from_env = parse_level(env, &level);
+  }
+  return level;
+}();
 std::function<Tick()> g_time_source;
+std::function<void(const std::string&)> g_trace_sink;
 
 const char* level_name(Level level) {
   switch (level) {
@@ -29,13 +41,34 @@ const char* basename_of(const char* path) {
 
 }  // namespace
 
-void set_level(Level level) { g_level = level; }
+void set_level(Level level) {
+  if (!g_level_from_env) g_level = level;
+}
 Level level() { return g_level; }
+
+bool parse_level(std::string_view name, Level* out) {
+  if (name == "trace") *out = Level::kTrace;
+  else if (name == "debug") *out = Level::kDebug;
+  else if (name == "info") *out = Level::kInfo;
+  else if (name == "warn" || name == "warning") *out = Level::kWarn;
+  else if (name == "error") *out = Level::kError;
+  else if (name == "off") *out = Level::kOff;
+  else return false;
+  return true;
+}
 
 void set_time_source(std::function<Tick()> source) { g_time_source = std::move(source); }
 
+void set_trace_sink(std::function<void(const std::string&)> sink) {
+  g_trace_sink = std::move(sink);
+}
+
 void emit(Level lvl, const char* file, int line, const std::string& msg) {
   if (lvl < g_level) return;
+  if (lvl == Level::kTrace && g_trace_sink) {
+    g_trace_sink(msg);
+    return;
+  }
   if (g_time_source) {
     std::fprintf(stderr, "[%10.6f] %s %s:%d] %s\n", to_seconds(g_time_source()),
                  level_name(lvl), basename_of(file), line, msg.c_str());

@@ -4,12 +4,20 @@
 // lines carry the virtual timestamp when a simulation is active (set via
 // set_time_source). Levels can be adjusted globally; tests default to
 // kWarn to keep output quiet, benches set kInfo for progress lines.
+//
+// The EPX_LOG environment variable (trace|debug|info|warn|error|off)
+// overrides the level at startup and wins over programmatic set_level()
+// calls, so benches and examples can raise verbosity without
+// recompiling. Trace-level lines route through the observability trace
+// ring instead of stderr while a simulation is active (the Simulation
+// installs the sink; see obs/trace.h).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "util/units.h"
 
@@ -17,13 +25,23 @@ namespace epx::log {
 
 enum class Level : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
 
-/// Sets the global minimum level that will be emitted.
+/// Sets the global minimum level that will be emitted. A no-op when the
+/// level was pinned by the EPX_LOG environment variable.
 void set_level(Level level);
 Level level();
+
+/// Parses a level name ("trace", "debug", ... as accepted by EPX_LOG).
+/// Returns false and leaves `out` untouched on unknown input.
+bool parse_level(std::string_view name, Level* out);
 
 /// Installs a function returning the current virtual time, stamped on
 /// every line. Pass nullptr to remove.
 void set_time_source(std::function<Tick()> source);
+
+/// Installs a sink that receives kTrace-level message bodies instead of
+/// them being written to stderr. Pass nullptr to remove. Installed by
+/// Simulation so trace lines land in the obs trace ring.
+void set_trace_sink(std::function<void(const std::string&)> sink);
 
 /// Emits one formatted line to stderr. Used by the LOG macro; callers
 /// normally do not invoke this directly.

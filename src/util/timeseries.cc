@@ -4,12 +4,15 @@
 
 namespace epx {
 
-void WindowedCounter::add(Tick now, uint64_t count) {
+void WindowedCounter::add_slow(Tick now, uint64_t count) {
   if (now < 0) now = 0;
   const auto idx = static_cast<size_t>(now / window_);
   if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
   counts_[idx] += count;
   total_ += count;
+  cur_idx_ = idx;
+  cur_start_ = static_cast<Tick>(idx) * window_;
+  cur_end_ = cur_start_ + window_;
 }
 
 double WindowedCounter::rate_at(size_t i) const {

@@ -20,8 +20,18 @@ class WindowedCounter {
  public:
   explicit WindowedCounter(Tick window = kSecond) : window_(window) {}
 
-  /// Adds `count` events at virtual time `now`.
-  void add(Tick now, uint64_t count = 1);
+  /// Adds `count` events at virtual time `now`. Hot path: events land in
+  /// the same window as the previous add (the cached [cur_start_,
+  /// cur_end_) range), which costs two compares and two adds — no
+  /// division. Any other window takes the out-of-line slow path.
+  void add(Tick now, uint64_t count = 1) {
+    if (now >= cur_start_ && now < cur_end_) {
+      counts_[cur_idx_] += count;
+      total_ += count;
+      return;
+    }
+    add_slow(now, count);
+  }
 
   Tick window() const { return window_; }
 
@@ -46,9 +56,16 @@ class WindowedCounter {
   uint64_t total() const { return total_; }
 
  private:
+  void add_slow(Tick now, uint64_t count);
+
   Tick window_;
   std::vector<uint64_t> counts_;
   uint64_t total_ = 0;
+  // Cached bounds of the most recently hit window (empty at start, so
+  // the first add always takes the slow path and primes the cache).
+  Tick cur_start_ = 0;
+  Tick cur_end_ = 0;
+  size_t cur_idx_ = 0;
 };
 
 /// Records (time, value) samples of a gauge, e.g. CPU utilisation.

@@ -1,0 +1,307 @@
+// Observability subsystem: metric key canonicalisation, registry
+// registration/lookup/iteration, instrument semantics, the bounded
+// trace ring, and the EPX_LOG / trace-sink plumbing in util/logging.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+#include "util/logging.h"
+
+namespace epx {
+namespace {
+
+// --- metric_key ----------------------------------------------------------
+
+TEST(MetricKeyTest, NameAloneWhenNoLabels) {
+  EXPECT_EQ(obs::metric_key("net.bytes", {}), "net.bytes");
+}
+
+TEST(MetricKeyTest, LabelsSortedByKey) {
+  EXPECT_EQ(obs::metric_key("replica.delivered",
+                            {{"stream", "2"}, {"node", "replica1"}}),
+            "replica.delivered{node=replica1,stream=2}");
+  // Already-sorted input produces the same canonical key.
+  EXPECT_EQ(obs::metric_key("replica.delivered",
+                            {{"node", "replica1"}, {"stream", "2"}}),
+            "replica.delivered{node=replica1,stream=2}");
+}
+
+TEST(MetricKeyTest, SingleLabel) {
+  EXPECT_EQ(obs::metric_key("cpu.busy", {{"node", "coord1"}}),
+            "cpu.busy{node=coord1}");
+}
+
+// --- registry ------------------------------------------------------------
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotent) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("x", {{"node", "n1"}, {"stream", "3"}});
+  // Same metric, labels given in the other order: same instrument.
+  obs::Counter& b = registry.counter("x", {{"stream", "3"}, {"node", "n1"}});
+  EXPECT_EQ(&a, &b);
+  a.add(0, 5);
+  EXPECT_EQ(b.total(), 5u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, FindReturnsNullForAbsentKey) {
+  obs::MetricsRegistry registry;
+  registry.counter("present");
+  EXPECT_NE(registry.find_counter("present"), nullptr);
+  EXPECT_EQ(registry.find_counter("absent"), nullptr);
+  EXPECT_EQ(registry.find_gauge("present"), nullptr);  // wrong type
+  EXPECT_EQ(registry.find_timer("present"), nullptr);
+}
+
+TEST(MetricsRegistryTest, TypesAreSeparateNamespaces) {
+  obs::MetricsRegistry registry;
+  registry.counter("m");
+  registry.gauge("m");
+  registry.timer("m");
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_NE(registry.find_counter("m"), nullptr);
+  EXPECT_NE(registry.find_gauge("m"), nullptr);
+  EXPECT_NE(registry.find_timer("m"), nullptr);
+}
+
+TEST(MetricsRegistryTest, IterationIsSortedByKey) {
+  obs::MetricsRegistry registry;
+  registry.counter("zeta");
+  registry.counter("alpha", {{"node", "b"}});
+  registry.counter("alpha", {{"node", "a"}});
+  registry.counter("mid");
+  std::vector<std::string> keys;
+  for (const auto& [key, counter] : registry.counters()) keys.push_back(key);
+  const std::vector<std::string> expected = {"alpha{node=a}", "alpha{node=b}", "mid",
+                                             "zeta"};
+  EXPECT_EQ(keys, expected);
+}
+
+// --- instruments ---------------------------------------------------------
+
+TEST(CounterTest, TotalAndSeries) {
+  obs::Counter c;
+  c.add(0);
+  c.add(100 * kMillisecond, 4);
+  c.add(1 * kSecond + 1, 2);
+  EXPECT_EQ(c.total(), 7u);
+  ASSERT_EQ(c.series().size(), 2u);
+  EXPECT_EQ(c.series().count_at(0), 5u);
+  EXPECT_EQ(c.series().count_at(1), 2u);
+}
+
+TEST(GaugeTest, ValueAndHighWaterMark) {
+  obs::Gauge g;
+  g.set(4.0);
+  g.add(3.0);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max(), 7.0);
+}
+
+TEST(TimerTest, WindowBoundaryRecords) {
+  obs::Timer t;
+  // One record in the last tick of window 0, one exactly at the start of
+  // window 1: they must land in different window histograms.
+  t.record(kSecond - 1, 10);
+  t.record(kSecond, 20);
+  ASSERT_EQ(t.windows().size(), 2u);
+  EXPECT_EQ(t.windows()[0].count(), 1u);
+  EXPECT_EQ(t.windows()[1].count(), 1u);
+  EXPECT_EQ(t.total().count(), 2u);
+}
+
+TEST(TimerTest, SparseWindowsAreZeroFilled) {
+  obs::Timer t;
+  t.record(3 * kSecond + 5, 1 * kMillisecond);
+  ASSERT_EQ(t.windows().size(), 4u);
+  EXPECT_EQ(t.windows()[0].count(), 0u);
+  EXPECT_EQ(t.windows()[2].count(), 0u);
+  EXPECT_EQ(t.windows()[3].count(), 1u);
+}
+
+// --- JSON snapshot -------------------------------------------------------
+
+TEST(MetricsRegistryTest, JsonSnapshotShape) {
+  obs::MetricsRegistry registry;
+  registry.counter("c", {{"node", "n1"}}).add(0, 3);
+  registry.gauge("g").set(2.5);
+  registry.timer("t").record(0, 2 * kMillisecond);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"c{node=n1}\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"rate_per_sec\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"timer\""), std::string::npos);
+  // Sorted key order is part of the contract (byte-stable snapshots).
+  EXPECT_LT(json.find("\"c{node=n1}\""), json.find("\"g\""));
+  EXPECT_LT(json.find("\"g\""), json.find("\"t\""));
+}
+
+TEST(MetricsRegistryTest, JsonWithoutSeriesOmitsRates) {
+  obs::MetricsRegistry registry;
+  registry.counter("c").add(0, 1);
+  const std::string json = registry.to_json(/*include_series=*/false);
+  EXPECT_EQ(json.find("rate_per_sec"), std::string::npos);
+  EXPECT_NE(json.find("\"total\": 1"), std::string::npos);
+}
+
+// --- trace ring ----------------------------------------------------------
+
+TEST(TraceTest, ControlEventsAlwaysRecorded) {
+  obs::Trace trace(16);
+  trace.record(5, obs::TraceKind::kSubscribeBegin, 1, 2, 7);
+  ASSERT_EQ(trace.size(), 1u);
+  const auto events = trace.events();
+  EXPECT_EQ(events[0].time, 5);
+  EXPECT_EQ(events[0].kind, obs::TraceKind::kSubscribeBegin);
+  EXPECT_EQ(events[0].node, 1u);
+  EXPECT_EQ(events[0].stream, 2u);
+  EXPECT_EQ(events[0].a, 7u);
+}
+
+TEST(TraceTest, HotEventsGatedBehindVerbose) {
+  obs::Trace trace(16);
+  trace.record(1, obs::TraceKind::kDeliver);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.recorded(), 0u);
+  trace.set_verbose(true);
+  trace.record(2, obs::TraceKind::kDeliver);
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+TEST(TraceTest, RingOverwritesOldestAndCountsDropped) {
+  obs::Trace trace(4);
+  for (Tick t = 0; t < 10; ++t) {
+    trace.record(t, obs::TraceKind::kTrim, /*node=*/0, /*stream=*/0,
+                 static_cast<uint64_t>(t));
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.recorded(), 10u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].time, static_cast<Tick>(6 + i)) << "oldest-first order";
+  }
+}
+
+TEST(TraceTest, EventsFilteredByKind) {
+  obs::Trace trace(16);
+  trace.record(1, obs::TraceKind::kTrim);
+  trace.record(2, obs::TraceKind::kCrash);
+  trace.record(3, obs::TraceKind::kTrim);
+  EXPECT_EQ(trace.events(obs::TraceKind::kTrim).size(), 2u);
+  EXPECT_EQ(trace.events(obs::TraceKind::kCrash).size(), 1u);
+  EXPECT_EQ(trace.events(obs::TraceKind::kRestart).size(), 0u);
+}
+
+TEST(TraceTest, DetailTruncatedToFixedBuffer) {
+  obs::Trace trace(4);
+  const std::string long_detail(100, 'x');
+  trace.record(0, obs::TraceKind::kLog, 0, 0, 0, 0, long_detail);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 1u);
+  const std::string detail = events[0].detail;
+  EXPECT_EQ(detail.size(), sizeof(obs::TraceEvent{}.detail) - 1);
+  EXPECT_EQ(detail, std::string(detail.size(), 'x'));
+}
+
+TEST(TraceTest, ClearResetsRing) {
+  obs::Trace trace(4);
+  for (int i = 0; i < 6; ++i) trace.record(i, obs::TraceKind::kTrim);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.recorded(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+  trace.record(42, obs::TraceKind::kCrash);
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.events()[0].time, 42);
+}
+
+TEST(TraceTest, ToStringNamesTheKind) {
+  obs::Trace trace(4);
+  trace.record(kSecond, obs::TraceKind::kMergePoint, 3, 2, 99, 0, "aligned");
+  const std::string line = trace.events()[0].to_string();
+  EXPECT_NE(line.find("merge-point"), std::string::npos);
+  EXPECT_NE(line.find("aligned"), std::string::npos);
+}
+
+// --- simulation wiring ---------------------------------------------------
+
+TEST(SimulationObsTest, ProcessesShareTheSimulationRegistry) {
+  sim::Simulation sim;
+  sim::Network net(&sim);
+  // Process is abstract only via on_message; use a trivial subclass.
+  class Sink : public sim::Process {
+   public:
+    using sim::Process::Process;
+    void on_message(net::NodeId, const net::MessagePtr&) override {}
+  };
+  Sink p(&sim, &net, 1, "sink1");
+  EXPECT_EQ(&p.metrics(), &sim.metrics());
+  EXPECT_NE(sim.metrics().find_counter("cpu.busy{node=sink1}"), nullptr);
+  EXPECT_NE(sim.metrics().find_gauge("inbox.depth{node=sink1}"), nullptr);
+}
+
+// --- logging integration -------------------------------------------------
+
+TEST(LoggingTest, ParseLevelAcceptsAllNames) {
+  using log::Level;
+  const std::pair<const char*, Level> cases[] = {
+      {"trace", Level::kTrace}, {"debug", Level::kDebug}, {"info", Level::kInfo},
+      {"warn", Level::kWarn},   {"warning", Level::kWarn}, {"error", Level::kError},
+      {"off", Level::kOff}};
+  for (const auto& [name, expected] : cases) {
+    Level out = Level::kOff;
+    EXPECT_TRUE(log::parse_level(name, &out)) << name;
+    EXPECT_EQ(out, expected) << name;
+  }
+  Level out = Level::kError;
+  EXPECT_FALSE(log::parse_level("bogus", &out));
+  EXPECT_EQ(out, Level::kError) << "unknown input must leave *out untouched";
+  EXPECT_FALSE(log::parse_level("", &out));
+}
+
+TEST(LoggingTest, TraceSinkReceivesTraceLines) {
+  const log::Level saved = log::level();
+  log::set_level(log::Level::kTrace);
+  std::vector<std::string> captured;
+  log::set_trace_sink([&captured](const std::string& msg) { captured.push_back(msg); });
+  EPX_TRACE << "hello " << 42;
+  EPX_DEBUG << "not routed";  // only kTrace goes to the sink
+  log::set_trace_sink(nullptr);
+  log::set_level(saved);
+  // When EPX_LOG pins a level above trace the line is filtered before the
+  // sink; only assert content when something was captured.
+  if (log::level() <= log::Level::kTrace || !captured.empty()) {
+    ASSERT_EQ(captured.size(), 1u);
+    EXPECT_EQ(captured[0], "hello 42");
+  }
+}
+
+TEST(SimulationObsTest, SimulationRoutesTraceLogsIntoRing) {
+  const log::Level saved = log::level();
+  log::set_level(log::Level::kTrace);
+  {
+    sim::Simulation sim;
+    sim.schedule_at(3 * kSecond, [] { EPX_TRACE << "mid-run marker"; });
+    sim.run_until(4 * kSecond);
+    const auto logs = sim.trace().events(obs::TraceKind::kLog);
+    if (log::level() <= log::Level::kTrace) {
+      ASSERT_EQ(logs.size(), 1u);
+      EXPECT_EQ(logs[0].time, 3 * kSecond);
+      EXPECT_EQ(std::string(logs[0].detail), "mid-run marker");
+    }
+  }
+  // Destroying the simulation must uninstall the sink: this line goes to
+  // stderr (or nowhere), not into freed trace memory.
+  EPX_TRACE << "after simulation death";
+  log::set_level(saved);
+}
+
+}  // namespace
+}  // namespace epx

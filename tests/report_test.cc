@@ -1,0 +1,132 @@
+// Report layer: registry-keyed columns, rendering after role death, and
+// the JSON snapshot exporter.
+//
+// The lifetime regression here is the one the name-based columns were
+// built to kill: the old report structs held raw pointers into role
+// objects (a learner's delivery series, a client's latency windows). An
+// elastic unsubscribe destroys the stream's learner mid-run; rendering
+// the report afterwards used to walk freed state. Columns now name
+// registry-owned metrics, which outlive every role.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "harness/cluster.h"
+#include "harness/load_client.h"
+#include "harness/report.h"
+
+namespace epx {
+namespace {
+
+using harness::Cluster;
+using harness::LoadClient;
+
+TEST(ReportTest, RendersAfterLearnerDestroyedByUnsubscribe) {
+  Cluster cluster;
+  const auto s1 = cluster.add_stream();
+  const auto s2 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1, s2});
+
+  LoadClient::Config cfg;
+  cfg.threads = 2;
+  cfg.payload_bytes = 512;
+  cfg.route = [s2] { return s2; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  cluster.run_for(2 * kSecond);
+  client->stop();
+
+  const std::string s2_learner = obs::metric_key(
+      "learner.delivered", {{"node", r1->name()}, {"stream", std::to_string(s2)}});
+  const std::string s2_delivered = obs::metric_key(
+      "replica.delivered", {{"node", r1->name()}, {"stream", std::to_string(s2)}});
+  const obs::MetricsRegistry& metrics = cluster.sim().metrics();
+  const obs::Counter* learner_counter = metrics.find_counter(s2_learner);
+  ASSERT_NE(learner_counter, nullptr);
+  EXPECT_GT(learner_counter->total(), 0u);
+
+  // Unsubscribe destroys replica 1's learner for S2.
+  cluster.controller().unsubscribe(1, s2, s1);
+  Tick deadline = cluster.now() + 10 * kSecond;
+  while (r1->merger().subscribed_to(s2) && cluster.now() < deadline) {
+    cluster.run_for(100 * kMillisecond);
+  }
+  ASSERT_FALSE(r1->merger().subscribed_to(s2));
+  cluster.run_for(1 * kSecond);
+  const uint64_t delivered_before = learner_counter->total();
+  cluster.run_for(2 * kSecond);
+
+  // The registry still owns the dead learner's metrics; the report
+  // renders them (plus live columns) without touching freed role state.
+  const Tick end = cluster.now();
+  const std::string table = harness::render_rate_table(
+      metrics, "after unsubscribe",
+      {{"s2.learner", s2_learner, 1.0},
+       {"s2.replica", s2_delivered, 1.0},
+       {"cli", obs::metric_key("client.completions", {{"node", client->name()}}), 1.0}},
+      0, end);
+  EXPECT_NE(table.find("s2.learner"), std::string::npos);
+  EXPECT_EQ(metrics.find_counter(s2_learner)->total(), delivered_before)
+      << "a destroyed learner's counter must survive, frozen";
+
+  const std::string cpu = harness::render_cpu_table(
+      metrics, "cpu", {{"replica1", obs::metric_key("cpu.busy", {{"node", r1->name()}})}},
+      0, end);
+  EXPECT_NE(cpu.find('%'), std::string::npos);
+}
+
+TEST(ReportTest, MissingMetricsRenderAsZeros) {
+  obs::MetricsRegistry metrics;
+  const std::string table = harness::render_rate_table(
+      metrics, "empty", {{"ghost", "does.not.exist{node=gone}", 1.0}}, 0, 2 * kSecond);
+  EXPECT_NE(table.find("==== empty ===="), std::string::npos);
+  EXPECT_NE(table.find("         0.0"), std::string::npos);
+  const std::string lat = harness::render_latency_table(
+      metrics, "lat", {{"p95(ms)", "no.timer", 0.95}}, 0, kSecond);
+  EXPECT_NE(lat.find("        0.00"), std::string::npos);
+}
+
+TEST(ReportTest, RateTableFormatsMatchLegacyLayout) {
+  obs::MetricsRegistry metrics;
+  obs::Counter& c = metrics.counter("ops", {{"node", "n1"}});
+  c.add(100 * kMillisecond, 1500);  // window 0 -> 1500.0/s
+  c.add(kSecond + 1, 250);          // window 1 -> 250.0/s
+  const std::string table = harness::render_rate_table(
+      metrics, "T", {{"ops", "ops{node=n1}", 1.0}}, 0, 2 * kSecond);
+  EXPECT_EQ(table,
+            "\n==== T ====\n"
+            "  t(s)          ops\n"
+            "     0       1500.0\n"
+            "     1        250.0\n");
+}
+
+TEST(ReportTest, CpuTableReportsBusyShareOfWindow) {
+  obs::MetricsRegistry metrics;
+  // 250 ms busy in window 0 = 25.0%.
+  metrics.counter("cpu.busy", {{"node", "n1"}})
+      .add(kMillisecond, static_cast<uint64_t>(250 * kMillisecond));
+  const std::string table = harness::render_cpu_table(
+      metrics, "C", {{"n1", "cpu.busy{node=n1}"}}, 0, kSecond);
+  EXPECT_NE(table.find("       25.0%"), std::string::npos);
+}
+
+TEST(ReportTest, JsonSnapshotRoundTripsToDisk) {
+  obs::MetricsRegistry metrics;
+  metrics.counter("snap.counter").add(0, 11);
+  metrics.timer("snap.timer").record(0, 3 * kMillisecond);
+  const std::string path = ::testing::TempDir() + "/report_test_snapshot.json";
+  ASSERT_TRUE(harness::write_json_snapshot(metrics, path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 14, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"snap.counter\""), std::string::npos);
+  EXPECT_NE(content.find("\"total\": 11"), std::string::npos);
+  EXPECT_NE(content.find("\"snap.timer\""), std::string::npos);
+  EXPECT_FALSE(harness::write_json_snapshot(metrics, "/nonexistent-dir/x.json"));
+}
+
+}  // namespace
+}  // namespace epx

@@ -170,6 +170,59 @@ TEST(HistogramTest, MeanMatchesArithmetic) {
   EXPECT_DOUBLE_EQ(h.mean(), 200.0);
 }
 
+TEST(HistogramTest, EmptyQuantilesAreAllZero) {
+  Histogram h;
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 0) << "q=" << q;
+  }
+  EXPECT_EQ(h.p50(), 0);
+  EXPECT_EQ(h.p99(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, MergeOfDisjointRanges) {
+  // Sub-microsecond values in one histogram, multi-second values in the
+  // other: no shared buckets at all.
+  Histogram low, high;
+  for (int i = 0; i < 100; ++i) low.record(100 + i);
+  for (int i = 0; i < 100; ++i) high.record(5 * kSecond + i * kMillisecond);
+  low.merge(high);
+  EXPECT_EQ(low.count(), 200u);
+  EXPECT_EQ(low.min(), 100);
+  EXPECT_GE(low.max(), 5 * kSecond);
+  // The median sits at the junction: p50 from the low cluster's bucket,
+  // p95 from the high cluster.
+  EXPECT_LE(low.quantile(0.45), 250);
+  EXPECT_GE(low.quantile(0.95), 5 * kSecond - kMillisecond);
+  // Merging an empty histogram changes nothing.
+  Histogram empty;
+  const uint64_t before = low.count();
+  low.merge(empty);
+  EXPECT_EQ(low.count(), before);
+  // Merging INTO an empty histogram adopts min/max wholesale.
+  empty.merge(low);
+  EXPECT_EQ(empty.count(), 200u);
+  EXPECT_EQ(empty.min(), 100);
+}
+
+TEST(HistogramTest, RecordNWithHugeCountsDoesNotOverflowCount) {
+  Histogram h;
+  const uint64_t huge = 1ULL << 62;
+  h.record_n(kMillisecond, huge);
+  h.record_n(2 * kMillisecond, huge);
+  EXPECT_EQ(h.count(), 2 * huge);  // 2^63 fits in uint64_t
+  // Quantiles still resolve to the recorded bucket range.
+  EXPECT_GE(h.quantile(0.99), kMillisecond);
+  EXPECT_LE(h.quantile(0.25), 2 * kMillisecond);
+  // n == 0 is a no-op, not a min/max update.
+  Histogram z;
+  z.record_n(5 * kSecond, 0);
+  EXPECT_EQ(z.count(), 0u);
+  EXPECT_EQ(z.max(), 0);
+}
+
 // --------------------------------------------------------- TimeSeries --
 
 TEST(WindowedCounterTest, BucketsEventsByWindow) {
@@ -196,6 +249,32 @@ TEST(WindowedCounterTest, NegativeTimeClampsToZero) {
   WindowedCounter c(kSecond);
   c.add(-5, 3);
   EXPECT_EQ(c.count_at(0), 3u);
+}
+
+TEST(WindowedCounterTest, ExactWindowBoundaryStartsNewWindow) {
+  WindowedCounter c(kSecond);
+  c.add(kSecond - 1, 1);  // last tick of window 0
+  c.add(kSecond, 1);      // first tick of window 1
+  c.add(2 * kSecond - 1, 1);
+  c.add(2 * kSecond, 1);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.count_at(0), 1u);
+  EXPECT_EQ(c.count_at(1), 2u);
+  EXPECT_EQ(c.count_at(2), 1u);
+  // total_in treats [from, to) half-open on window starts.
+  EXPECT_EQ(c.total_in(0, kSecond), 1u);
+  EXPECT_EQ(c.total_in(kSecond, 2 * kSecond), 2u);
+  EXPECT_EQ(c.total_in(0, 2 * kSecond), 3u);
+}
+
+TEST(WindowedCounterTest, SparseAddsZeroFillSkippedWindows) {
+  WindowedCounter c(kSecond);
+  c.add(0, 2);
+  c.add(5 * kSecond + 1, 4);
+  ASSERT_EQ(c.size(), 6u);
+  for (size_t i = 1; i < 5; ++i) EXPECT_EQ(c.count_at(i), 0u) << i;
+  EXPECT_EQ(c.count_at(5), 4u);
+  EXPECT_DOUBLE_EQ(c.average_rate(kSecond, 5 * kSecond), 0.0);
 }
 
 TEST(GaugeSeriesTest, AverageInWindow) {
