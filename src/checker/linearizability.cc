@@ -1,13 +1,15 @@
 #include "checker/linearizability.h"
 
+#include <map>
 #include <sstream>
 #include <unordered_map>
 
 namespace epx::checker {
 
 std::string LinearizabilityChecker::check() const {
-  // Group operations by key.
-  std::unordered_map<std::string, std::vector<const KvOp*>> by_key;
+  // Group operations by key. Ordered map: which violation gets reported
+  // first must not depend on hash order (epx-lint R2).
+  std::map<std::string, std::vector<const KvOp*>> by_key;
   for (const auto& op : ops_) by_key[op.key].push_back(&op);
 
   for (const auto& [key, ops] : by_key) {

@@ -54,7 +54,10 @@ StreamId Cluster::add_stream_after(Tick provisioning_delay) {
   if (provisioning_delay <= 0) {
     coord->start();
   } else {
-    sim_.schedule_after(provisioning_delay, [coord] { coord->start(); });
+    // Delayed start runs through the coordinator's own epoch-guarded
+    // timers rather than capturing the raw pointer into a sim-level
+    // event (epx-lint R5: that event would outlive a destroyed process).
+    coord->start_after(provisioning_delay);
   }
 
   streams_.push_back(std::move(procs));

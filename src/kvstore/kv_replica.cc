@@ -113,15 +113,12 @@ void KvReplica::drain_exec_queue() {
 
 bool KvReplica::signals_complete(uint64_t command_id) const {
   // One signal from each *other* partition present in the peer list.
-  std::unordered_set<uint32_t> needed;
+  // peers_ is a plain vector, so the scan order is deterministic
+  // (epx-lint R2 bans iterating a scratch unordered_set here).
+  const auto it = signals_.find(command_id);
   for (const PeerReplica& peer : peers_) {
-    if (peer.partition_id != kv_config_.partition_id) needed.insert(peer.partition_id);
-  }
-  if (needed.empty()) return true;
-  auto it = signals_.find(command_id);
-  if (it == signals_.end()) return false;
-  for (uint32_t partition : needed) {
-    if (it->second.count(partition) == 0) return false;
+    if (peer.partition_id == kv_config_.partition_id) continue;
+    if (it == signals_.end() || it->second.count(peer.partition_id) == 0) return false;
   }
   return true;
 }

@@ -53,6 +53,10 @@ void Coordinator::start() {
   }
 }
 
+void Coordinator::start_after(Tick delay) {
+  after(delay, [this] { start(); });
+}
+
 void Coordinator::batch_tick() {
   flush_batches();
   // Clamp so a zero batch delay cannot degenerate into a zero-delay

@@ -44,6 +44,12 @@ class Coordinator : public sim::Process {
   /// Must be called once after construction.
   void start();
 
+  /// start() after `delay`, through the coordinator's own epoch-guarded
+  /// timer queue: if the process crashes before the delay elapses the
+  /// start is dropped with the epoch, so no raw pointer has to be
+  /// captured into a simulation-level timer (epx-lint R5).
+  void start_after(Tick delay);
+
   /// Sends a TrimRequest(up_to) to every acceptor of the stream.
   void request_trim(InstanceId up_to);
 
@@ -126,11 +132,14 @@ class Coordinator : public sim::Process {
   Tick last_leader_sign_of_life_ = 0;
   NodeId last_known_leader_ = net::kInvalidNode;
   uint32_t max_round_seen_ = 0;
-  std::unordered_map<NodeId, Phase1bMsg> phase1_replies_;
+  // Ordered: finish_takeover() iterates the quorum's replies and the
+  // adopted value must not depend on hash order (epx-lint R2).
+  std::map<NodeId, Phase1bMsg> phase1_replies_;
   bool takeover_in_progress_ = false;
 
   // Auto-trim state: learner id -> (position, last report time).
-  std::unordered_map<NodeId, std::pair<InstanceId, Tick>> learner_positions_;
+  // Ordered: trim_tick() iterates to find the slowest learner (epx-lint R2).
+  std::map<NodeId, std::pair<InstanceId, Tick>> learner_positions_;
   InstanceId last_trim_ = 0;
 
   // Registry-owned handles, all labelled {stream=<id>}.

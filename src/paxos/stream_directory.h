@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "paxos/types.h"
+#include "util/sorted.h"
 
 namespace epx::paxos {
 
@@ -36,12 +37,9 @@ class StreamDirectory {
     streams_.at(id).coordinator = coordinator;
   }
 
-  std::vector<StreamId> stream_ids() const {
-    std::vector<StreamId> ids;
-    ids.reserve(streams_.size());
-    for (const auto& [id, info] : streams_) ids.push_back(id);
-    return ids;
-  }
+  /// Ids in ascending order: callers iterate the result to send or
+  /// provision, so the order must not depend on hash-table state.
+  std::vector<StreamId> stream_ids() const { return util::sorted_keys(streams_); }
 
  private:
   std::unordered_map<StreamId, StreamInfo> streams_;

@@ -1,0 +1,47 @@
+// Deterministic iteration over unordered associative containers.
+//
+// Hash-table iteration order is implementation-defined and may change
+// with load factor, libstdc++ version or insertion history; it must
+// never influence message sends, deliveries, merges or log output
+// (epx-lint rule R2, see tools/epx-lint/README.md). Where an unordered
+// container is the right storage choice, iterate it through
+// sorted_keys() / sorted_items() to pin a canonical order.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace epx::util {
+
+/// Keys of an (unordered) map or set, sorted ascending. Copies only the
+/// keys, so it is cheap for the integer ids the protocol layers key on.
+template <typename Assoc>
+std::vector<typename Assoc::key_type> sorted_keys(const Assoc& container) {
+  std::vector<typename Assoc::key_type> keys;
+  keys.reserve(container.size());
+  for (const auto& entry : container) {
+    if constexpr (requires { entry.first; }) {
+      keys.push_back(entry.first);
+    } else {
+      keys.push_back(entry);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Key plus pointer-to-value for an (unordered) map, sorted by key.
+/// Values are not copied; pointers stay valid while the map is unmodified.
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, const typename Map::mapped_type*>> sorted_items(
+    const Map& container) {
+  std::vector<std::pair<typename Map::key_type, const typename Map::mapped_type*>> items;
+  items.reserve(container.size());
+  for (const auto& [key, value] : container) items.emplace_back(key, &value);
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+}  // namespace epx::util

@@ -22,7 +22,10 @@ enum class StatusCode {
   kCorruption,
 };
 
-class Status {
+/// [[nodiscard]]: a dropped Status is a swallowed error — every caller
+/// must consume or explicitly void-cast it (epx-lint rule R6 checks the
+/// annotation stays in place; the compiler enforces the call sites).
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
@@ -50,7 +53,7 @@ class Status {
 
 /// Either a value or a Status explaining why there is none.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)

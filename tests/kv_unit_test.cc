@@ -146,7 +146,7 @@ TEST_F(KvReplicaTest, DiscardsUnownedKeys) {
 }
 
 TEST_F(KvReplicaTest, PurgeRemovesExactlyUnownedKeys) {
-  for (int i = 0; i < 50; ++i) ordered_put("k" + std::to_string(i), "v");
+  for (int i = 0; i < 50; ++i) ordered_put(testing::numbered("k", i), "v");
   ASSERT_EQ(replica->store().size(), 50u);
   // Keep only the lower half of the hash space.
   replica->set_ownership(p1, 0, ~0ULL / 2);
@@ -160,7 +160,7 @@ TEST_F(KvReplicaTest, PurgeRemovesExactlyUnownedKeys) {
 
 TEST_F(KvReplicaTest, GetRangeScansLexicographicInterval) {
   for (int i = 0; i < 10; ++i) {
-    ordered_put("key" + std::to_string(i), "v" + std::to_string(i));
+    ordered_put(testing::numbered("key", i), testing::numbered("v", i));
   }
   // Execute a getrange directly through the delivery path.
   paxos::Command cmd;

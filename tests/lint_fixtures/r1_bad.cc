@@ -1,0 +1,36 @@
+// Fixture: every statement here must trip epx-lint R1 (nondeterministic
+// sources). Never compiled into the build; linted by lint_test.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace epx_fixture {
+
+long handler_reads_wall_clock() {
+  auto wall = std::chrono::system_clock::now();            // R1: wall clock
+  auto host = std::chrono::steady_clock::now();            // R1: host clock
+  (void)host;
+  return wall.time_since_epoch().count();
+}
+
+int handler_uses_global_rng() {
+  std::srand(42);                                          // R1: srand
+  return std::rand();                                      // R1: rand
+}
+
+unsigned handler_uses_hardware_entropy() {
+  std::random_device rd;                                   // R1: random_device
+  std::mt19937 gen(rd());                                  // R1: mt19937
+  return gen();
+}
+
+const char* handler_reads_environment() {
+  return std::getenv("EPX_MODE");                          // R1: getenv
+}
+
+time_t handler_reads_unix_time() {
+  return ::time(nullptr);                                  // R1: time()
+}
+
+}  // namespace epx_fixture

@@ -1,0 +1,28 @@
+// Fixture: determinism-safe counterparts of r1_bad.cc — must NOT trip R1.
+// Sim time comes from the process clock, randomness from the seeded Rng.
+
+namespace epx_fixture {
+
+struct Rng {  // stand-in for util/rng's seeded generator
+  explicit Rng(unsigned long seed) : state_(seed) {}
+  unsigned long next() { return state_ = state_ * 6364136223846793005ULL + 1; }
+  unsigned long state_;
+};
+
+struct Process {
+  long now_ = 0;
+  long now() const { return now_; }  // sim time, not wall time
+};
+
+long handler_reads_sim_time(const Process& p) { return p.now(); }
+
+unsigned long handler_uses_seeded_rng(Rng& rng) { return rng.next(); }
+
+// Mentions of banned names inside comments and strings are not code:
+// std::chrono::system_clock, rand(), getenv("HOME") must not fire here.
+const char* doc_string() { return "uses rand() and system_clock in prose"; }
+
+// Identifiers merely containing banned substrings are fine.
+int operand_count(int strand_total) { return strand_total; }
+
+}  // namespace epx_fixture

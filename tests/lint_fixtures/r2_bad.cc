@@ -1,0 +1,41 @@
+// Fixture: iteration over unordered containers — every loop here must
+// trip epx-lint R2 (hash order leaks into behaviour).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace epx_fixture {
+
+struct Merger {
+  std::unordered_map<uint32_t, uint64_t> positions_;
+  std::unordered_set<uint32_t> members_;
+
+  uint64_t deliver_in_hash_order(std::vector<uint32_t>& out) {
+    uint64_t sum = 0;
+    for (const auto& [stream, pos] : positions_) {  // R2: range-for over map
+      out.push_back(stream);
+      sum += pos;
+    }
+    for (uint32_t member : members_) {              // R2: range-for over set
+      out.push_back(member);
+    }
+    return sum;
+  }
+
+  uint32_t first_by_iterator() {
+    auto it = positions_.begin();                   // R2: iterator order
+    return it == positions_.end() ? 0 : it->first;
+  }
+};
+
+using SignalTable = std::unordered_map<uint64_t, int>;
+
+int alias_is_still_unordered(const SignalTable& signals_by_id) {
+  SignalTable table = signals_by_id;
+  int acc = 0;
+  for (const auto& [id, v] : table) acc += v;       // R2: via type alias
+  return acc;
+}
+
+}  // namespace epx_fixture

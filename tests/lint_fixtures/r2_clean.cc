@@ -1,0 +1,48 @@
+// Fixture: determinism-safe uses of unordered containers — must NOT trip
+// R2. Lookups are order-free; iteration goes through util::sorted_keys().
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/sorted.h"
+
+namespace epx_fixture {
+
+struct Merger {
+  std::unordered_map<uint32_t, uint64_t> positions_;
+  std::unordered_set<uint32_t> members_;
+  std::vector<uint32_t> ring_;  // ordered member sharing a hot name is fine
+
+  // Point lookups and membership tests never observe hash order.
+  uint64_t position_of(uint32_t stream) const {
+    auto it = positions_.find(stream);
+    return it == positions_.end() ? 0 : it->second;
+  }
+  bool is_member(uint32_t node) const { return members_.count(node) != 0; }
+
+  // Iteration pinned to a canonical order via the sanctioned helpers.
+  uint64_t deliver_sorted(std::vector<uint32_t>& out) const {
+    uint64_t sum = 0;
+    for (uint32_t stream : epx::util::sorted_keys(positions_)) {
+      out.push_back(stream);
+    }
+    for (const auto& [stream, pos] : epx::util::sorted_items(positions_)) {
+      sum += *pos;
+      (void)stream;
+    }
+    return sum;
+  }
+
+  // Ordered containers iterate deterministically; same-named locals do
+  // not inherit unordered-ness from members.
+  uint64_t ring_walk() const {
+    uint64_t acc = 0;
+    for (uint32_t node : ring_) acc += node;
+    std::vector<uint64_t> positions = {1, 2, 3};
+    for (uint64_t p : positions) acc += p;
+    return acc;
+  }
+};
+
+}  // namespace epx_fixture

@@ -1,0 +1,32 @@
+// Fixture: naked allocation — every site here must trip epx-lint R3
+// (the slab/pool invariant: allocation is owned by net/pool and
+// sim/event_queue).
+#include <cstdlib>
+
+namespace epx_fixture {
+
+struct Envelope {
+  unsigned char bytes[64];
+};
+
+Envelope* allocate_with_new() {
+  return new Envelope;                        // R3: naked new
+}
+
+void release_with_delete(Envelope* e) {
+  delete e;                                   // R3: naked delete
+}
+
+void* allocate_with_malloc(unsigned n) {
+  return std::malloc(n);                      // R3: C allocation
+}
+
+void release_with_free(void* p) {
+  std::free(p);                               // R3: C allocation
+}
+
+void placement_build(void* slab) {
+  ::new (slab) Envelope;                      // R3: placement new outside slabs
+}
+
+}  // namespace epx_fixture

@@ -1,0 +1,28 @@
+// Fixture: RAII / pool-mediated allocation — must NOT trip epx-lint R3.
+#include <memory>
+#include <vector>
+
+namespace epx_fixture {
+
+struct Envelope {
+  unsigned char bytes[64];
+};
+
+// Deleted special members are not deallocations.
+struct Pinned {
+  Pinned() = default;
+  Pinned(const Pinned&) = delete;
+  Pinned& operator=(const Pinned&) = delete;
+};
+
+std::unique_ptr<Envelope> allocate_raii() { return std::make_unique<Envelope>(); }
+
+std::shared_ptr<Envelope> allocate_shared() { return std::make_shared<Envelope>(); }
+
+void grow(std::vector<Envelope>& pool) { pool.emplace_back(); }
+
+// `new` / `delete` / `malloc` in comments or strings must not fire:
+// the pool internally does `ptr = new Node[count]` and `delete ptr`.
+const char* doc() { return "never call malloc(n) directly"; }
+
+}  // namespace epx_fixture

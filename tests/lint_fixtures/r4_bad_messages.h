@@ -1,0 +1,47 @@
+// Fixture: codec completeness violations — epx-lint R4 must flag every
+// struct here (a field missing from encode and/or decode silently drops
+// data on the wire).
+#pragma once
+#include <cstdint>
+
+namespace epx_fixture {
+
+struct Writer {
+  void varint(uint64_t) {}
+  void u32(uint32_t) {}
+};
+struct Reader {
+  uint64_t varint() { return 0; }
+  uint32_t u32() { return 0; }
+};
+
+/// `epoch` is encoded but never decoded: receivers see a garbage epoch.
+struct HalfDecodedMsg {
+  uint64_t stream = 0;
+  uint32_t epoch = 0;
+
+  void encode(Writer& w) const {
+    w.varint(stream);
+    w.u32(epoch);
+  }
+  static HalfDecodedMsg decode(Reader& r) {
+    HalfDecodedMsg m;
+    m.stream = r.varint();
+    return m;  // epoch forgotten — R4
+  }
+};
+
+/// `ballot` is never put on the wire at all.
+struct NeverEncodedMsg {
+  uint64_t instance = 0;
+  uint32_t ballot = 0;
+
+  void encode(Writer& w) const { w.varint(instance); }
+  static NeverEncodedMsg decode(Reader& r) {
+    NeverEncodedMsg m;
+    m.instance = r.varint();
+    return m;
+  }
+};
+
+}  // namespace epx_fixture

@@ -1,0 +1,44 @@
+// Fixture: complete codecs — must NOT trip epx-lint R4.
+#pragma once
+#include <cstdint>
+
+namespace epx_fixture {
+
+struct Writer {
+  void varint(uint64_t) {}
+  void u32(uint32_t) {}
+  void u8(uint8_t) {}
+};
+struct Reader {
+  uint64_t varint() { return 0; }
+  uint32_t u32() { return 0; }
+  uint8_t u8() { return 0; }
+};
+
+struct CompleteMsg {
+  uint64_t stream = 0;
+  uint32_t epoch = 0;
+  bool urgent = false;
+
+  void encode(Writer& w) const {
+    w.varint(stream);
+    w.u32(epoch);
+    w.u8(urgent ? 1 : 0);
+  }
+  static CompleteMsg decode(Reader& r) {
+    CompleteMsg m;
+    m.stream = r.varint();
+    m.epoch = r.u32();
+    m.urgent = r.u8() != 0;
+    return m;
+  }
+};
+
+/// Plain config structs without an encode path are not wire messages and
+/// are ignored by R4.
+struct NotAWireStruct {
+  uint64_t anything = 0;
+  double other = 0.0;
+};
+
+}  // namespace epx_fixture

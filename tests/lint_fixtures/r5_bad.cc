@@ -1,0 +1,54 @@
+// Fixture: lifetime-unsafe timer captures — every site here must trip
+// epx-lint R5 (the PR 1 Learner use-after-free / PR 2 dangling-pointer
+// class: a raw pointer captured into a timer that outlives its owner).
+#include <cstdint>
+
+namespace epx_fixture {
+
+struct Coordinator {
+  void start() {}
+};
+
+struct Simulation {
+  template <typename F>
+  void schedule_after(uint64_t delay, F&& fn) {
+    (void)delay;
+    (void)fn;
+  }
+};
+
+struct Host {
+  template <typename F>
+  void after(uint64_t delay, F&& fn) {
+    (void)delay;
+    (void)fn;
+  }
+};
+
+struct Harness {
+  Simulation sim_;
+  uint64_t counter_ = 0;
+
+  void provision(Coordinator* coord, uint64_t delay) {
+    sim_.schedule_after(delay, [coord] { coord->start(); });  // R5: raw ptr
+  }
+
+  void tick_later() {
+    sim_.schedule_after(10, [this] { ++counter_; });          // R5: this
+  }
+
+  void tick_by_reference(uint64_t& cell) {
+    sim_.schedule_after(10, [&cell] { ++cell; });             // R5: by-ref
+  }
+};
+
+struct Role {
+  Host* host_;
+  uint64_t gen_ = 0;
+
+  void arm_unguarded() {
+    host_->after(10, [this] { ++gen_; });                     // R5: no token
+  }
+};
+
+}  // namespace epx_fixture

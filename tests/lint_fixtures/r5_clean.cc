@@ -1,0 +1,50 @@
+// Fixture: owner-checked timer patterns — must NOT trip epx-lint R5.
+#include <cstdint>
+
+namespace epx_fixture {
+
+struct Simulation {
+  template <typename F>
+  void schedule_after(uint64_t delay, F&& fn) {
+    (void)delay;
+    (void)fn;
+  }
+};
+
+struct Host {
+  template <typename F>
+  void after(uint64_t delay, F&& fn) {
+    (void)delay;
+    (void)fn;
+  }
+};
+
+struct Harness {
+  Simulation sim_;
+
+  // Value captures of plain data carry no lifetime.
+  void emit_later(uint64_t stream, uint64_t delay) {
+    sim_.schedule_after(delay, [stream] { (void)stream; });
+  }
+
+  // Capture-free callbacks are always safe.
+  void noop_later() {
+    sim_.schedule_after(10, [] {});
+  }
+};
+
+struct Role {
+  Host* host_;
+  uint64_t gen_ = 0;
+
+  // The generation token invalidates the timer when the role is torn
+  // down — the pattern Learner uses after the PR 1 fix.
+  void arm_guarded() {
+    host_->after(10, [this, alive = gen_] {
+      if (alive != gen_) return;
+      ++gen_;
+    });
+  }
+};
+
+}  // namespace epx_fixture

@@ -1,0 +1,24 @@
+// Fixture: discarded Status results — epx-lint R6 must flag each bare
+// call (a dropped Status is a swallowed error: the PR 2 silent-append
+// failure class).
+
+namespace epx_fixture {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status persist_segment();
+Status truncate_log(unsigned upto);
+
+struct Store {
+  Status flush() { return {}; }
+};
+
+void run(Store& store) {
+  persist_segment();        // R6: result dropped
+  truncate_log(7);          // R6: result dropped
+  store.flush();            // R6: result dropped through member call
+}
+
+}  // namespace epx_fixture

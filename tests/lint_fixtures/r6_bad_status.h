@@ -1,0 +1,19 @@
+// Fixture: status header that lost its [[nodiscard]] annotations — the
+// R6 header sweep must flag both classes. (Linted with --assume-src,
+// which maps any `*status.h` basename onto the util/status.h check.)
+#pragma once
+
+namespace epx_fixture {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class Result {
+ public:
+  bool ok() const { return true; }
+};
+
+}  // namespace epx_fixture

@@ -1,0 +1,25 @@
+// Fixture: consumed Status results — must NOT trip epx-lint R6.
+
+namespace epx_fixture {
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status persist_segment();
+Status truncate_log(unsigned upto);
+
+struct Store {
+  Status flush() { return {}; }
+};
+
+bool run(Store& store) {
+  Status s = persist_segment();
+  if (!s.ok()) return false;
+  if (!truncate_log(7).ok()) return false;
+  // Deliberate discard must be spelled out with a void cast.
+  (void)store.flush();
+  return true;
+}
+
+}  // namespace epx_fixture

@@ -1,0 +1,19 @@
+// Fixture: suppression directives — every violation here carries an
+// `epx-lint: allow(...)` waiver, so the file lints clean (exit 0) but the
+// waivers must show up in the report's `suppressed` list.
+#include <cstdlib>
+
+namespace epx_fixture {
+
+// Same-line directive.
+int wall_seed() {
+  return rand();  // epx-lint: allow(R1): fixture exercising same-line waiver
+}
+
+// Directive on the line above.
+int* grab() {
+  // epx-lint: allow(R3): fixture exercising line-above waiver
+  return new int(7);
+}
+
+}  // namespace epx_fixture

@@ -178,7 +178,7 @@ TEST_F(StreamIntegrationTest, Figure1ArchitectureSharedStream) {
     cfg.payload_bytes = 256;
     cfg.route = [stream] { return stream; };
     clients.push_back(
-        cluster.spawn<LoadClient>("c" + std::to_string(stream), &cluster.directory(), cfg));
+        cluster.spawn<LoadClient>(testing::numbered("c", stream), &cluster.directory(), cfg));
     clients.back()->start();
   }
   cluster.run_for(5 * kSecond);

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <charconv>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "harness/cluster.h"
@@ -11,6 +13,16 @@
 #include "util/logging.h"
 
 namespace epx::testing {
+
+/// "prefix<n>" without string concatenation: `"k" + std::to_string(i)`
+/// trips GCC 12's -Wrestrict false positive (PR 105329) when inlined
+/// into small loops.
+inline std::string numbered(std::string_view prefix, uint64_t n) {
+  char buf[48];
+  const size_t len = prefix.copy(buf, 24);
+  const auto conv = std::to_chars(buf + len, buf + sizeof(buf), n);
+  return {buf, conv.ptr};
+}
 
 /// Quiet logs by default; set EPX_TEST_LOG=debug for troubleshooting.
 inline void init_logging() {

@@ -1,0 +1,818 @@
+#!/usr/bin/env python3
+"""epx-lint: repo-aware static analysis for the Elastic Paxos reproduction.
+
+Mechanically enforces the simulator's determinism and lifetime invariants
+(rules R1-R6, see tools/epx-lint/README.md). Two engines:
+
+  * clang  - libclang AST walk driven off compile_commands.json. Used when
+             the `clang` python bindings are importable and a compilation
+             database is found; sharpens R1/R3 (no false hits inside
+             comments was never a problem, but the AST distinguishes e.g.
+             a call to `rand()` from a method named `strand()`).
+  * tokens - a dependency-free lexer over comment/string-stripped source.
+             The reference implementation: every rule is fully implemented
+             here, so the tool runs (and CI gates) even where libclang is
+             missing. `--engine auto` (default) picks clang when
+             available and silently falls back to tokens.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+
+Suppression: a line (or the line immediately above it) may carry
+`// epx-lint: allow(RN[,RM...]): <reason>` to waive named rules for that
+line. The reason is mandatory; suppressions are listed in the report so
+reviews can push back on them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+# --------------------------------------------------------------------------
+# Rule metadata
+# --------------------------------------------------------------------------
+
+RULES = {
+    "R1": "no wall-clock / nondeterministic sources in src/ (sim time and util/rng only)",
+    "R2": "no iteration over unordered containers (hash order leaks into behaviour)",
+    "R3": "no naked new/delete/malloc outside the pool and event-queue slabs",
+    "R4": "every field of every struct in */messages.h must be encoded AND decoded",
+    "R5": "no raw process/role pointer captured into timers that outlive the owner",
+    "R6": "Status/Result stay [[nodiscard]] and Status-returning calls are consumed",
+}
+
+# Files (repo-relative, prefix match) exempt per rule: the places that
+# legitimately own the banned construct.
+ALLOWED = {
+    "R1": ("src/util/logging.", "src/util/rng."),
+    "R2": ("src/util/sorted.h",),
+    "R3": ("src/net/pool.", "src/sim/event_queue."),
+    "R5": ("src/sim/",),
+}
+
+SRC_EXTS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
+
+
+@dataclass
+class Violation:
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Report:
+    violations: list = field(default_factory=list)
+    suppressed: list = field(default_factory=list)
+    engine: str = "tokens"
+    files_scanned: int = 0
+
+
+# --------------------------------------------------------------------------
+# Lexing helpers (token engine)
+# --------------------------------------------------------------------------
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments, string and char literals, preserving line structure.
+
+    Keeps the same number of lines and roughly the same column positions so
+    reported line numbers match the original file.
+    """
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                # Raw string literal? Look back for R prefix.
+                if i > 0 and text[i - 1] == "R" and (i < 2 or not text[i - 2].isalnum()):
+                    m = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
+                    if m:
+                        mode = "raw"
+                        raw_delim = ")" + m.group(1) + '"'
+                        out.append('"')
+                        i += 1
+                        continue
+                mode = "string"
+                out.append('"')
+                i += 1
+            elif c == "'":
+                # Heuristic: digit separators (1'000) are not char literals.
+                if i > 0 and text[i - 1].isdigit() and nxt.isdigit():
+                    out.append(c)
+                    i += 1
+                else:
+                    mode = "char"
+                    out.append("'")
+                    i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif mode == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                mode = "code"
+                out.append('"')
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif mode == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                mode = "code"
+                out.append("'")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        elif mode == "raw":
+            if text.startswith(raw_delim, i):
+                mode = "code"
+                out.append(raw_delim)
+                i += len(raw_delim)
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def matching_brace(text: str, open_idx: int) -> int:
+    """Index just past the brace matching text[open_idx] ('{'), or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def line_of(text: str, idx: int) -> int:
+    return text.count("\n", 0, idx) + 1
+
+
+ALLOW_RE = re.compile(r"epx-lint:\s*allow\(([^)]*)\)\s*:?\s*(\S.*)?")
+
+
+def allowed_rules_for_line(raw_lines, lineno: int):
+    """Rules waived on `lineno` (1-based) by a directive on it or just above."""
+    waived = set()
+    reasons = []
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(raw_lines):
+            m = ALLOW_RE.search(raw_lines[ln - 1])
+            if m:
+                waived.update(r.strip().upper() for r in m.group(1).split(","))
+                reasons.append((m.group(2) or "").strip())
+    return waived, "; ".join(r for r in reasons if r)
+
+
+class FileCtx:
+    """A scanned file: raw text, stripped text, line tables."""
+
+    def __init__(self, path: str, rel: str):
+        self.path = path
+        self.rel = rel
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            self.raw = f.read()
+        self.raw_lines = self.raw.splitlines()
+        self.code = strip_comments_and_strings(self.raw)
+        self.code_lines = self.code.splitlines()
+
+
+class Linter:
+    def __init__(self, root: str, rules, assume_src: bool, engine: str):
+        self.root = os.path.abspath(root)
+        self.rules = rules
+        self.assume_src = assume_src
+        self.report = Report()
+        self.ctx_cache = {}
+        self.engine = self._pick_engine(engine)
+        self.report.engine = self.engine
+
+    # -- engine selection --------------------------------------------------
+    def _pick_engine(self, requested: str) -> str:
+        if requested == "tokens":
+            return "tokens"
+        try:
+            import clang.cindex  # noqa: F401
+        except ImportError:
+            if requested == "clang":
+                raise SystemExit(
+                    "epx-lint: --engine clang requested but the `clang` python "
+                    "bindings are not importable; install libclang + python3-clang "
+                    "or use --engine tokens")
+            return "tokens"
+        if not os.path.exists(os.path.join(self.root, "build", "compile_commands.json")):
+            return "tokens" if requested == "auto" else "clang"
+        return "clang"
+
+    # -- plumbing ----------------------------------------------------------
+    def ctx(self, path: str) -> FileCtx:
+        path = os.path.abspath(path)
+        if path not in self.ctx_cache:
+            rel = os.path.relpath(path, self.root)
+            self.ctx_cache[path] = FileCtx(path, rel)
+        return self.ctx_cache[path]
+
+    def effective_rel(self, ctx: FileCtx) -> str:
+        """Path used for rule scoping; --assume-src maps fixtures into src/."""
+        if self.assume_src and not ctx.rel.startswith("src/"):
+            return "src/" + os.path.basename(ctx.rel)
+        return ctx.rel
+
+    def exempt(self, rule: str, rel: str) -> bool:
+        return any(rel.startswith(p) for p in ALLOWED.get(rule, ()))
+
+    def emit(self, rule: str, ctx: FileCtx, lineno: int, message: str):
+        waived, reason = allowed_rules_for_line(ctx.raw_lines, lineno)
+        v = Violation(rule, ctx.rel, lineno, message)
+        if rule in waived:
+            v.message += f"  [suppressed: {reason or 'no reason given'}]"
+            self.report.suppressed.append(v)
+        else:
+            self.report.violations.append(v)
+
+    # -- include graph (for R2's type database) ----------------------------
+    INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.M)
+
+    def repo_includes(self, ctx: FileCtx):
+        """Transitive repo-local includes of `ctx` (paths resolved via src/)."""
+        seen = set()
+        work = [ctx.path]
+        while work:
+            p = work.pop()
+            if p in seen or not os.path.exists(p):
+                continue
+            seen.add(p)
+            c = self.ctx(p)
+            for inc in self.INCLUDE_RE.findall(c.raw):
+                for base in (os.path.join(self.root, "src"), os.path.dirname(p),
+                             self.root):
+                    cand = os.path.normpath(os.path.join(base, inc))
+                    if os.path.exists(cand) and cand.startswith(self.root):
+                        work.append(cand)
+                        break
+        seen.discard(ctx.path)
+        return [self.ctx(p) for p in sorted(seen)]
+
+    # ----------------------------------------------------------------------
+    # R1: nondeterministic sources
+    # ----------------------------------------------------------------------
+    R1_PATTERNS = [
+        (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock (wall clock)"),
+        (re.compile(r"\bsteady_clock\b"), "std::chrono::steady_clock (host clock)"),
+        (re.compile(r"\bhigh_resolution_clock\b"), "std::chrono::high_resolution_clock"),
+        # The lookbehind skips member calls (`hooks_.clock()`) and foreign
+        # qualification (`myns::rand`); the optional prefix re-admits the
+        # std::/global-scope spellings the lookbehind would otherwise block.
+        (re.compile(r"(?<![\w.:>])(?:std\s*::\s*|::\s*)?time\s*\(\s*(?:nullptr|NULL|0|&)"),
+         "::time() (wall clock)"),
+        (re.compile(r"(?<![\w.:>])(?:std\s*::\s*|::\s*)?clock\s*\(\s*\)"), "::clock()"),
+        (re.compile(r"(?<![\w.:>])(?:std\s*::\s*|::\s*)?s?rand\s*\("),
+         "rand()/srand() (global, seed-unfriendly)"),
+        (re.compile(r"\brandom_device\b"), "std::random_device (hardware entropy)"),
+        (re.compile(r"\bmt19937(?:_64)?\b"), "std::mt19937 (use util/rng's seeded Rng)"),
+        (re.compile(r"(?<![\w.:>])(?:std\s*::\s*|::\s*)?getenv\s*\("),
+         "getenv() (environment-dependent behaviour)"),
+    ]
+
+    def check_r1(self, ctx: FileCtx):
+        rel = self.effective_rel(ctx)
+        if not rel.startswith("src/") or self.exempt("R1", rel):
+            return
+        for lineno, line in enumerate(ctx.code_lines, 1):
+            for pat, what in self.R1_PATTERNS:
+                if pat.search(line):
+                    self.emit("R1", ctx, lineno,
+                              f"nondeterministic source: {what}; handlers must use "
+                              "sim time (Process::now) and util/rng")
+
+    # ----------------------------------------------------------------------
+    # R2: unordered container iteration
+    # ----------------------------------------------------------------------
+    UNORDERED_DECL_RE = re.compile(
+        r"\b(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
+    SORTED_WRAPPERS = ("sorted_keys", "sorted_items")
+
+    def unordered_names(self, ctx: FileCtx):
+        """Names declared in `ctx` with an unordered container type.
+
+        Handles members, locals, params and `using X = std::unordered_map<..>`
+        aliases (one level).
+        """
+        names = set()
+        aliases = set()
+        text = ctx.code
+        for m in re.finditer(r"\busing\s+(\w+)\s*=\s*((?:std\s*::\s*)?unordered_\w+\s*<)",
+                             text):
+            aliases.add(m.group(1))
+        decl_types = [self.UNORDERED_DECL_RE] + [
+            re.compile(r"\b" + re.escape(a) + r"\s*(<|\s)") for a in aliases]
+        for pat in decl_types:
+            for m in pat.finditer(text):
+                i = m.end() - 1
+                if text[i] == "<":
+                    depth = 0
+                    while i < len(text):
+                        if text[i] == "<":
+                            depth += 1
+                        elif text[i] == ">":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        i += 1
+                    i += 1
+                nm = re.match(r"\s*[&*]*\s*(\w+)\s*[;={(,)]", text[i:i + 120])
+                if nm:
+                    name = nm.group(1)
+                    if name not in ("const", "return", "else"):
+                        names.add(name)
+        return names
+
+    RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;{}]*?):([^;{})]*)\)")
+    # Only begin(): `x.end()` alone is the find()-membership idiom, which
+    # never observes hash order.
+    BEGIN_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(")
+    ORDERED_DECL_RE = re.compile(
+        r"\b(?:std\s*::\s*)?(?:map|set|multimap|multiset|vector|deque|list|array|"
+        r"basic_string|string)\s*<[^;{}]*?>\s*[&*]?\s*([A-Za-z_]\w*)\s*[;={(,]")
+
+    def ordered_shadow(self, ctx: FileCtx):
+        """Names (re)declared with an ordered type in this file or its paired
+        header — they shadow same-named unordered members of other classes
+        pulled in through the include graph."""
+        shadow = set(m.group(1) for m in self.ORDERED_DECL_RE.finditer(ctx.code))
+        paired = os.path.splitext(ctx.path)[0] + ".h"
+        if paired != ctx.path and os.path.exists(paired):
+            pc = self.ctx(paired)
+            shadow |= set(m.group(1) for m in self.ORDERED_DECL_RE.finditer(pc.code))
+            shadow -= self.unordered_names(pc)
+        shadow -= self.unordered_names(ctx)
+        return shadow
+
+    def check_r2(self, ctx: FileCtx):
+        rel = self.effective_rel(ctx)
+        if not rel.startswith(("src/", "tests/", "bench/")) or self.exempt("R2", rel):
+            return
+        names = self.unordered_names(ctx)
+        for inc in self.repo_includes(ctx):
+            names |= self.unordered_names(inc)
+        names -= self.ordered_shadow(ctx)
+        if not names:
+            return
+        text = ctx.code
+        for m in self.RANGE_FOR_RE.finditer(text):
+            expr = m.group(2).strip()
+            if any(w + "(" in expr for w in self.SORTED_WRAPPERS):
+                continue
+            base = re.match(r"(?:this\s*->\s*)?([A-Za-z_]\w*)\s*$", expr)
+            if base and base.group(1) in names:
+                self.emit("R2", ctx, line_of(text, m.start()),
+                          f"range-for over unordered container '{base.group(1)}': "
+                          "hash order is nondeterministic; iterate "
+                          "util::sorted_keys()/sorted_items() or use an ordered container")
+        for m in self.BEGIN_RE.finditer(text):
+            if m.group(1) in names:
+                self.emit("R2", ctx, line_of(text, m.start()),
+                          f"iterator over unordered container '{m.group(1)}': "
+                          "hash order is nondeterministic; iterate "
+                          "util::sorted_keys()/sorted_items() or use an ordered container")
+
+    # ----------------------------------------------------------------------
+    # R3: naked allocation
+    # ----------------------------------------------------------------------
+    R3_NEW_RE = re.compile(r"(?<![\w:])new\b(?!\s*\()")        # `::new (place)` allowed? no:
+    R3_PLACEMENT_RE = re.compile(r"::\s*new\s*\(")             # placement new (slab internals)
+    R3_DELETE_RE = re.compile(r"(?<![\w:])delete\b")
+    R3_C_ALLOC_RE = re.compile(
+        r"(?<![\w.:>])(?:std\s*::\s*|::\s*)?(?:malloc|calloc|realloc|free)\s*\(")
+
+    def check_r3(self, ctx: FileCtx):
+        rel = self.effective_rel(ctx)
+        if not rel.startswith(("src/", "tests/", "bench/")) or self.exempt("R3", rel):
+            return
+        for lineno, line in enumerate(ctx.code_lines, 1):
+            stripped = self.R3_PLACEMENT_RE.sub(" ", line)
+            if self.R3_NEW_RE.search(stripped) or self.R3_PLACEMENT_RE.search(line):
+                self.emit("R3", ctx, lineno,
+                          "naked `new`: allocation is owned by net/pool and "
+                          "sim/event_queue; use make_message/make_unique or the pools")
+            if self.R3_DELETE_RE.search(line) and not re.search(
+                    r"=\s*delete|operator\s+delete", line):
+                self.emit("R3", ctx, lineno,
+                          "naked `delete`: pair allocation with RAII or the owning pool")
+            if self.R3_C_ALLOC_RE.search(line):
+                self.emit("R3", ctx, lineno,
+                          "C allocation (malloc/calloc/realloc/free) outside the slabs")
+
+    # ----------------------------------------------------------------------
+    # R4: codec completeness for *messages.h
+    # ----------------------------------------------------------------------
+    STRUCT_RE = re.compile(r"\bstruct\s+(\w+)(?:\s+final)?[^;{(]*\{")
+    FIELD_RE = re.compile(
+        r"^\s*(?!using\b|static\b|typedef\b|struct\b|class\b|enum\b|friend\b|return\b)"
+        r"[A-Za-z_][\w:<>,\s*&]*?[\s&*>]([A-Za-z_]\w*)\s*(?:=[^;]*)?;\s*$")
+
+    def struct_bodies(self, ctx: FileCtx):
+        for m in self.STRUCT_RE.finditer(ctx.code):
+            open_idx = m.end() - 1
+            end = matching_brace(ctx.code, open_idx)
+            if end > 0:
+                yield m.group(1), open_idx + 1, ctx.code[open_idx + 1:end - 1]
+
+    def member_fn_body(self, body: str, pattern: str):
+        m = re.search(pattern, body)
+        if not m:
+            return None
+        open_idx = body.find("{", m.end() - 1)
+        if open_idx < 0:
+            return None
+        end = matching_brace(body, open_idx)
+        return body[open_idx:end] if end > 0 else None
+
+    def top_level_fields(self, body: str):
+        """Field names declared at depth 0 of a struct body."""
+        fields = []
+        depth = 0
+        for rawline in body.splitlines():
+            line = rawline
+            if depth == 0 and "(" not in line:
+                fm = self.FIELD_RE.match(line)
+                if fm:
+                    fields.append(fm.group(1))
+            depth += line.count("{") - line.count("}")
+            depth = max(depth, 0)
+        return fields
+
+    def check_r4(self, ctx: FileCtx):
+        rel = self.effective_rel(ctx)
+        if not (rel.startswith("src/") and rel.endswith("messages.h")):
+            return
+        # Paired .cc holding the out-of-line decode() definitions.
+        cc_path = ctx.path[:-2] + ".cc"
+        cc_ctx = self.ctx(cc_path) if os.path.exists(cc_path) else None
+        for name, body_start, body in self.struct_bodies(ctx):
+            encode_body = self.member_fn_body(
+                body, r"\bvoid\s+encode\s*\(\s*Writer\s*&\s*\w*\s*\)")
+            decode_body = self.member_fn_body(
+                body, r"\bdecode\s*\(\s*Reader\s*&\s*\w*\s*\)")
+            if decode_body is None and cc_ctx is not None:
+                decode_body = self.member_fn_body(
+                    cc_ctx.code, r"\b" + re.escape(name) + r"\s*::\s*decode\s*\(")
+            if encode_body is None and decode_body is None:
+                continue  # not a wire struct
+            lineno = line_of(ctx.code, body_start)
+            if encode_body is None:
+                self.emit("R4", ctx, lineno, f"struct {name}: missing encode(Writer&)")
+                continue
+            if decode_body is None:
+                self.emit("R4", ctx, lineno,
+                          f"struct {name}: missing decode(Reader&) (header or paired .cc)")
+                continue
+            for fld in self.top_level_fields(body):
+                tok = re.compile(r"\b" + re.escape(fld) + r"\b")
+                in_enc = bool(tok.search(encode_body))
+                in_dec = bool(tok.search(decode_body))
+                if not in_enc or not in_dec:
+                    missing = [side for side, ok in (("encode", in_enc), ("decode", in_dec))
+                               if not ok]
+                    self.emit("R4", ctx, lineno,
+                              f"struct {name}: field '{fld}' missing from its "
+                              f"{' and '.join(missing)} path (codec would silently "
+                              "drop it on the wire)")
+
+    # ----------------------------------------------------------------------
+    # R5: lifetime-unsafe captures into timers
+    # ----------------------------------------------------------------------
+    SIM_SCHEDULE_RE = re.compile(r"\bschedule_(?:after|at)\s*\(")
+    HOST_AFTER_RE = re.compile(r"\bhost_\s*->\s*after\s*\(")
+    GUARD_TOKEN_RE = re.compile(r"\b(?:alive|gen|generation|epoch)\w*\b")
+
+    def capture_list_after(self, text: str, idx: int):
+        """Capture list of the first lambda inside the call whose opening
+        paren is at idx-1. Bounded by the matching close paren so a
+        declaration's parameter list (no lambda) never borrows one from a
+        later line."""
+        depth = 1
+        end = idx
+        while end < len(text) and depth > 0:
+            if text[end] == "(":
+                depth += 1
+            elif text[end] == ")":
+                depth -= 1
+            end += 1
+        m = re.compile(r"\[([^\]]*)\]").search(text, idx, end)
+        return m.group(1) if m else None
+
+    def pointer_names(self, ctx: FileCtx):
+        """Identifiers declared as raw pointers anywhere in the file."""
+        names = set()
+        for m in re.finditer(r"\b(?:[A-Za-z_][\w:]*\s*(?:<[^;()]*>)?\s*\*+\s*|auto\s*\*\s*)"
+                             r"(?:const\s+)?([A-Za-z_]\w*)\s*[=;,)]", ctx.code):
+            names.add(m.group(1))
+        return names
+
+    def check_r5(self, ctx: FileCtx):
+        rel = self.effective_rel(ctx)
+        if not rel.startswith("src/") or self.exempt("R5", rel):
+            return
+        text = ctx.code
+        ptr_names = None
+        for m in self.SIM_SCHEDULE_RE.finditer(text):
+            caps = self.capture_list_after(text, m.end())
+            if caps is None:
+                continue
+            lineno = line_of(text, m.start())
+            caps_s = caps.strip()
+            if "this" in re.split(r"[,\s]+", caps_s):
+                self.emit("R5", ctx, lineno,
+                          "lambda given to Simulation::schedule_after/at captures `this`: "
+                          "sim-level timers outlive crashed/destroyed processes; use "
+                          "Process::after (epoch-guarded) instead")
+                continue
+            if "&" in caps_s:
+                self.emit("R5", ctx, lineno,
+                          "lambda given to Simulation::schedule_after/at captures by "
+                          "reference: the referent can die before the timer fires")
+                continue
+            if ptr_names is None:
+                ptr_names = self.pointer_names(ctx)
+            for ident in re.findall(r"[A-Za-z_]\w*", caps_s):
+                if ident in ptr_names:
+                    self.emit("R5", ctx, lineno,
+                              f"lambda given to Simulation::schedule_after/at captures raw "
+                              f"pointer '{ident}': the object can be destroyed before the "
+                              "timer fires (the PR 1 Learner use-after-free class); route "
+                              "through the owner's epoch-guarded Process::after")
+                    break
+        for m in self.HOST_AFTER_RE.finditer(text):
+            caps = self.capture_list_after(text, m.end())
+            if caps is None:
+                continue
+            if not self.GUARD_TOKEN_RE.search(caps):
+                self.emit("R5", ctx, line_of(text, m.start()),
+                          "role object arms host_->after() without a liveness token in the "
+                          "capture list (e.g. `alive = gen_`): the role can be torn down "
+                          "while its host lives on, leaving the timer dangling")
+
+    # ----------------------------------------------------------------------
+    # R6: nodiscard Status discipline
+    # ----------------------------------------------------------------------
+    STATUS_FN_RE = re.compile(
+        r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+|inline\s+)*"
+        r"(?:util\s*::\s*|epx\s*::\s*)?(?:Status|Result\s*<[^;{=]*>)\s+"
+        r"(\w+)\s*\(", re.M)
+
+    def status_fn_names(self, ctxs):
+        names = set()
+        for c in ctxs:
+            for m in self.STATUS_FN_RE.finditer(c.code):
+                names.add(m.group(1))
+        # Constructors/accessors that commonly collide are excluded by the
+        # bare-statement shape below; nothing else to filter today.
+        return names
+
+    def check_r6_status_header(self, ctx: FileCtx):
+        is_status_header = ctx.rel.endswith("util/status.h") or (
+            self.assume_src and os.path.basename(ctx.rel).endswith("status.h"))
+        if not is_status_header:
+            return
+        if not re.search(r"class\s*\[\[nodiscard\]\]\s*Status\b", ctx.code):
+            self.emit("R6", ctx, 1,
+                      "util/status.h: class Status has lost its [[nodiscard]] annotation")
+        if not re.search(r"class\s*\[\[nodiscard\]\]\s*Result\b", ctx.code):
+            self.emit("R6", ctx, 1,
+                      "util/status.h: class Result has lost its [[nodiscard]] annotation")
+
+    def check_r6(self, ctx: FileCtx, status_fns):
+        rel = self.effective_rel(ctx)
+        if not rel.startswith("src/"):
+            return
+        self.check_r6_status_header(ctx)
+        # Functions declared in this very file (and its paired header) also
+        # count — a .cc's local Status helpers aren't in the src/*.h DB.
+        status_fns = status_fns | self.status_fn_names([ctx])
+        if not status_fns:
+            return
+        # Bare statement whose entire content is a call to a Status-returning
+        # function: `foo(...);` / `obj.foo(...);` / `obj->foo(...);`
+        for lineno, line in enumerate(ctx.code_lines, 1):
+            m = re.match(r"^\s*(?:[A-Za-z_]\w*(?:\.|->|::))*([A-Za-z_]\w*)\s*\([^;=]*\)\s*;\s*$",
+                         line)
+            if m and m.group(1) in status_fns:
+                self.emit("R6", ctx, lineno,
+                          f"return value of Status-returning '{m.group(1)}()' is discarded; "
+                          "consume it or void-cast with a comment")
+
+    # ----------------------------------------------------------------------
+    # clang engine (R1/R3 refinement; other rules reuse the token engine)
+    # ----------------------------------------------------------------------
+    def clang_check(self, files):
+        """AST-assisted R1/R3 over the compilation database. Best effort:
+        any TU that fails to parse falls back to the token engine for that
+        file. Returns the set of files the AST pass fully covered."""
+        import clang.cindex as ci
+        covered = set()
+        try:
+            db = ci.CompilationDatabase.fromDirectory(os.path.join(self.root, "build"))
+        except ci.CompilationDatabaseError:
+            return covered
+        index = ci.Index.create()
+        banned_calls = {"rand", "srand", "time", "clock", "getenv"}
+        banned_types = {"system_clock", "steady_clock", "high_resolution_clock",
+                        "random_device", "mt19937", "mt19937_64"}
+        for path in files:
+            cmds = db.getCompileCommands(path)
+            if not cmds:
+                continue
+            args = [a for a in list(cmds[0].arguments)[1:] if a not in (path, "-c", "-o")]
+            try:
+                tu = index.parse(path, args=args)
+            except ci.TranslationUnitLoadError:
+                continue
+            ctx = self.ctx(path)
+            rel = self.effective_rel(ctx)
+            if not rel.startswith("src/"):
+                continue
+            ok = True
+            for d in tu.diagnostics:
+                if d.severity >= ci.Diagnostic.Fatal:
+                    ok = False
+            if not ok:
+                continue
+            covered.add(path)
+            for cur in tu.cursor.walk_preorder():
+                if cur.location.file is None or \
+                        os.path.abspath(cur.location.file.name) != os.path.abspath(path):
+                    continue
+                if not self.exempt("R1", rel):
+                    if cur.kind == ci.CursorKind.CALL_EXPR and cur.spelling in banned_calls:
+                        self.emit("R1", ctx, cur.location.line,
+                                  f"nondeterministic call {cur.spelling}()")
+                    if cur.kind in (ci.CursorKind.TYPE_REF, ci.CursorKind.DECL_REF_EXPR) \
+                            and cur.spelling in banned_types:
+                        self.emit("R1", ctx, cur.location.line,
+                                  f"nondeterministic source {cur.spelling}")
+                if not self.exempt("R3", rel):
+                    if cur.kind == ci.CursorKind.CXX_NEW_EXPR:
+                        self.emit("R3", ctx, cur.location.line, "naked `new` expression")
+                    if cur.kind == ci.CursorKind.CXX_DELETE_EXPR:
+                        self.emit("R3", ctx, cur.location.line, "naked `delete` expression")
+        return covered
+
+    # ----------------------------------------------------------------------
+    # driver
+    # ----------------------------------------------------------------------
+    def run(self, files):
+        files = [os.path.abspath(f) for f in files if f.endswith(SRC_EXTS)]
+        self.report.files_scanned = len(files)
+        ast_covered = set()
+        if self.engine == "clang" and {"R1", "R3"} & set(self.rules):
+            cc_files = [f for f in files if f.endswith((".cc", ".cpp", ".cxx"))]
+            ast_covered = self.clang_check(cc_files)
+        # Status function DB needs headers beyond the scanned set.
+        status_fns = set()
+        if "R6" in self.rules:
+            hdrs = []
+            src_root = os.path.join(self.root, "src")
+            if os.path.isdir(src_root):
+                for dirpath, _dirs, names in os.walk(src_root):
+                    for n in names:
+                        if n.endswith(".h"):
+                            hdrs.append(self.ctx(os.path.join(dirpath, n)))
+            status_fns = self.status_fn_names(hdrs)
+        for path in files:
+            ctx = self.ctx(path)
+            # Fixture snippets are deliberate violations; the fixture test
+            # lints them one at a time with --assume-src.
+            if not self.assume_src and "tests/lint_fixtures/" in ctx.rel:
+                continue
+            if "R1" in self.rules and path not in ast_covered:
+                self.check_r1(ctx)
+            if "R2" in self.rules:
+                self.check_r2(ctx)
+            if "R3" in self.rules and path not in ast_covered:
+                self.check_r3(ctx)
+            if "R4" in self.rules:
+                self.check_r4(ctx)
+            if "R5" in self.rules:
+                self.check_r5(ctx)
+            if "R6" in self.rules:
+                self.check_r6(ctx, status_fns)
+        return self.report
+
+
+def collect_files(root: str, paths):
+    out = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isdir(full):
+            for dirpath, _dirs, names in os.walk(full):
+                for n in sorted(names):
+                    if n.endswith(SRC_EXTS):
+                        out.append(os.path.join(dirpath, n))
+        elif os.path.isfile(full):
+            out.append(full)
+        else:
+            print(f"epx-lint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return out
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="epx-lint", description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories to lint (default: src tests bench)")
+    ap.add_argument("--root", default=".", help="repository root (default: cwd)")
+    ap.add_argument("--engine", choices=("auto", "clang", "tokens"), default="auto")
+    ap.add_argument("--rules", default=",".join(RULES),
+                    help="comma-separated subset of rules to run (default: all)")
+    ap.add_argument("--assume-src", action="store_true",
+                    help="apply src/-scoped rules to every scanned file "
+                         "(used by the fixture tests)")
+    ap.add_argument("--json", action="store_true", help="machine-readable report")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rid, desc in RULES.items():
+            print(f"{rid}: {desc}")
+        return 0
+
+    rules = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+    unknown = [r for r in rules if r not in RULES]
+    if unknown:
+        print(f"epx-lint: unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    root = os.path.abspath(args.root)
+    paths = args.paths or [p for p in ("src", "tests", "bench") if
+                           os.path.isdir(os.path.join(root, p))]
+    files = collect_files(root, paths)
+
+    linter = Linter(root, rules, args.assume_src, args.engine)
+    report = linter.run(files)
+
+    if args.json:
+        print(json.dumps({
+            "engine": report.engine,
+            "files_scanned": report.files_scanned,
+            "violations": [vars(v) for v in report.violations],
+            "suppressed": [vars(v) for v in report.suppressed],
+        }, indent=2))
+    else:
+        for v in report.violations:
+            print(v.render())
+        for v in report.suppressed:
+            print(f"note: {v.render()}")
+        print(f"epx-lint[{report.engine}]: {report.files_scanned} files, "
+              f"{len(report.violations)} violation(s), "
+              f"{len(report.suppressed)} suppressed")
+    return 1 if report.violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

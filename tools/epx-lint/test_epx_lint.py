@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Fixture tests for epx-lint.
+
+Each `tests/lint_fixtures/rN_bad*` file must trip rule RN (and only RN is
+run against it, so unrelated deliberate noise can't mask a regression);
+each `rN_clean*` counterpart must lint clean. `suppressed.cc` must exit 0
+while reporting its waivers. Run via ctest (`lint_fixtures`) or directly:
+
+    python3 tools/epx-lint/test_epx_lint.py [--root /path/to/repo]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "epx_lint.py")
+
+# (fixture basename, rule, minimum violations). The minimum is the number
+# of deliberately-planted sites; exact counts are asserted so a checker
+# that starts double-reporting (or goes blind to one site) fails loudly.
+BAD = [
+    ("r1_bad.cc", "R1", 8),
+    ("r2_bad.cc", "R2", 4),
+    ("r3_bad.cc", "R3", 5),
+    ("r4_bad_messages.h", "R4", 2),
+    ("r5_bad.cc", "R5", 4),
+    ("r6_bad.cc", "R6", 3),
+    ("r6_bad_status.h", "R6", 2),
+]
+
+CLEAN = [
+    ("r1_clean.cc", "R1"),
+    ("r2_clean.cc", "R2"),
+    ("r3_clean.cc", "R3"),
+    ("r4_clean_messages.h", "R4"),
+    ("r5_clean.cc", "R5"),
+    ("r6_clean.cc", "R6"),
+]
+
+
+def run_lint(root, fixture, rule):
+    cmd = [sys.executable, LINT, "--root", root, "--engine", "tokens",
+           "--assume-src", "--json", "--rules", rule,
+           os.path.join(root, "tests", "lint_fixtures", fixture)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode == 2:
+        raise RuntimeError(f"epx-lint internal error on {fixture}:\n{proc.stderr}")
+    return proc.returncode, json.loads(proc.stdout)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--root", default=os.path.dirname(os.path.dirname(HERE)),
+                    help="repository root (default: two levels above this file)")
+    args = ap.parse_args()
+    root = os.path.abspath(args.root)
+
+    failures = []
+
+    def check(cond, label, detail=""):
+        status = "ok" if cond else "FAIL"
+        print(f"  [{status}] {label}" + (f"  ({detail})" if detail and not cond else ""))
+        if not cond:
+            failures.append(f"{label}: {detail}")
+
+    for fixture, rule, want in BAD:
+        rc, rep = run_lint(root, fixture, rule)
+        got = rep["violations"]
+        print(f"{fixture} [{rule}]:")
+        check(rc == 1, f"{fixture} exits 1", f"exit={rc}")
+        check(len(got) == want, f"{fixture} reports exactly {want} {rule} violations",
+              f"got {len(got)}: " + "; ".join(v["message"] for v in got))
+        check(all(v["rule"] == rule for v in got), f"{fixture} violations all tagged {rule}",
+              str(sorted({v['rule'] for v in got})))
+
+    for fixture, rule in CLEAN:
+        rc, rep = run_lint(root, fixture, rule)
+        print(f"{fixture} [{rule}]:")
+        check(rc == 0 and not rep["violations"], f"{fixture} lints clean",
+              "; ".join(v["message"] for v in rep["violations"]))
+
+    # Suppression directives: violations are waived but surface in the report.
+    rc, rep = run_lint(root, "suppressed.cc", "R1,R3")
+    print("suppressed.cc [R1,R3]:")
+    check(rc == 0 and not rep["violations"], "suppressed.cc exits 0 with no violations",
+          f"exit={rc}, violations={rep['violations']}")
+    waived = sorted(v["rule"] for v in rep["suppressed"])
+    check(waived == ["R1", "R3"], "suppressed.cc reports exactly the R1+R3 waivers",
+          str(waived))
+
+    # The real tree must be violation-free under every rule — this is the
+    # same gate CI runs, kept here so `ctest` alone catches regressions.
+    cmd = [sys.executable, LINT, "--root", root, "--engine", "tokens", "--json"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    rep = json.loads(proc.stdout)
+    print("repo scan (src tests bench):")
+    check(proc.returncode == 0, "repo tree lints clean",
+          "; ".join(v["message"] for v in rep.get("violations", [])))
+    check(rep["files_scanned"] > 100, "repo scan covered the tree",
+          f"only {rep['files_scanned']} files")
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nall lint fixture checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
