@@ -12,11 +12,28 @@
 #include <string>
 
 #include "bench/bench_common.h"
+#include "harness/trace_flags.h"
 
 using namespace epx;            // NOLINT(google-build-using-namespace)
 using namespace epx::harness;   // NOLINT(google-build-using-namespace)
 
 namespace {
+
+/// Each scenario owns a cluster, so a traced run writes one file per
+/// scenario: `--trace-out=x.json` becomes x.broadcast.json / x.kv.json.
+TraceFlags scenario_trace(const TraceFlags& base, const char* scenario) {
+  TraceFlags flags = base;
+  if (flags.enabled()) {
+    const std::string tag = std::string(".") + scenario;
+    const size_t dot = flags.out.rfind('.');
+    if (dot == std::string::npos) {
+      flags.out += tag;
+    } else {
+      flags.out.insert(dot, tag);
+    }
+  }
+  return flags;
+}
 
 struct ScenarioResult {
   std::string name;
@@ -47,10 +64,11 @@ void latency_quantiles(const obs::MetricsRegistry& metrics, const std::string& n
   out->p99_ms = to_millis(t->total().p99());
 }
 
-ScenarioResult run_broadcast(Tick duration) {
+ScenarioResult run_broadcast(Tick duration, const TraceFlags& trace_flags) {
   auto options = bench::broadcast_options();
   options.params.admission_rate = 0.0;  // unthrottled
   Cluster cluster(options);
+  trace_flags.enable(cluster.sim());
   const StreamId s1 = cluster.add_stream();
   elastic::Replica::Config rcfg;
   rcfg.group = 1;
@@ -81,12 +99,14 @@ ScenarioResult run_broadcast(Tick duration) {
   r.replica_cpu_pct = std::max(cpu_pct(metrics, r1->name(), duration),
                                cpu_pct(metrics, "replica2", duration));
   r.metrics_json = metrics.to_json(/*include_series=*/false);
+  trace_flags.finish(cluster.sim());
   return r;
 }
 
-ScenarioResult run_kv(Tick duration) {
+ScenarioResult run_kv(Tick duration, const TraceFlags& trace_flags) {
   auto options = bench::kv_options();
   KvCluster kvc(options);
+  trace_flags.enable(kvc.cluster().sim());
   const uint32_t p1 = kvc.add_partition(2);
   (void)p1;
   kvc.publish();
@@ -115,6 +135,7 @@ ScenarioResult run_kv(Tick duration) {
         std::max(r.replica_cpu_pct, cpu_pct(metrics, replica->name(), duration));
   }
   r.metrics_json = metrics.to_json(/*include_series=*/false);
+  trace_flags.finish(cluster.sim());
   return r;
 }
 
@@ -141,14 +162,16 @@ void append_scenario(std::string* out, const ScenarioResult& r, bool last) {
 
 int main(int argc, char** argv) {
   bench::bench_logging();
+  const TraceFlags trace_flags = TraceFlags::parse(argc, argv);
   std::string json_path = "BENCH_cluster.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
   }
 
   const Tick duration = 5 * kSecond;
-  const ScenarioResult broadcast = run_broadcast(duration);
-  const ScenarioResult kv = run_kv(duration);
+  const ScenarioResult broadcast =
+      run_broadcast(duration, scenario_trace(trace_flags, "broadcast"));
+  const ScenarioResult kv = run_kv(duration, scenario_trace(trace_flags, "kv"));
 
   print_header("Cluster bench (5 virtual seconds per scenario)");
   for (const ScenarioResult* r : {&broadcast, &kv}) {

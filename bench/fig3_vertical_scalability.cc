@@ -13,16 +13,19 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "harness/trace_flags.h"
 
 using namespace epx;            // NOLINT(google-build-using-namespace)
 using namespace epx::harness;   // NOLINT(google-build-using-namespace)
 
-int main() {
+int main(int argc, char** argv) {
   bench::bench_logging();
+  const TraceFlags trace_flags = TraceFlags::parse(argc, argv);
   auto options = bench::broadcast_options();
   options.params.admission_rate = 750.0;  // the paper's "30%" per-stream throttle
 
   Cluster cluster(options);
+  trace_flags.enable(cluster.sim());
   // All stream VMs are provisioned from the beginning (paper: "In this
   // experiment, all VMs are started up from the beginning").
   std::vector<StreamId> streams;
@@ -105,5 +108,6 @@ int main() {
   paper_check("fig3.4-streams", "4 streams ~ 3.6x, replicas saturating (paper 3.62x)",
               p4 / p1 > 3.0 && p4 / p1 < 4.0,
               (std::string("x") + std::to_string(p4 / p1)).c_str());
+  trace_flags.finish(cluster.sim());
   return 0;
 }

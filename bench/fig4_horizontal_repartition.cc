@@ -15,14 +15,17 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "harness/trace_flags.h"
 
 using namespace epx;            // NOLINT(google-build-using-namespace)
 using namespace epx::harness;   // NOLINT(google-build-using-namespace)
 
-int main() {
+int main(int argc, char** argv) {
   bench::bench_logging();
+  const TraceFlags trace_flags = TraceFlags::parse(argc, argv);
   auto options = bench::kv_options();
   KvCluster kvc(options);
+  trace_flags.enable(kvc.cluster().sim());
   const uint32_t p1 = kvc.add_partition(2);
   kvc.publish();
 
@@ -133,5 +136,6 @@ int main() {
   const double p95_ms = to_millis(client->latency().p95());
   paper_check("fig4.latency", "95th percentile latency 8.3 ms",
               p95_ms > 1.0 && p95_ms < 20.0, (std::to_string(p95_ms) + " ms").c_str());
+  trace_flags.finish(cluster.sim());
   return 0;
 }

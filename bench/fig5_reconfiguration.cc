@@ -13,14 +13,17 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "harness/trace_flags.h"
 
 using namespace epx;            // NOLINT(google-build-using-namespace)
 using namespace epx::harness;   // NOLINT(google-build-using-namespace)
 
-int main() {
+int main(int argc, char** argv) {
   bench::bench_logging();
+  const TraceFlags trace_flags = TraceFlags::parse(argc, argv);
   auto options = bench::broadcast_options();
   Cluster cluster(options);
+  trace_flags.enable(cluster.sim());
 
   const StreamId s1 = cluster.add_stream();
 
@@ -135,5 +138,6 @@ int main() {
   const double p95_ms = to_millis(client->latency().p95());
   paper_check("fig5.latency", "95th percentile latency 2.7 ms",
               p95_ms > 0.5 && p95_ms < 10.0, (std::to_string(p95_ms) + " ms").c_str());
+  trace_flags.finish(cluster.sim());
   return 0;
 }

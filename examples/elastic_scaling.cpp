@@ -8,18 +8,23 @@
 // subscription.
 //
 // Run: ./build/examples/elastic_scaling
+// Add --trace-out=trace.json to record a causal span trace of every
+// command's lifecycle (open the file in Perfetto; see DESIGN.md §11).
 #include <cstdio>
 
 #include "harness/cluster.h"
 #include "harness/load_client.h"
+#include "harness/trace_flags.h"
 
 using namespace epx;           // NOLINT(google-build-using-namespace)
 using namespace epx::harness;  // NOLINT(google-build-using-namespace)
 
-int main() {
+int main(int argc, char** argv) {
+  const TraceFlags trace_flags = TraceFlags::parse(argc, argv);
   ClusterOptions options;
   options.params.admission_rate = 400.0;  // throttle each stream
   Cluster cluster(options);
+  trace_flags.enable(cluster.sim());
 
   const StreamId s1 = cluster.add_stream();
   auto* replica = cluster.add_replica(/*group=*/1, {s1});
@@ -65,5 +70,6 @@ int main() {
   std::printf("\nsubscriptions now: {");
   for (StreamId s : replica->merger().subscriptions()) std::printf(" S%u", s);
   std::printf(" } — 3x the ordering capacity, zero downtime\n");
+  trace_flags.finish(cluster.sim());
   return 0;
 }

@@ -188,6 +188,10 @@ bool ElasticMerger::step_scanning() {
       for (StreamId s : sigma_) merge = std::max(merge, queue(s).next_index());
       merge_point_ = merge;
       trace_event(obs::TraceKind::kMergePoint, pending_sn_, merge_point_);
+      if (obs_.monitors != nullptr) {
+        obs_.monitors->on_merge_point(group_, obs_.node, pending_sn_, merge_point_,
+                                      pending_cmd_.id, mnow());
+      }
       q.fast_forward(merge_point_);
       phase_ = Phase::kAligning;
       EPX_DEBUG << "merger G" << group_ << ": merge point " << merge_point_ << " for S"

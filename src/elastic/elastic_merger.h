@@ -35,6 +35,7 @@
 
 #include "multicast/stream_queue.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "obs/trace.h"
 
 namespace epx::elastic {
@@ -73,6 +74,9 @@ class ElasticMerger {
     obs::Trace* trace = nullptr;
     std::function<Tick()> clock;
     uint32_t node = 0;  ///< NodeId stamped on trace events
+    /// Alignment monitor, told the merge point this member computed for
+    /// each subscribe command (paper Fig. 2 consistency check).
+    obs::MonitorHub* monitors = nullptr;
   };
 
   ElasticMerger(GroupId group, Hooks hooks);

@@ -28,6 +28,7 @@ Replica::Replica(sim::Simulation* sim, sim::Network* net, NodeId id, std::string
       &trace(),
       [this] { return now(); },
       this->id(),
+      &monitors(),
   });
 }
 
@@ -43,7 +44,10 @@ obs::Counter& Replica::per_stream_counter(StreamId stream) {
   return *per_stream_delivered_[stream];
 }
 
-void Replica::start() { merger_.bootstrap(config_.initial_streams); }
+void Replica::start() {
+  monitors().register_replica(group(), id());
+  merger_.bootstrap(config_.initial_streams);
+}
 
 void Replica::start_learner(StreamId stream) {
   if (!directory_->has(stream)) {
@@ -112,18 +116,29 @@ void Replica::on_deliver(const Command& cmd, StreamId stream) {
       seen_order_.pop_front();
     }
   }
-  charge(config_.apply_cpu_per_cmd +
-         static_cast<Tick>(cmd.payload_bytes() / kKiB) * config_.apply_cpu_per_kib);
+  const Tick apply_cost =
+      config_.apply_cpu_per_cmd +
+      static_cast<Tick>(cmd.payload_bytes() / kKiB) * config_.apply_cpu_per_kib;
+  charge(apply_cost);
   const Tick t = now();  // frozen while this handler runs
   delivered_total_->add(t);
   delivered_bytes_->add(t, cmd.payload_bytes());
   per_stream_counter(stream).add(t);
   trace().record(t, obs::TraceKind::kDeliver, id(), stream, cmd.id,
                  cmd.payload_bytes());
+  monitors().on_deliver(group(), id(), stream, cmd.id, t);
+  if (spans().enabled()) {
+    // The merger hold ends here: kDeliver closes merge.skew_wait against
+    // this node's kLearn stamp; the apply span carries its charged cost
+    // explicitly because sim time is frozen inside the handler.
+    spans().record(cmd.id, obs::SpanStage::kDeliver, t, id(), stream);
+    spans().record(cmd.id, obs::SpanStage::kApply, t, id(), stream, apply_cost);
+  }
   if (delivery_listener_) delivery_listener_(id(), cmd, stream);
   if (app_handler_) app_handler_(cmd, stream);
   if (config_.send_replies && cmd.client != net::kInvalidNode) {
-    send(cmd.client, net::make_message<multicast::ReplyMsg>(cmd.id, 0));
+    auto reply = net::make_mutable_message<multicast::ReplyMsg>(cmd.id, 0);
+    send(cmd.client, std::move(reply));
   }
 }
 

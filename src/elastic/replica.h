@@ -69,8 +69,16 @@ class Replica : public sim::Process {
 
   GroupId group() const { return merger_.group(); }
   /// Re-labels the replica's replication group (used when a replica is
-  /// carved out into a new shard during online re-partitioning).
-  void set_group(GroupId group) { merger_.set_group(group); }
+  /// carved out into a new shard during online re-partitioning). The
+  /// order monitor moves with it: members of the new shard re-register
+  /// as each one processes the group-change command, which sits at the
+  /// same merged-sequence position everywhere, so their ordinal spaces
+  /// agree.
+  void set_group(GroupId group) {
+    monitors().deregister_replica(merger_.group(), id());
+    merger_.set_group(group);
+    monitors().register_replica(group, id());
+  }
 
   ElasticMerger& merger() { return merger_; }
   const ElasticMerger& merger() const { return merger_; }

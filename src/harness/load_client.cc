@@ -55,6 +55,11 @@ void LoadClient::send_current(size_t thread_index, const paxos::Command& cmd) {
   (void)thread_index;
   const StreamId stream = config_.route();
   if (!directory_->has(stream)) return;
+  if (spans().enabled()) {
+    // First send wins inside the collector, so retries cannot restart
+    // the span's clock.
+    spans().record(cmd.id, obs::SpanStage::kClientSend, now(), id(), stream);
+  }
   send(directory_->get(stream).coordinator,
        net::make_message<paxos::ClientProposeMsg>(stream, cmd));
 }
@@ -87,6 +92,9 @@ void LoadClient::on_message(NodeId from, const MessagePtr& msg) {
   const Tick latency = now() - t.sent_at;
   latency_->record(now(), latency);
   completions_->add(now());
+  if (spans().enabled()) {
+    spans().record(reply.command_id, obs::SpanStage::kReply, now(), id(), obs::kSpanNoStream);
+  }
 
   if (config_.think_time > 0) {
     after(config_.think_time, [this, thread_index] { issue(thread_index); });

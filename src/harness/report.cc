@@ -112,6 +112,43 @@ void print_latency_table(const obs::MetricsRegistry& metrics, const std::string&
   std::fputs(render_latency_table(metrics, title, columns, from, to).c_str(), stdout);
 }
 
+std::string render_stage_table(const obs::MetricsRegistry& metrics,
+                               const std::string& title,
+                               const std::vector<StageRow>& rows) {
+  std::string out = header_text(title);
+  appendf(&out, "%-22s %12s %12s %12s\n", "stage", "count", "p50(ms)", "p99(ms)");
+  for (const auto& row : rows) {
+    const obs::Timer* timer = metrics.find_timer(row.metric);
+    uint64_t count = 0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    if (timer != nullptr) {
+      count = timer->total().count();
+      p50 = to_millis(timer->total().quantile(0.50));
+      p99 = to_millis(timer->total().quantile(0.99));
+    }
+    appendf(&out, "%-22s %12llu %12.3f %12.3f\n", row.label.c_str(),
+            static_cast<unsigned long long>(count), p50, p99);
+  }
+  return out;
+}
+
+void print_stage_table(const obs::MetricsRegistry& metrics, const std::string& title,
+                       const std::vector<StageRow>& rows) {
+  std::fputs(render_stage_table(metrics, title, rows).c_str(), stdout);
+}
+
+std::vector<StageRow> default_stage_rows() {
+  return {
+      {"propose-wait", "span.propose_wait"},
+      {"quorum-wait", "span.quorum_wait"},
+      {"learn-wait", "span.learn_wait"},
+      {"merge-skew-wait", "merge.skew_wait"},
+      {"apply", "span.apply"},
+      {"end-to-end", "span.e2e"},
+  };
+}
+
 void print_phase_averages(const obs::MetricsRegistry& metrics, const std::string& title,
                           const std::string& metric,
                           const std::vector<Tick>& boundaries, Tick end) {

@@ -45,6 +45,15 @@ struct LatencyColumn {
   double quantile = 0.95;
 };
 
+/// One row of a per-stage latency table (count / p50 / p99 over the
+/// whole run), fed by a span-layer timer such as `span.propose_wait` or
+/// `merge.skew_wait{stream=2}` (see obs/span.h).
+struct StageRow {
+  std::string label;
+  /// Canonical registry key of a timer (obs::metric_key(...)).
+  std::string metric;
+};
+
 void print_header(const std::string& title);
 
 // The render_* functions produce the exact table text (used by tests to
@@ -72,6 +81,20 @@ std::string render_latency_table(const obs::MetricsRegistry& metrics,
 void print_latency_table(const obs::MetricsRegistry& metrics, const std::string& title,
                          const std::vector<LatencyColumn>& columns, Tick from,
                          Tick to);
+
+/// Per-stage latency breakdown: one row per lifecycle stage with the
+/// sample count and cumulative p50/p99 in milliseconds. Rows whose
+/// timer is absent (stage never traced) render as zeros, like every
+/// other column type.
+std::string render_stage_table(const obs::MetricsRegistry& metrics,
+                               const std::string& title,
+                               const std::vector<StageRow>& rows);
+void print_stage_table(const obs::MetricsRegistry& metrics, const std::string& title,
+                       const std::vector<StageRow>& rows);
+
+/// The default lifecycle breakdown (propose-wait, quorum-wait,
+/// merge-skew-wait, apply, end-to-end) published by obs::SpanCollector.
+std::vector<StageRow> default_stage_rows();
 
 /// Prints the average rate of the named counter within each phase
 /// delimited by `boundaries`. A missing metric renders zero rates.

@@ -126,6 +126,10 @@ void KvClient::dispatch(size_t thread_index) {
     if (entry != nullptr) stream = entry->stream;
   }
   if (stream == paxos::kInvalidStream || !directory_->has(stream)) return;
+  if (spans().enabled()) {
+    spans().record(cmd_it->second.id, obs::SpanStage::kClientSend, now(), id(),
+                   stream);
+  }
   send(directory_->get(stream).coordinator,
        net::make_message<paxos::ClientProposeMsg>(stream, cmd_it->second));
 }
@@ -186,6 +190,10 @@ void KvClient::on_message(NodeId from, const MessagePtr& msg) {
   }
   inflight_.erase(reply.command_id);
   commands_.erase(reply.command_id);
+  if (spans().enabled()) {
+    spans().record(reply.command_id, obs::SpanStage::kReply, now(), id(),
+                   obs::kSpanNoStream);
+  }
   const std::string value = reply.payload && !t.op.is_multi_partition() ? *reply.payload : "";
   complete(thread_index, value);
 }

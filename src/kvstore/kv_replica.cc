@@ -235,6 +235,10 @@ void KvReplica::on_app_message(NodeId from, const MessagePtr& msg) {
       for (const auto& [stream, pos] : snapshot.stream_positions) {
         cut.emplace_back(stream, pos);
       }
+      // A snapshot join lands this member mid-stream; its delivery
+      // prefix is not comparable with founding members, so take it out
+      // of the order monitor (see obs/monitor.h).
+      monitors().deregister_replica(group(), id());
       merger().restore(cut, snapshot.next_stream);
       EPX_DEBUG << name() << ": joined group via snapshot (" << store_.size()
                 << " keys, " << cut.size() << " streams)";

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/units.h"
 
 namespace epx::obs {
@@ -68,9 +69,17 @@ class Trace {
   void set_verbose(bool on) { verbose_ = on; }
   bool verbose() const { return verbose_; }
 
+  /// Registry counter incremented on every ring overwrite, so a
+  /// too-small ring silently truncating evidence becomes visible as
+  /// `trace.dropped` instead of only via dropped().
+  void bind_drop_counter(Counter* counter) { drop_counter_ = counter; }
+
   void record(Tick time, TraceKind kind, uint32_t node = 0, uint32_t stream = 0,
               uint64_t a = 0, uint64_t b = 0, std::string_view detail = {}) {
     if (is_hot(kind) && !verbose_) return;
+    if (ring_.size() >= capacity_ && drop_counter_ != nullptr) {
+      drop_counter_->add(time);
+    }
     TraceEvent& ev = slot();
     ev.time = time;
     ev.kind = kind;
@@ -122,6 +131,7 @@ class Trace {
   size_t head_ = 0;  ///< index of the oldest event once the ring is full.
   uint64_t recorded_ = 0;
   bool verbose_ = false;
+  Counter* drop_counter_ = nullptr;  ///< registry-owned `trace.dropped`
 };
 
 }  // namespace epx::obs

@@ -144,6 +144,11 @@ void Acceptor::handle_accept(const AcceptMsg& msg) {
     decisions_->add(now());
     trace().record(now(), obs::TraceKind::kDecide, id(), config_.stream, msg.instance,
                    msg.value.slot_count());
+    if (spans().enabled()) {
+      for (const Command& c : msg.value.commands) {
+        spans().record(c.id, obs::SpanStage::kDecide, now(), id(), config_.stream);
+      }
+    }
     for (NodeId learner : learners_) {
       if (learner == msg.ballot.leader) {
         Proposal summary;

@@ -225,6 +225,11 @@ void Coordinator::propose(Proposal value) {
   slots_this_window_ += value.slot_count();
   trace().record(now(), obs::TraceKind::kPropose, id(), config_.stream, instance,
                  value.slot_count());
+  if (spans().enabled()) {
+    for (const Command& c : value.commands) {
+      spans().record(c.id, obs::SpanStage::kPropose, now(), id(), config_.stream);
+    }
+  }
   Outstanding& out = outstanding_[instance];
   out.value = std::move(value);
   out.proposed_at = now();

@@ -20,6 +20,7 @@ void Learner::start(InstanceId from_instance) {
   started_ = true;
   caught_up_ = false;
   next_ = from_instance;
+  host_->monitors().on_learner_reset(host_->id(), config_.stream, from_instance);
   ++*gen_;
   for (NodeId acc : config_.acceptors) {
     host_->send(acc, net::make_message<LearnerJoinMsg>(config_.stream, host_->id()));
@@ -93,6 +94,9 @@ void Learner::on_recover_reply(const RecoverReplyMsg& msg) {
     EPX_DEBUG << host_->name() << ": S" << config_.stream << " catch-up jumped to trim horizon "
               << msg.trim_horizon;
     next_ = msg.trim_horizon;
+    // Legitimate discontinuity: tell the gap monitor so the jump is not
+    // reported as a lost instance.
+    host_->monitors().on_learner_jump(host_->id(), config_.stream, next_);
   }
   for (const auto& [instance, value] : msg.entries) {
     if (instance >= next_) pending_[instance] = value;
@@ -115,6 +119,13 @@ void Learner::deliver_ready() {
     // charges its own execution cost on delivery.
     host_->charge(config_.params.acceptor_cpu_per_msg / 2);
     delivered_->add(t);
+    host_->monitors().on_learner_deliver(host_->id(), config_.stream, next_, t);
+    if (host_->spans().enabled()) {
+      for (const Command& c : it->second.commands) {
+        host_->spans().record(c.id, obs::SpanStage::kLearn, t, host_->id(),
+                              config_.stream);
+      }
+    }
     sink_(it->second, next_);
     pending_.erase(it);
     ++next_;

@@ -41,6 +41,8 @@ class Process {
   /// record their own metrics and trace events.
   obs::MetricsRegistry& metrics() { return sim_->metrics(); }
   obs::Trace& trace() { return sim_->trace(); }
+  obs::SpanCollector& spans() { return sim_->spans(); }
+  obs::MonitorHub& monitors() { return sim_->monitors(); }
 
   /// Crashes the process: pending inbox and timers are discarded and
   /// incoming messages are dropped until restart(). Subclasses override

@@ -20,6 +20,11 @@ Simulation::Simulation() {
   log::set_trace_sink([this](const std::string& msg) {
     trace_.record(now_, obs::TraceKind::kLog, 0, 0, 0, 0, msg);
   });
+  trace_.bind_drop_counter(&metrics_.counter("trace.dropped"));
+  spans_.bind_metrics(&metrics_);
+  recorder_.bind(&metrics_, &trace_);
+  monitors_.bind_metrics(&metrics_);
+  monitors_.bind_flight_recorder(&recorder_);
 }
 
 Simulation::~Simulation() {

@@ -13,7 +13,10 @@
 #include <cstdint>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "util/units.h"
@@ -74,12 +77,27 @@ class Simulation {
   obs::Trace& trace() { return trace_; }
   const obs::Trace& trace() const { return trace_; }
 
+  /// Causal lifecycle spans (off by default; see obs/span.h).
+  obs::SpanCollector& spans() { return spans_; }
+  const obs::SpanCollector& spans() const { return spans_; }
+
+  /// Online invariant monitors (off by default; see obs/monitor.h).
+  obs::MonitorHub& monitors() { return monitors_; }
+  const obs::MonitorHub& monitors() const { return monitors_; }
+
+  /// Post-mortem dumper, pre-bound to this simulation's metrics and
+  /// trace ring; dumped automatically on the first monitor violation.
+  obs::FlightRecorder& flight_recorder() { return recorder_; }
+
  private:
   Tick now_ = 0;
   uint64_t processed_ = 0;
   EventQueue queue_;
   obs::MetricsRegistry metrics_;
   obs::Trace trace_;
+  obs::SpanCollector spans_;
+  obs::MonitorHub monitors_;
+  obs::FlightRecorder recorder_;
 };
 
 }  // namespace epx::sim

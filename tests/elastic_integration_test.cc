@@ -32,6 +32,9 @@ class ElasticIntegrationTest : public ::testing::Test {
 
 TEST_F(ElasticIntegrationTest, DynamicSubscribeUnderLoad) {
   Cluster cluster;
+  // The online invariant monitors watch the whole run alongside the
+  // post-hoc OrderChecker below (obs/monitor.h).
+  cluster.sim().monitors().set_enabled(true);
   const auto s1 = cluster.add_stream();
   const auto s2 = cluster.add_stream();
   auto* r1 = cluster.add_replica(1, {s1});
@@ -74,6 +77,8 @@ TEST_F(ElasticIntegrationTest, DynamicSubscribeUnderLoad) {
   EXPECT_GT(c2->completed(), 0u) << "S2 commands must now be delivered and answered";
   EXPECT_EQ(order.sequence(r1->id()), order.sequence(r2->id()));
   EXPECT_EQ(order.check_all(), "");
+  EXPECT_EQ(cluster.sim().monitors().violation_count(), 0u)
+      << cluster.sim().monitors().summary();
 }
 
 TEST_F(ElasticIntegrationTest, SubscribeRecoversBacklog) {

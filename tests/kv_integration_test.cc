@@ -129,6 +129,9 @@ TEST_F(KvIntegrationTest, OnlineSplitKeepsServiceAvailable) {
   // The Fig. 4 scenario at test scale: split one partition in two under
   // load; throughput continues, each replica ends up owning half.
   KvCluster kvc;
+  // The online monitors must stay silent across the split: the group
+  // re-label and snapshot-join paths (de)register members correctly.
+  kvc.cluster().sim().monitors().set_enabled(true);
   const uint32_t p1 = kvc.add_partition(2);
   kvc.publish();
 
@@ -174,6 +177,8 @@ TEST_F(KvIntegrationTest, OnlineSplitKeepsServiceAvailable) {
   for (const auto& [key, value] : mover->store()) {
     EXPECT_TRUE(mover->owns(key_hash(key)));
   }
+  EXPECT_EQ(kvc.cluster().sim().monitors().violation_count(), 0u)
+      << kvc.cluster().sim().monitors().summary();
 }
 
 TEST_F(KvIntegrationTest, WrongPartitionCommandsAreDiscardedAndRetried) {

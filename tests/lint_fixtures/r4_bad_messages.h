@@ -31,6 +31,23 @@ struct HalfDecodedMsg {
   }
 };
 
+/// `trace` (a causal span id) is stamped on the wire but never read
+/// back: the receiving side's spans silently detach from the sender's.
+struct HalfTracedMsg {
+  uint64_t command_id = 0;
+  uint64_t trace = 0;
+
+  void encode(Writer& w) const {
+    w.varint(command_id);
+    w.varint(trace);
+  }
+  static HalfTracedMsg decode(Reader& r) {
+    HalfTracedMsg m;
+    m.command_id = r.varint();
+    return m;  // trace forgotten — R4
+  }
+};
+
 /// `ballot` is never put on the wire at all.
 struct NeverEncodedMsg {
   uint64_t instance = 0;

@@ -34,6 +34,26 @@ struct CompleteMsg {
   }
 };
 
+/// Flag-gated optional fields still appear in BOTH encode and decode —
+/// the gate changes when the bytes exist, not who handles them.
+struct GatedTraceMsg {
+  uint64_t command_id = 0;
+  uint64_t trace = 0;
+
+  static bool trace_on_wire() { return false; }
+
+  void encode(Writer& w) const {
+    w.varint(command_id);
+    if (trace_on_wire()) w.varint(trace);
+  }
+  static GatedTraceMsg decode(Reader& r) {
+    GatedTraceMsg m;
+    m.command_id = r.varint();
+    if (trace_on_wire()) m.trace = r.varint();
+    return m;
+  }
+};
+
 /// Plain config structs without an encode path are not wire messages and
 /// are ignored by R4.
 struct NotAWireStruct {

@@ -189,6 +189,27 @@ TEST(TraceTest, RingOverwritesOldestAndCountsDropped) {
   }
 }
 
+TEST(TraceTest, DropCounterPublishesRingOverwrites) {
+  obs::MetricsRegistry registry;
+  obs::Trace trace(4);
+  trace.bind_drop_counter(&registry.counter("trace.dropped"));
+  for (Tick t = 0; t < 10; ++t) trace.record(t, obs::TraceKind::kTrim);
+  EXPECT_EQ(trace.dropped(), 6u);
+  EXPECT_EQ(registry.counter("trace.dropped").total(), 6u)
+      << "every ring overwrite must also bump the registry counter";
+}
+
+TEST(SimulationObsTest, TraceDropsVisibleInRegistry) {
+  sim::Simulation sim;
+  const size_t cap = sim.trace().capacity();
+  for (size_t i = 0; i < cap + 5; ++i) {
+    sim.trace().record(0, obs::TraceKind::kTrim);
+  }
+  const obs::Counter* dropped = sim.metrics().find_counter("trace.dropped");
+  ASSERT_NE(dropped, nullptr) << "simulation must pre-bind trace.dropped";
+  EXPECT_EQ(dropped->total(), 5u);
+}
+
 TEST(TraceTest, EventsFilteredByKind) {
   obs::Trace trace(16);
   trace.record(1, obs::TraceKind::kTrim);

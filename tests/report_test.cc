@@ -110,6 +110,46 @@ TEST(ReportTest, CpuTableReportsBusyShareOfWindow) {
   EXPECT_NE(table.find("       25.0%"), std::string::npos);
 }
 
+TEST(ReportTest, StageTableRendersCountsAndQuantiles) {
+  obs::MetricsRegistry metrics;
+  obs::Timer& skew = metrics.timer("merge.skew_wait");
+  for (int i = 0; i < 100; ++i) {
+    skew.record(0, 2 * kMillisecond);  // p50 and p99 both ~2 ms
+  }
+  const std::string table = harness::render_stage_table(
+      metrics, "Stages",
+      {{"merge-skew-wait", "merge.skew_wait"}, {"absent", "no.such.timer"}});
+  EXPECT_NE(table.find("==== Stages ===="), std::string::npos);
+  EXPECT_NE(table.find("stage"), std::string::npos);
+  EXPECT_NE(table.find("p99(ms)"), std::string::npos);
+  // The populated row shows its count and millisecond quantiles (the
+  // histogram is log-bucketed, so derive the expected text from it).
+  char row[96];
+  std::snprintf(row, sizeof(row), "%-22s %12llu %12.3f %12.3f", "merge-skew-wait",
+                static_cast<unsigned long long>(skew.total().count()),
+                to_millis(skew.total().quantile(0.50)),
+                to_millis(skew.total().quantile(0.99)));
+  EXPECT_NE(table.find(row), std::string::npos) << table;
+  // A missing timer renders zeros, like every other column type.
+  EXPECT_NE(table.find("absent"), std::string::npos);
+  EXPECT_NE(table.find("            0        0.000        0.000"),
+            std::string::npos)
+      << table;
+}
+
+TEST(ReportTest, DefaultStageRowsNameTheSpanMetrics) {
+  const auto rows = harness::default_stage_rows();
+  ASSERT_GE(rows.size(), 6u);
+  bool has_skew = false;
+  bool has_e2e = false;
+  for (const auto& row : rows) {
+    if (row.metric == "merge.skew_wait") has_skew = true;
+    if (row.metric == "span.e2e") has_e2e = true;
+  }
+  EXPECT_TRUE(has_skew);
+  EXPECT_TRUE(has_e2e);
+}
+
 TEST(ReportTest, JsonSnapshotRoundTripsToDisk) {
   obs::MetricsRegistry metrics;
   metrics.counter("snap.counter").add(0, 11);

@@ -25,7 +25,7 @@ BAD = [
     ("r1_bad.cc", "R1", 8),
     ("r2_bad.cc", "R2", 4),
     ("r3_bad.cc", "R3", 5),
-    ("r4_bad_messages.h", "R4", 2),
+    ("r4_bad_messages.h", "R4", 3),
     ("r5_bad.cc", "R5", 4),
     ("r6_bad.cc", "R6", 3),
     ("r6_bad_status.h", "R6", 2),
