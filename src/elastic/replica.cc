@@ -61,7 +61,7 @@ void Replica::start_learner(StreamId stream) {
   cfg.coordinator = info.coordinator;
   cfg.params = config_.params;
   auto learner = std::make_unique<paxos::Learner>(
-      this, cfg, [this, stream](const paxos::Proposal& value, paxos::InstanceId) {
+      this, cfg, [this, stream](const paxos::ProposalPtr& value, paxos::InstanceId) {
         merger_.queue(stream).push_proposal(value);
       });
   learner->start(0);

@@ -93,4 +93,15 @@ std::string Reader::bytes() {
   return out;
 }
 
+std::string_view Reader::bytes_view() {
+  const uint64_t len = varint();
+  if (!ok_ || remaining() < len) {
+    ok_ = false;
+    return {};
+  }
+  const std::string_view out = data_.substr(pos_, len);
+  pos_ += len;
+  return out;
+}
+
 }  // namespace epx::net

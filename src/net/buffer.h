@@ -81,6 +81,10 @@ class Reader {
   double f64();
   uint64_t varint();
   std::string bytes();
+  /// Zero-copy variant of bytes(): a view into the underlying buffer,
+  /// valid only while that buffer lives. Decoders that materialise their
+  /// own storage use this to skip the intermediate std::string.
+  std::string_view bytes_view();
 
   /// Status reflecting decode health.
   Status status() const {

@@ -17,14 +17,14 @@ Acceptor::Acceptor(sim::Simulation* sim, sim::Network* net, NodeId id, std::stri
 }
 
 bool Acceptor::has_decided(InstanceId instance) const {
-  auto it = log_.find(instance);
-  return it != log_.end() && it->second.decided;
+  const Entry* e = log_.find(instance);
+  return e != nullptr && e->decided;
 }
 
 const Proposal* Acceptor::decided_value(InstanceId instance) const {
-  auto it = log_.find(instance);
-  if (it == log_.end() || !it->second.decided) return nullptr;
-  return &it->second.value;
+  const Entry* e = log_.find(instance);
+  if (e == nullptr || !e->decided) return nullptr;
+  return e->value.get();
 }
 
 void Acceptor::on_message(NodeId from, const MessagePtr& msg) {
@@ -78,12 +78,14 @@ void Acceptor::handle_phase1a(NodeId from, const Phase1aMsg& msg) {
   reply->promised = promised_;
   reply->ok = (promised_ == msg.ballot);
   if (reply->ok) {
-    for (auto it = log_.lower_bound(msg.from_instance); it != log_.end(); ++it) {
+    for (InstanceId i = log_.lower_bound(msg.from_instance); i != kNoInstance;
+         i = log_.lower_bound(i + 1)) {
+      const Entry& stored = *log_.find(i);
       AcceptedEntry e;
-      e.instance = it->first;
-      e.value_ballot = it->second.value_ballot;
-      e.value = it->second.value;
-      e.decided = it->second.decided;
+      e.instance = i;
+      e.value_ballot = stored.value_ballot;
+      e.value = stored.value;  // shares the stored proposal
+      e.decided = stored.decided;
       reply->accepted.push_back(std::move(e));
     }
   }
@@ -104,7 +106,7 @@ void Acceptor::handle_accept(const AcceptMsg& msg) {
     // phase 1 when its instances stop deciding.
     return;
   }
-  charge_value_cpu(msg.value);
+  charge_value_cpu(*msg.value);
   promised_ = msg.ballot;
 
   if (msg.instance < trim_horizon_) return;  // already trimmed away
@@ -117,8 +119,8 @@ void Acceptor::handle_accept(const AcceptMsg& msg) {
     // mid-fan-out). Answer with a summary so its pipeline window frees
     // up, and keep forwarding so the rest of the ring stores the value.
     Proposal summary;
-    summary.first_slot = entry.value.first_slot;
-    summary.skip_slots = entry.value.slot_count();
+    summary.first_slot = entry.value->first_slot;
+    summary.skip_slots = entry.value->slot_count();
     send(msg.ballot.leader,
          net::make_message<DecisionMsg>(config_.stream, msg.instance, std::move(summary)));
     if (successor_ != net::kInvalidNode) {
@@ -143,20 +145,22 @@ void Acceptor::handle_accept(const AcceptMsg& msg) {
   if (count == quorum_ && !was_decided) {
     decisions_->add(now());
     trace().record(now(), obs::TraceKind::kDecide, id(), config_.stream, msg.instance,
-                   msg.value.slot_count());
+                   msg.value->slot_count());
     if (spans().enabled()) {
-      for (const Command& c : msg.value.commands) {
+      for (const Command& c : msg.value->commands) {
         spans().record(c.id, obs::SpanStage::kDecide, now(), id(), config_.stream);
       }
     }
     for (NodeId learner : learners_) {
       if (learner == msg.ballot.leader) {
         Proposal summary;
-        summary.first_slot = msg.value.first_slot;
-        summary.skip_slots = msg.value.slot_count();
+        summary.first_slot = msg.value->first_slot;
+        summary.skip_slots = msg.value->slot_count();
         send(learner,
              net::make_message<DecisionMsg>(config_.stream, msg.instance, std::move(summary)));
       } else {
+        // Fan-out shares the stored proposal: one refcount bump per
+        // learner instead of one command-vector copy per learner.
         send(learner,
              net::make_message<DecisionMsg>(config_.stream, msg.instance, msg.value));
       }
@@ -172,10 +176,10 @@ void Acceptor::handle_accept(const AcceptMsg& msg) {
 }
 
 void Acceptor::advance_decided_contiguous() {
-  auto it = log_.find(decided_contiguous_);
-  while (it != log_.end() && it->second.decided) {
+  const Entry* e = log_.find(decided_contiguous_);
+  while (e != nullptr && e->decided) {
     ++decided_contiguous_;
-    it = log_.find(decided_contiguous_);
+    e = log_.find(decided_contiguous_);
   }
 }
 
@@ -188,13 +192,14 @@ void Acceptor::handle_recover(NodeId from, const RecoverRequestMsg& msg) {
   reply->decided_watermark = decided_contiguous_;
   const InstanceId from_inst = std::max(msg.from, trim_horizon_);
   uint64_t reply_bytes = 0;
-  for (auto it = log_.lower_bound(from_inst);
-       it != log_.end() && it->first < msg.to &&
+  for (InstanceId i = log_.lower_bound(from_inst);
+       i != kNoInstance && i < msg.to &&
        reply->entries.size() < config_.params.recover_chunk;
-       ++it) {
-    if (!it->second.decided) break;  // only ship the contiguous decided prefix
-    reply->entries.emplace_back(it->first, it->second.value);
-    for (const auto& c : it->second.value.commands) reply_bytes += c.payload_bytes();
+       i = log_.lower_bound(i + 1)) {
+    const Entry& stored = *log_.find(i);
+    if (!stored.decided) break;  // only ship the contiguous decided prefix
+    reply->entries.emplace_back(i, stored.value);  // shares the stored proposal
+    for (const auto& c : stored.value->commands) reply_bytes += c.payload_bytes();
   }
   charge(static_cast<Tick>(reply_bytes / kKiB) * config_.params.acceptor_cpu_per_kib);
   send(from, std::move(reply));
@@ -203,7 +208,7 @@ void Acceptor::handle_recover(NodeId from, const RecoverRequestMsg& msg) {
 void Acceptor::handle_trim(const TrimRequestMsg& msg) {
   if (msg.up_to <= trim_horizon_) return;
   charge(config_.params.acceptor_cpu_per_msg);
-  log_.erase(log_.begin(), log_.lower_bound(msg.up_to));
+  log_.trim_below(msg.up_to);
   trim_horizon_ = msg.up_to;
   decided_contiguous_ = std::max(decided_contiguous_, trim_horizon_);
 }

@@ -8,11 +8,11 @@
 // subscription's recovery path relies on (paper §VI).
 #pragma once
 
-#include <map>
 #include <set>
 
 #include "paxos/messages.h"
 #include "paxos/params.h"
+#include "paxos/slot_log.h"
 #include "sim/process.h"
 
 namespace epx::paxos {
@@ -53,7 +53,7 @@ class Acceptor : public sim::Process {
  private:
   struct Entry {
     Ballot value_ballot;
-    Proposal value;
+    ProposalPtr value;  ///< shared with the Accept that carried it
     bool decided = false;
   };
 
@@ -73,7 +73,7 @@ class Acceptor : public sim::Process {
   obs::Counter* recoveries_;  // acceptor.recoveries: catch-up requests served
 
   Ballot promised_;
-  std::map<InstanceId, Entry> log_;
+  SlotLog<Entry> log_;
   InstanceId trim_horizon_ = 0;
   InstanceId decided_contiguous_ = 0;
   std::set<NodeId> learners_;

@@ -125,11 +125,11 @@ void Coordinator::on_restart() {
   after(config_.params.leader_timeout, [this] { leader_monitor_tick(); });
 }
 
-bool Coordinator::dedup_seen(uint64_t command_id) {
-  // Suppress only recent duplicates: after the TTL a client re-send is
-  // admitted again, so a command whose first copy was lost (or ordered
-  // before a merge point and discarded) can be re-ordered. The TTL must
-  // stay below the client retry timeout.
+void Coordinator::expire_dedup() {
+  // Strict TTL expiry, run on every insert (not only when a duplicate is
+  // looked up): the structure never holds an id older than dedup_ttl, so
+  // its size is bounded by admitted-rate x ttl regardless of traffic
+  // shape, with kDedupWindow as a hard backstop.
   const Tick ttl = config_.params.dedup_ttl;
   while (!recent_order_.empty() && now() - recent_order_.front().second > ttl) {
     auto it = recent_ids_.find(recent_order_.front().first);
@@ -138,6 +138,14 @@ bool Coordinator::dedup_seen(uint64_t command_id) {
     }
     recent_order_.pop_front();
   }
+}
+
+bool Coordinator::dedup_seen(uint64_t command_id) {
+  // Suppress only recent duplicates: after the TTL a client re-send is
+  // admitted again, so a command whose first copy was lost (or ordered
+  // before a merge point and discarded) can be re-ordered. The TTL must
+  // stay below the client retry timeout.
+  expire_dedup();
   auto [it, inserted] = recent_ids_.try_emplace(command_id, now());
   if (!inserted) return true;
   recent_order_.emplace_back(command_id, now());
@@ -230,17 +238,19 @@ void Coordinator::propose(Proposal value) {
       spans().record(c.id, obs::SpanStage::kPropose, now(), id(), config_.stream);
     }
   }
+  // Freeze the batch once; every Accept, retry and ring hop from here on
+  // shares this allocation.
   Outstanding& out = outstanding_[instance];
-  out.value = std::move(value);
+  out.value = make_proposal(std::move(value));
   out.proposed_at = now();
   out.attempts = 1;
   send_accept(instance, out.value);
 }
 
-void Coordinator::send_accept(InstanceId instance, const Proposal& value) {
+void Coordinator::send_accept(InstanceId instance, const ProposalPtr& value) {
   if (config_.acceptors.empty()) return;
   uint64_t bytes = 0;
-  for (const auto& c : value.commands) bytes += c.payload_bytes();
+  for (const auto& c : value->commands) bytes += c.payload_bytes();
   charge(config_.params.coord_cpu_per_cmd / 2 +
          static_cast<Tick>(bytes / kKiB) * config_.params.coord_cpu_per_kib);
   auto accept = net::make_mutable_message<AcceptMsg>();
@@ -254,12 +264,16 @@ void Coordinator::send_accept(InstanceId instance, const Proposal& value) {
 
 void Coordinator::handle_decision(const DecisionMsg& msg) {
   outstanding_.erase(msg.instance);
-  next_slot_ = std::max(next_slot_, msg.value.first_slot + msg.value.slot_count());
+  next_slot_ = std::max(next_slot_, msg.value->first_slot + msg.value->slot_count());
   if (msg.instance == decided_contiguous_) {
     ++decided_contiguous_;
-    while (decided_sparse_.erase(decided_contiguous_) > 0) ++decided_contiguous_;
+    while (decided_sparse_.test_and_clear(decided_contiguous_)) ++decided_contiguous_;
+    // Everything below the contiguous frontier is decided and erased;
+    // advancing the window bases keeps both rings dense.
+    decided_sparse_.trim_below(decided_contiguous_);
+    outstanding_.trim_below(decided_contiguous_);
   } else if (msg.instance > decided_contiguous_) {
-    decided_sparse_.insert(msg.instance);
+    decided_sparse_.set(msg.instance);
   }
   next_instance_ = std::max(next_instance_, msg.instance + 1);
   flush_batches();
@@ -328,7 +342,9 @@ void Coordinator::pacing_tick() {
 
 void Coordinator::retry_tick() {
   if (active_) {
-    for (auto& [instance, out] : outstanding_) {
+    for (InstanceId instance = outstanding_.first(); instance != kNoInstance;
+         instance = outstanding_.lower_bound(instance + 1)) {
+      Outstanding& out = *outstanding_.find(instance);
       if (now() - out.proposed_at < kAcceptTimeout) continue;
       out.proposed_at = now();
       ++out.attempts;
@@ -441,9 +457,10 @@ void Coordinator::finish_takeover() {
   outstanding_.clear();
   for (InstanceId i = decided_contiguous_; i < highest; ++i) {
     auto it = adopt.find(i);
-    Proposal value;  // no-op for holes: consumes no slots
-    if (it != adopt.end()) value = it->second.value;
-    next_slot_ = std::max(next_slot_, value.first_slot + value.slot_count());
+    // No-op for holes (consumes no slots); adopted values share the
+    // phase-1b reply's allocation.
+    ProposalPtr value = it != adopt.end() ? it->second.value : empty_proposal();
+    next_slot_ = std::max(next_slot_, value->first_slot + value->slot_count());
     Outstanding& out = outstanding_[i];
     out.value = std::move(value);
     out.proposed_at = now();

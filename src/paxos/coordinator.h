@@ -15,10 +15,10 @@
 #include <deque>
 #include <map>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "paxos/messages.h"
 #include "paxos/params.h"
+#include "paxos/slot_log.h"
 #include "sim/process.h"
 
 namespace epx::paxos {
@@ -61,6 +61,9 @@ class Coordinator : public sim::Process {
   uint64_t commands_proposed() const { return commands_->total(); }
   uint64_t skip_slots_proposed() const { return skips_->total(); }
   size_t outstanding() const { return outstanding_.size(); }
+  /// Live entries in the duplicate-suppression structure (tests assert
+  /// the admitted-rate x dedup_ttl bound).
+  size_t dedup_size() const { return recent_ids_.size(); }
 
   /// Changes the admission throttle at run time (harness use).
   void set_admission_rate(double commands_per_sec);
@@ -75,7 +78,7 @@ class Coordinator : public sim::Process {
 
  private:
   struct Outstanding {
-    Proposal value;
+    ProposalPtr value;  ///< frozen at flush; retries re-send the same allocation
     Tick proposed_at = 0;
     int attempts = 0;
   };
@@ -91,7 +94,7 @@ class Coordinator : public sim::Process {
   void batch_tick();
   void flush_batches();
   void propose(Proposal value);
-  void send_accept(InstanceId instance, const Proposal& value);
+  void send_accept(InstanceId instance, const ProposalPtr& value);
   void pacing_tick();
   void retry_tick();
   void heartbeat_tick();
@@ -99,6 +102,7 @@ class Coordinator : public sim::Process {
   void begin_takeover();
   void finish_takeover();
   bool dedup_seen(uint64_t command_id);
+  void expire_dedup();
 
   Config config_;
   Ballot ballot_;
@@ -111,7 +115,7 @@ class Coordinator : public sim::Process {
   std::deque<Command> throttled_;  ///< waiting for admission tokens
   size_t pending_bytes_ = 0;
   Tick oldest_pending_since_ = 0;
-  std::map<InstanceId, Outstanding> outstanding_;
+  SlotLog<Outstanding> outstanding_;
 
   // Admission token bucket.
   double tokens_ = 0.0;
@@ -120,9 +124,10 @@ class Coordinator : public sim::Process {
   // Pacing.
   uint64_t slots_this_window_ = 0;
 
-  // Decision tracking.
+  // Decision tracking. Out-of-order decisions above the contiguous
+  // frontier live in a bitmap ring over the pipeline window.
   InstanceId decided_contiguous_ = 0;
-  std::unordered_set<InstanceId> decided_sparse_;
+  SlotBitmap decided_sparse_;
 
   // Duplicate suppression for client re-sends (id -> first-seen time).
   std::unordered_map<uint64_t, Tick> recent_ids_;

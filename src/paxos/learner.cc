@@ -20,6 +20,7 @@ void Learner::start(InstanceId from_instance) {
   started_ = true;
   caught_up_ = false;
   next_ = from_instance;
+  pending_.clear();  // restart may rewind the window below the old base
   host_->monitors().on_learner_reset(host_->id(), config_.stream, from_instance);
   ++*gen_;
   for (NodeId acc : config_.acceptors) {
@@ -94,6 +95,9 @@ void Learner::on_recover_reply(const RecoverReplyMsg& msg) {
     EPX_DEBUG << host_->name() << ": S" << config_.stream << " catch-up jumped to trim horizon "
               << msg.trim_horizon;
     next_ = msg.trim_horizon;
+    // Anything buffered below the new frontier was superseded by the
+    // trim — drop it now so a stale reply can never re-deliver it.
+    pending_.trim_below(next_);
     // Legitimate discontinuity: tell the gap monitor so the jump is not
     // reported as a lost instance.
     host_->monitors().on_learner_jump(host_->id(), config_.stream, next_);
@@ -111,26 +115,32 @@ void Learner::on_recover_reply(const RecoverReplyMsg& msg) {
 }
 
 void Learner::deliver_ready() {
-  auto it = pending_.find(next_);
+  const ProposalPtr* slot = pending_.find(next_);
   const Tick t = host_->now();  // frozen while this handler runs
-  if (it != pending_.end()) last_progress_ = t;
-  while (it != pending_.end()) {
+  if (slot != nullptr) last_progress_ = t;
+  while (slot != nullptr) {
+    // Keep the proposal alive past the erase below (the slot's storage
+    // is reused); a refcount bump, not a batch copy.
+    ProposalPtr value = *slot;
     // Charge a small per-proposal bookkeeping cost; the application
     // charges its own execution cost on delivery.
     host_->charge(config_.params.acceptor_cpu_per_msg / 2);
     delivered_->add(t);
     host_->monitors().on_learner_deliver(host_->id(), config_.stream, next_, t);
     if (host_->spans().enabled()) {
-      for (const Command& c : it->second.commands) {
+      for (const Command& c : value->commands) {
         host_->spans().record(c.id, obs::SpanStage::kLearn, t, host_->id(),
                               config_.stream);
       }
     }
-    sink_(it->second, next_);
-    pending_.erase(it);
+    sink_(value, next_);
+    pending_.erase(next_);
     ++next_;
-    it = pending_.find(next_);
+    slot = pending_.find(next_);
   }
+  // Advance the window base with the frontier so the ring stays dense
+  // and nothing at or below a delivered position can be re-inserted.
+  pending_.trim_below(next_);
   if (pending_.empty()) gap_since_ = -1;
 }
 
@@ -153,7 +163,7 @@ void Learner::gap_check() {
     if (gap_since_ < 0) {
       gap_since_ = host_->now();
     } else if (host_->now() - gap_since_ >= config_.params.learner_gap_timeout) {
-      const InstanceId hole_end = pending_.begin()->first;
+      const InstanceId hole_end = pending_.first();
       gap_repairs_->add(host_->now());
       EPX_DEBUG << host_->name() << ": S" << config_.stream << " gap [" << next_ << ","
                 << hole_end << ") — recovering";

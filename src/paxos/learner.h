@@ -14,11 +14,11 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 
 #include "paxos/messages.h"
 #include "paxos/params.h"
+#include "paxos/slot_log.h"
 #include "sim/process.h"
 
 namespace epx::paxos {
@@ -34,8 +34,10 @@ class Learner {
     Params params;
   };
 
-  /// Receives decided proposals in instance order.
-  using ProposalSink = std::function<void(const Proposal&, InstanceId)>;
+  /// Receives decided proposals in instance order. The pointer is shared
+  /// with the acceptor log / decision message — sinks that buffer (the
+  /// merger queues) retain it without copying the command batch.
+  using ProposalSink = std::function<void(const ProposalPtr&, InstanceId)>;
 
   Learner(sim::Process* host, Config config, ProposalSink sink);
   /// Invalidates outstanding timers: elastic unsubscribes destroy the
@@ -77,7 +79,10 @@ class Learner {
   bool caught_up_ = false;
   bool recover_inflight_ = false;
   InstanceId next_ = 0;
-  std::map<InstanceId, Proposal> pending_;
+  /// Out-of-order decisions above next_. Trimmed to next_ whenever the
+  /// delivery frontier moves, so nothing at or below a delivered (or
+  /// trim-jumped) position is ever retained.
+  SlotLog<ProposalPtr> pending_;
   Tick gap_since_ = -1;
   Tick last_progress_ = 0;
   size_t acceptor_rr_ = 0;

@@ -46,7 +46,7 @@ std::shared_ptr<Message> AcceptMsg::decode(Reader& r) {
   m->ballot.round = r.u32();
   m->ballot.leader = r.u32();
   m->instance = r.varint();
-  m->value = Proposal::decode(r);
+  m->value = decode_proposal(r);
   m->accept_count = r.u32();
   return m;
 }
@@ -55,7 +55,7 @@ std::shared_ptr<Message> DecisionMsg::decode(Reader& r) {
   auto m = net::make_mutable_message<DecisionMsg>();
   m->stream = static_cast<StreamId>(r.varint());
   m->instance = r.varint();
-  m->value = Proposal::decode(r);
+  m->value = decode_proposal(r);
   return m;
 }
 
@@ -89,7 +89,7 @@ std::shared_ptr<Message> RecoverReplyMsg::decode(Reader& r) {
   const uint64_t n = r.varint();
   for (uint64_t i = 0; i < n && r.ok(); ++i) {
     const InstanceId inst = r.varint();
-    m->entries.emplace_back(inst, Proposal::decode(r));
+    m->entries.emplace_back(inst, decode_proposal(r));
   }
   return m;
 }

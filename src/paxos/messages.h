@@ -84,21 +84,23 @@ struct Phase1aMsg final : Message {
   static std::shared_ptr<Message> decode(Reader& r);
 };
 
-/// One accepted entry reported in Phase 1b.
+/// One accepted entry reported in Phase 1b. The value references the
+/// acceptor's stored proposal; wire bytes are unchanged vs. the old
+/// by-value representation.
 struct AcceptedEntry {
   InstanceId instance = 0;
   Ballot value_ballot;
-  Proposal value;
+  ProposalPtr value = empty_proposal();
   bool decided = false;
 
   size_t encoded_size() const {
-    return Writer::varint_size(instance) + 2 * sizeof(uint32_t) + value.encoded_size() + 1;
+    return Writer::varint_size(instance) + 2 * sizeof(uint32_t) + value->encoded_size() + 1;
   }
   void encode(Writer& w) const {
     w.varint(instance);
     w.u32(value_ballot.round);
     w.u32(value_ballot.leader);
-    value.encode(w);
+    value->encode(w);
     w.u8(decided ? 1 : 0);
   }
   static AcceptedEntry decode(Reader& r) {
@@ -106,7 +108,7 @@ struct AcceptedEntry {
     e.instance = r.varint();
     e.value_ballot.round = r.u32();
     e.value_ballot.leader = r.u32();
-    e.value = Proposal::decode(r);
+    e.value = decode_proposal(r);
     e.decided = r.u8() != 0;
     return e;
   }
@@ -149,20 +151,20 @@ struct AcceptMsg final : Message {
   StreamId stream = kInvalidStream;
   Ballot ballot;
   InstanceId instance = 0;
-  Proposal value;
+  ProposalPtr value = empty_proposal();  ///< shared with the proposer's window
   uint32_t accept_count = 0;
 
   MsgType type() const override { return MsgType::kAccept; }
   size_t body_size() const override {
     return Writer::varint_size(stream) + 2 * sizeof(uint32_t) +
-           Writer::varint_size(instance) + value.encoded_size() + sizeof(uint32_t);
+           Writer::varint_size(instance) + value->encoded_size() + sizeof(uint32_t);
   }
   void encode(Writer& w) const override {
     w.varint(stream);
     w.u32(ballot.round);
     w.u32(ballot.leader);
     w.varint(instance);
-    value.encode(w);
+    value->encode(w);
     w.u32(accept_count);
   }
   static std::shared_ptr<Message> decode(Reader& r);
@@ -172,20 +174,22 @@ struct AcceptMsg final : Message {
 struct DecisionMsg final : Message {
   StreamId stream = kInvalidStream;
   InstanceId instance = 0;
-  Proposal value;
+  ProposalPtr value = empty_proposal();  ///< shared across the learner fan-out
 
   DecisionMsg() = default;
-  DecisionMsg(StreamId s, InstanceId i, Proposal v)
+  DecisionMsg(StreamId s, InstanceId i, ProposalPtr v)
       : stream(s), instance(i), value(std::move(v)) {}
+  DecisionMsg(StreamId s, InstanceId i, Proposal v)
+      : stream(s), instance(i), value(make_proposal(std::move(v))) {}
 
   MsgType type() const override { return MsgType::kDecision; }
   size_t body_size() const override {
-    return Writer::varint_size(stream) + Writer::varint_size(instance) + value.encoded_size();
+    return Writer::varint_size(stream) + Writer::varint_size(instance) + value->encoded_size();
   }
   void encode(Writer& w) const override {
     w.varint(stream);
     w.varint(instance);
-    value.encode(w);
+    value->encode(w);
   }
   static std::shared_ptr<Message> decode(Reader& r);
 };
@@ -252,14 +256,16 @@ struct RecoverReplyMsg final : Message {
   StreamId stream = kInvalidStream;
   InstanceId trim_horizon = 0;
   InstanceId decided_watermark = 0;
-  std::vector<std::pair<InstanceId, Proposal>> entries;
+  /// Each entry shares the acceptor's stored proposal — a
+  /// recover_chunk-sized catch-up reply adds no payload copies.
+  std::vector<std::pair<InstanceId, ProposalPtr>> entries;
 
   MsgType type() const override { return MsgType::kRecoverReply; }
   size_t body_size() const override {
     size_t n = Writer::varint_size(stream) + Writer::varint_size(trim_horizon) +
                Writer::varint_size(decided_watermark) + Writer::varint_size(entries.size());
     for (const auto& [inst, prop] : entries) {
-      n += Writer::varint_size(inst) + prop.encoded_size();
+      n += Writer::varint_size(inst) + prop->encoded_size();
     }
     return n;
   }
@@ -270,7 +276,7 @@ struct RecoverReplyMsg final : Message {
     w.varint(entries.size());
     for (const auto& [inst, prop] : entries) {
       w.varint(inst);
-      prop.encode(w);
+      prop->encode(w);
     }
   }
   static std::shared_ptr<Message> decode(Reader& r);

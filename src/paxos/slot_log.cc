@@ -1,0 +1,65 @@
+#include "paxos/slot_log.h"
+
+namespace epx::paxos {
+
+namespace {
+// One cache line of bits covers the default pipeline window (64).
+constexpr size_t kInitialBits = 512;
+}  // namespace
+
+void SlotBitmap::ensure(InstanceId id) {
+  if (bits_ != 0 && id - base_ < bits_) return;
+  size_t cap = bits_ == 0 ? kInitialBits : bits_ * 2;
+  while (id - base_ >= cap) cap *= 2;
+  std::vector<uint64_t> fresh(cap >> 6, 0);
+  for (InstanceId i = base_; i < end_; ++i) {
+    if (!test(i)) continue;
+    const size_t r = static_cast<size_t>(i) & (cap - 1);
+    fresh[r >> 6] |= uint64_t{1} << (r & 63);
+  }
+  words_ = std::move(fresh);
+  bits_ = cap;
+}
+
+void SlotBitmap::set(InstanceId id) {
+  if (id < base_) return;
+  ensure(id);
+  const size_t r = index_of(id);
+  const uint64_t mask = uint64_t{1} << (r & 63);
+  if ((words_[r >> 6] & mask) == 0) {
+    words_[r >> 6] |= mask;
+    ++count_;
+  }
+  if (id >= end_) end_ = id + 1;
+}
+
+bool SlotBitmap::test(InstanceId id) const {
+  if (id < base_ || id >= end_) return false;
+  const size_t r = index_of(id);
+  return (words_[r >> 6] >> (r & 63)) & 1;
+}
+
+bool SlotBitmap::test_and_clear(InstanceId id) {
+  if (!test(id)) return false;
+  const size_t r = index_of(id);
+  words_[r >> 6] &= ~(uint64_t{1} << (r & 63));
+  --count_;
+  return true;
+}
+
+void SlotBitmap::trim_below(InstanceId id) {
+  if (id <= base_) return;
+  const InstanceId stop = std::min(id, end_);
+  for (InstanceId i = base_; i < stop; ++i) test_and_clear(i);
+  base_ = id;
+  if (end_ < base_) end_ = base_;
+}
+
+void SlotBitmap::clear() {
+  words_.assign(words_.size(), 0);
+  base_ = 0;
+  end_ = 0;
+  count_ = 0;
+}
+
+}  // namespace epx::paxos

@@ -1,0 +1,244 @@
+// SlotLog: the flat instance-log storage engine of the consensus hot
+// path (Ring Paxos treats the instance log as a contiguous in-memory
+// structure; this is our equivalent).
+//
+// A SlotLog<T> is a window of instances [base, ...) held in a ring-
+// indexed buffer: entry `id` lives at buffer slot `id & (capacity-1)`,
+// which is unique as long as the live span fits the (power-of-two,
+// growable) capacity. That gives O(1) insert/lookup, in-order iteration
+// by scanning an occupancy bitmap, and a movable trim base — exactly the
+// operations the acceptor log, the learner's pending buffer and the
+// coordinator's outstanding window perform, without std::map's per-node
+// allocation and pointer chasing.
+//
+// The tail may be sparse: out-of-order arrivals (ring retransmissions,
+// recovery overlap) insert above existing holes and the bitmap keeps
+// membership exact. Ids below base() are gone forever — inserts below
+// the base are rejected, mirroring the trim-horizon checks of the
+// protocol layer.
+//
+// Storage is raw bytes managed with placement new and explicit destroy
+// (entries are constructed only when their slot is occupied). epx-lint
+// R3 permits that in this file and nowhere else.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "paxos/types.h"
+
+namespace epx::paxos {
+
+/// Sentinel returned by first()/lower_bound() when no entry matches.
+inline constexpr InstanceId kNoInstance = ~0ULL;
+
+template <typename T>
+class SlotLog {
+ public:
+  SlotLog() = default;
+  SlotLog(const SlotLog&) = delete;
+  SlotLog& operator=(const SlotLog&) = delete;
+  ~SlotLog() {
+    destroy_range(base_, end_);
+    release(slots_, capacity_);
+  }
+
+  /// Lowest retrievable id: everything below has been trimmed away.
+  InstanceId base() const { return base_; }
+  /// One past the highest live id (== base() when empty).
+  InstanceId end() const { return end_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool contains(InstanceId id) const {
+    return id >= base_ && id < end_ && test(id);
+  }
+
+  T* find(InstanceId id) { return contains(id) ? &slot(id) : nullptr; }
+  const T* find(InstanceId id) const { return contains(id) ? &slot(id) : nullptr; }
+
+  /// Default-constructs the entry at `id` if absent and returns it, or
+  /// nullptr when `id` lies below the trim base (such inserts are
+  /// protocol-stale by definition).
+  T* insert(InstanceId id) {
+    if (id < base_) return nullptr;
+    ensure(id);
+    if (!test(id)) {
+      ::new (static_cast<void*>(&slot(id))) T();
+      set(id);
+      ++size_;
+      if (id >= end_) end_ = id + 1;
+    }
+    return &slot(id);
+  }
+
+  /// Map-style access. Pre: id >= base().
+  T& operator[](InstanceId id) {
+    T* e = insert(id);
+    assert(e != nullptr && "SlotLog insert below trim base");
+    return *e;
+  }
+
+  /// Destroys the entry at `id` (the base does not move). Returns
+  /// whether an entry was present.
+  bool erase(InstanceId id) {
+    if (!contains(id)) return false;
+    slot(id).~T();
+    clear_bit(id);
+    --size_;
+    return true;
+  }
+
+  /// Drops every entry below `id` and raises the base there. Passing a
+  /// value beyond end() empties the log and fast-forwards the window
+  /// (trim-past-sparse-tail).
+  void trim_below(InstanceId id) {
+    if (id <= base_) return;
+    destroy_range(base_, std::min(id, end_));
+    base_ = id;
+    if (end_ < base_) end_ = base_;
+  }
+
+  /// Drops everything and resets the window to instance 0 (crash wipe).
+  void clear() {
+    destroy_range(base_, end_);
+    base_ = 0;
+    end_ = 0;
+  }
+
+  /// Smallest live id, or kNoInstance when empty.
+  InstanceId first() const { return lower_bound(base_); }
+
+  /// Smallest live id >= from, or kNoInstance. In-order iteration:
+  ///   for (auto id = log.lower_bound(x); id != kNoInstance;
+  ///        id = log.lower_bound(id + 1)) ...
+  InstanceId lower_bound(InstanceId from) const {
+    InstanceId id = std::max(from, base_);
+    while (id < end_) {
+      const size_t ring = index_of(id);
+      const uint64_t word = occupied_[ring >> 6] >> (ring & 63);
+      if (word == 0) {
+        // Skip to the next bitmap word boundary in one step.
+        id += 64 - (ring & 63);
+        continue;
+      }
+      // Within one word consecutive ids map to consecutive ring bits
+      // (capacity is a multiple of 64, so words never straddle the wrap
+      // point), and bits aliased by ids >= end_ can only sit above every
+      // real candidate — so the lowest set bit is authoritative.
+      const InstanceId hit = id + static_cast<InstanceId>(std::countr_zero(word));
+      return hit < end_ ? hit : kNoInstance;
+    }
+    return kNoInstance;
+  }
+
+ private:
+  size_t index_of(InstanceId id) const { return static_cast<size_t>(id) & (capacity_ - 1); }
+  T& slot(InstanceId id) { return slots_[index_of(id)]; }
+  const T& slot(InstanceId id) const { return slots_[index_of(id)]; }
+
+  bool test(InstanceId id) const {
+    const size_t r = index_of(id);
+    return (occupied_[r >> 6] >> (r & 63)) & 1;
+  }
+  void set(InstanceId id) {
+    const size_t r = index_of(id);
+    occupied_[r >> 6] |= uint64_t{1} << (r & 63);
+  }
+  void clear_bit(InstanceId id) {
+    const size_t r = index_of(id);
+    occupied_[r >> 6] &= ~(uint64_t{1} << (r & 63));
+  }
+
+  void destroy_range(InstanceId from, InstanceId to) {
+    for (InstanceId id = from; id < to; ++id) {
+      if (test(id)) {
+        slot(id).~T();
+        clear_bit(id);
+        --size_;
+      }
+    }
+  }
+
+  static T* acquire(size_t cap) {
+    return static_cast<T*>(::operator new(cap * sizeof(T), std::align_val_t{alignof(T)}));
+  }
+  static void release(T* p, size_t cap) {
+    if (p != nullptr) {
+      ::operator delete(p, cap * sizeof(T), std::align_val_t{alignof(T)});
+    }
+  }
+
+  /// Grows capacity until the window [base_, id] fits.
+  void ensure(InstanceId id) {
+    if (capacity_ != 0 && id - base_ < capacity_) return;
+    size_t cap = capacity_ == 0 ? kInitialCapacity : capacity_ * 2;
+    while (id - base_ >= cap) cap *= 2;
+    T* fresh = acquire(cap);
+    std::vector<uint64_t> bits(cap >> 6, 0);
+    for (InstanceId i = base_; i < end_; ++i) {
+      if (!test(i)) continue;
+      T& old = slot(i);
+      const size_t r = static_cast<size_t>(i) & (cap - 1);
+      ::new (static_cast<void*>(&fresh[r])) T(std::move(old));
+      old.~T();
+      bits[r >> 6] |= uint64_t{1} << (r & 63);
+    }
+    release(slots_, capacity_);
+    slots_ = fresh;
+    occupied_ = std::move(bits);
+    capacity_ = cap;
+  }
+
+  // 64 entries minimum keeps the bitmap at whole words and covers the
+  // default pipeline window without a grow.
+  static constexpr size_t kInitialCapacity = 64;
+
+  T* slots_ = nullptr;
+  std::vector<uint64_t> occupied_;
+  size_t capacity_ = 0;  // power of two (or 0 before first insert)
+  InstanceId base_ = 0;
+  InstanceId end_ = 0;
+  size_t size_ = 0;
+};
+
+/// Bitmap ring over the decision window: a set of InstanceIds above a
+/// moving base, O(1) set/test-and-clear, O(words) trim. Replaces the
+/// coordinator's unordered_set of sparsely-decided instances.
+class SlotBitmap {
+ public:
+  InstanceId base() const { return base_; }
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Marks `id`. Ids below the base are ignored (already contiguous).
+  void set(InstanceId id);
+
+  /// Clears and reports the bit at `id`.
+  bool test_and_clear(InstanceId id);
+
+  bool test(InstanceId id) const;
+
+  /// Drops all bits below `id` and advances the base.
+  void trim_below(InstanceId id);
+
+  void clear();
+
+ private:
+  size_t index_of(InstanceId id) const { return static_cast<size_t>(id) & (bits_ - 1); }
+  void ensure(InstanceId id);
+
+  std::vector<uint64_t> words_;
+  size_t bits_ = 0;  // capacity in bits, power of two (or 0)
+  InstanceId base_ = 0;
+  InstanceId end_ = 0;  // one past highest set bit ever while live
+  size_t count_ = 0;
+};
+
+}  // namespace epx::paxos

@@ -37,9 +37,13 @@ Command Command::decode(Reader& r) {
   c.client = r.u32();
   c.group = static_cast<GroupId>(r.varint());
   c.target_stream = static_cast<StreamId>(r.varint());
-  auto data = r.bytes();
+  // Build the payload string in place from a view of the wire buffer:
+  // one copy into the string's storage, with the shared_ptr control
+  // block + string header drawn from the envelope pool.
+  const std::string_view data = r.bytes_view();
   c.payload_size = data.size();
-  c.payload = std::make_shared<const std::string>(std::move(data));
+  c.payload = std::allocate_shared<const std::string>(
+      net::PoolAllocator<const std::string>(), data);
   return c;
 }
 
@@ -79,6 +83,26 @@ Proposal Proposal::decode(Reader& r) {
   for (uint64_t i = 0; i < n && r.ok(); ++i) p.commands.push_back(Command::decode(r));
   p.skip_slots = r.varint();
   p.first_slot = r.varint();
+  return p;
+}
+
+ProposalPtr make_proposal(Proposal&& p) {
+  return std::allocate_shared<const Proposal>(net::PoolAllocator<const Proposal>(),
+                                              std::move(p));
+}
+
+const ProposalPtr& empty_proposal() {
+  static const ProposalPtr kEmpty = std::make_shared<const Proposal>();
+  return kEmpty;
+}
+
+ProposalPtr decode_proposal(Reader& r) {
+  auto p = std::allocate_shared<Proposal>(net::PoolAllocator<Proposal>());
+  const uint64_t n = r.varint();
+  p->commands.reserve(n);
+  for (uint64_t i = 0; i < n && r.ok(); ++i) p->commands.push_back(Command::decode(r));
+  p->skip_slots = r.varint();
+  p->first_slot = r.varint();
   return p;
 }
 

@@ -103,6 +103,24 @@ struct Proposal {
   static Proposal decode(net::Reader& r);
 };
 
+/// A frozen proposal, shared across every hop of the consensus path:
+/// the coordinator materialises a batch once at flush time, and accepts,
+/// decision fan-out, re-proposals and recovery replies all reference the
+/// same allocation instead of copying the command vector.
+using ProposalPtr = std::shared_ptr<const Proposal>;
+
+/// Freezes a fully-built proposal into pool-backed shared storage.
+ProposalPtr make_proposal(Proposal&& p);
+
+/// Shared immutable no-op, used as the default value of proposal-
+/// carrying messages so a default-constructed message still encodes to
+/// its historical wire bytes.
+const ProposalPtr& empty_proposal();
+
+/// Decodes a proposal directly into pool-backed shared storage (the
+/// decode-side counterpart of make_proposal).
+ProposalPtr decode_proposal(net::Reader& r);
+
 /// Factory helpers for control commands.
 Command make_subscribe(uint64_t id, GroupId group, StreamId stream);
 Command make_unsubscribe(uint64_t id, GroupId group, StreamId stream);

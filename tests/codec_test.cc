@@ -176,7 +176,9 @@ TEST_F(CodecTest, PaxosMessagesRoundTrip) {
   paxos::AcceptedEntry entry;
   entry.instance = 10;
   entry.value_ballot = {4, 2};
-  entry.value.commands.push_back(sample_command());
+  paxos::Proposal accepted_value;
+  accepted_value.commands.push_back(sample_command());
+  entry.value = paxos::make_proposal(std::move(accepted_value));
   entry.decided = true;
   p1b.accepted.push_back(entry);
   round_trip(p1b);
@@ -185,7 +187,9 @@ TEST_F(CodecTest, PaxosMessagesRoundTrip) {
   accept.stream = 3;
   accept.ballot = {1, 2};
   accept.instance = 55;
-  accept.value.commands.push_back(sample_command());
+  paxos::Proposal accept_value;
+  accept_value.commands.push_back(sample_command());
+  accept.value = paxos::make_proposal(std::move(accept_value));
   accept.accept_count = 1;
   round_trip(accept);
 
@@ -200,7 +204,7 @@ TEST_F(CodecTest, PaxosMessagesRoundTrip) {
   recover.stream = 3;
   recover.trim_horizon = 5;
   recover.decided_watermark = 42;
-  recover.entries.emplace_back(10, value);
+  recover.entries.emplace_back(10, paxos::make_proposal(std::move(value)));
   round_trip(recover);
 
   round_trip(paxos::TrimRequestMsg(3, 99));

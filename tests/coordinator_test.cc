@@ -142,6 +142,38 @@ TEST_F(CoordinatorTest, DuplicateProposalsSuppressedWithinTtl) {
   EXPECT_EQ(r1->delivered(), 1u) << "replica dedup keeps execution exactly-once";
 }
 
+TEST_F(CoordinatorTest, DedupStructureBoundedUnderFlood) {
+  // Strict TTL expiry on every insert bounds the duplicate-suppression
+  // structure at admitted-rate x dedup_ttl, independent of run length.
+  ClusterOptions options;
+  options.params.dedup_ttl = 500 * kMillisecond;
+  Cluster cluster(options);
+  const auto s1 = cluster.add_stream();
+  cluster.add_replica(1, {s1});
+
+  LoadClient::Config cfg;
+  cfg.threads = 16;
+  cfg.payload_bytes = 64;
+  cfg.retry_timeout = 3600 * kSecond;  // every arrival is a unique id
+  cfg.route = [s1] { return s1; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  const Tick duration = 10 * kSecond;
+  cluster.run_for(duration);
+
+  auto* coord = cluster.coordinator(s1);
+  ASSERT_GT(coord->commands_proposed(), 5000u) << "flood did not materialise";
+  // With no losses and no retries, arrivals == proposals; allow 50%
+  // slack for rate jitter across the trailing TTL window.
+  const double per_second = static_cast<double>(coord->commands_proposed()) /
+                            (static_cast<double>(duration) / kSecond);
+  const double ttl_seconds =
+      static_cast<double>(options.params.dedup_ttl) / kSecond;
+  EXPECT_LE(static_cast<double>(coord->dedup_size()),
+            per_second * ttl_seconds * 1.5)
+      << "dedup structure exceeds the admitted-rate x ttl bound";
+}
+
 TEST_F(CoordinatorTest, SlotIndexesAreContiguousAcrossBatchesAndSkips) {
   Cluster cluster;
   const auto s1 = cluster.add_stream();

@@ -1,0 +1,25 @@
+// Fixture: the same raw slab storage as r3_slotlog_clean.cc but WITHOUT
+// the path-override directive — it scopes to src/r3_slotlog_bad.cc and
+// the raw-storage sites must trip R3. Together the pair proves the
+// slot_log allowlist entry is path-keyed: there and nowhere else.
+#include <new>
+
+namespace epx_fixture {
+
+struct Slot {
+  unsigned char bytes[64];
+};
+
+Slot* acquire(unsigned long cap) {
+  return static_cast<Slot*>(::operator new(cap * sizeof(Slot)));  // R3: raw slab buy
+}
+
+void release(Slot* p, unsigned long cap) {
+  ::operator delete(p, cap * sizeof(Slot));
+}
+
+void construct_in(Slot* storage, unsigned long index) {
+  ::new (static_cast<void*>(&storage[index])) Slot();  // R3: placement new
+}
+
+}  // namespace epx_fixture

@@ -1,0 +1,31 @@
+// Fixture: raw slab storage as written in src/paxos/slot_log.h — must
+// NOT trip epx-lint R3 because the path override below lands it on the
+// slot_log allowlist entry. The twin fixture r3_slotlog_bad.cc holds the
+// identical code WITHOUT the override and must trip, proving the
+// exemption is keyed to the slot_log path and nowhere else.
+// epx-lint: path(src/paxos/slot_log.cc)
+#include <new>
+
+namespace epx_fixture {
+
+struct Slot {
+  unsigned char bytes[64];
+};
+
+Slot* acquire(unsigned long cap) {
+  return static_cast<Slot*>(::operator new(cap * sizeof(Slot)));  // slab buy
+}
+
+void release(Slot* p, unsigned long cap) {
+  ::operator delete(p, cap * sizeof(Slot));
+}
+
+void construct_in(Slot* storage, unsigned long index) {
+  ::new (static_cast<void*>(&storage[index])) Slot();  // placement build
+}
+
+void destroy_in(Slot* storage, unsigned long index) {
+  storage[index].~Slot();
+}
+
+}  // namespace epx_fixture

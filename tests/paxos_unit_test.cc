@@ -82,7 +82,7 @@ class AcceptorTest : public ::testing::Test {
     m->stream = 1;
     m->ballot = b;
     m->instance = inst;
-    m->value = std::move(v);
+    m->value = paxos::make_proposal(std::move(v));
     m->accept_count = count;
     return m;
   }
@@ -123,7 +123,7 @@ TEST_F(AcceptorTest, Phase1bReportsAcceptedValues) {
   ASSERT_EQ(replies.size(), 1u);
   ASSERT_EQ(replies[0]->accepted.size(), 1u);
   EXPECT_EQ(replies[0]->accepted[0].instance, 7u);
-  EXPECT_EQ(replies[0]->accepted[0].value.commands[0].id, 42u);
+  EXPECT_EQ(replies[0]->accepted[0].value->commands[0].id, 42u);
 }
 
 TEST_F(AcceptorTest, QuorumVoteEmitsDecisionToLearners) {
@@ -135,7 +135,7 @@ TEST_F(AcceptorTest, QuorumVoteEmitsDecisionToLearners) {
   auto decisions = learner->of_type<DecisionMsg>(net::MsgType::kDecision);
   ASSERT_EQ(decisions.size(), 1u);
   EXPECT_EQ(decisions[0]->instance, 0u);
-  EXPECT_EQ(decisions[0]->value.commands[0].id, 42u);
+  EXPECT_EQ(decisions[0]->value->commands[0].id, 42u);
   EXPECT_TRUE(acc->has_decided(0));
 }
 
@@ -177,9 +177,9 @@ TEST_F(AcceptorTest, CoordinatorGetsSummaryDecision) {
   sim.run_to_completion();
   auto decisions = sender->of_type<DecisionMsg>(net::MsgType::kDecision);
   ASSERT_EQ(decisions.size(), 1u);
-  EXPECT_TRUE(decisions[0]->value.commands.empty());
-  EXPECT_EQ(decisions[0]->value.first_slot, 10u);
-  EXPECT_EQ(decisions[0]->value.slot_count(), 1u);
+  EXPECT_TRUE(decisions[0]->value->commands.empty());
+  EXPECT_EQ(decisions[0]->value->first_slot, 10u);
+  EXPECT_EQ(decisions[0]->value->slot_count(), 1u);
 }
 
 TEST_F(AcceptorTest, TrimDiscardsPrefix) {
@@ -276,9 +276,9 @@ class LearnerHost : public sim::Process {
     cfg.stream = 1;
     cfg.acceptors = std::move(acceptors);
     learner = std::make_unique<paxos::Learner>(
-        this, cfg, [this](const Proposal& value, paxos::InstanceId instance) {
+        this, cfg, [this](const paxos::ProposalPtr& value, paxos::InstanceId instance) {
           delivered.emplace_back(instance,
-                                 value.commands.empty() ? 0 : value.commands[0].id);
+                                 value->commands.empty() ? 0 : value->commands[0].id);
         });
   }
 
@@ -346,6 +346,72 @@ TEST_F(AcceptorTest, LearnerRepairsGapFromAcceptor) {
   sim.run_until(sim.now() + kSecond);
   ASSERT_EQ(host.delivered.size(), 3u);
   EXPECT_EQ(host.delivered[1].second, 101u);  // gap repaired in order
+}
+
+// Regression: a RecoverReply issued before the delivery frontier moved
+// must not re-deliver (or retain) entries the learner already handed to
+// its sink.
+TEST_F(AcceptorTest, LearnerIgnoresStaleRecoverReplyAfterDelivery) {
+  LearnerHost host(&sim, &net, 63);
+  host.init({acc->id()});
+  host.learner->start(0);
+  sim.run_until(sim.now() + 200 * kMillisecond);
+
+  for (paxos::InstanceId i = 0; i < 5; ++i) {
+    net.send(sender->id(), host.id(),
+             std::make_shared<DecisionMsg>(1, i, make_value(100 + i, i)), 0);
+  }
+  sim.run_until(sim.now() + 100 * kMillisecond);
+  ASSERT_EQ(host.delivered.size(), 5u);
+  ASSERT_EQ(host.learner->next_instance(), 5u);
+
+  // The stale reply replays everything already delivered.
+  auto stale = std::make_shared<RecoverReplyMsg>();
+  stale->stream = 1;
+  stale->trim_horizon = 0;
+  stale->decided_watermark = 5;
+  for (paxos::InstanceId i = 0; i < 5; ++i) {
+    stale->entries.emplace_back(i, paxos::make_proposal(make_value(100 + i, i)));
+  }
+  net.send(sender->id(), host.id(), stale, 0);
+  sim.run_until(sim.now() + 100 * kMillisecond);
+
+  EXPECT_EQ(host.delivered.size(), 5u);  // nothing delivered twice
+  EXPECT_EQ(host.learner->next_instance(), 5u);
+}
+
+// Regression: a trim-horizon jump must drop decisions buffered below the
+// new frontier — they were superseded by the trim and would otherwise be
+// retained forever (and confuse gap detection).
+TEST_F(AcceptorTest, LearnerDropsPendingBelowTrimJump) {
+  LearnerHost host(&sim, &net, 64);
+  host.init({acc->id()});
+  host.learner->start(0);
+  sim.run_until(sim.now() + 200 * kMillisecond);
+
+  // Instance 3 arrives out of order and stays pending (hole at 0..2).
+  net.send(sender->id(), host.id(),
+           std::make_shared<DecisionMsg>(1, 3, make_value(103, 3)), 0);
+  sim.run_until(sim.now() + 50 * kMillisecond);
+  ASSERT_TRUE(host.delivered.empty());
+
+  // The acceptors trimmed to 5: recovery jumps the frontier past the
+  // buffered instance.
+  auto reply = std::make_shared<RecoverReplyMsg>();
+  reply->stream = 1;
+  reply->trim_horizon = 5;
+  reply->decided_watermark = 5;
+  net.send(sender->id(), host.id(), reply, 0);
+  sim.run_until(sim.now() + 50 * kMillisecond);
+  EXPECT_EQ(host.learner->next_instance(), 5u);
+
+  // Live decisions resume at 5; the superseded instance 3 never surfaces.
+  net.send(sender->id(), host.id(),
+           std::make_shared<DecisionMsg>(1, 5, make_value(105, 5)), 0);
+  sim.run_until(sim.now() + 50 * kMillisecond);
+  ASSERT_EQ(host.delivered.size(), 1u);
+  EXPECT_EQ(host.delivered[0].first, 5u);
+  EXPECT_EQ(host.delivered[0].second, 105u);
 }
 
 // ------------------------------------------------------- StreamQueue --

@@ -1,0 +1,279 @@
+// SlotLog / SlotBitmap tests: directed edge cases (trim past the sparse
+// tail, reinsert below the base, growth rehoming) plus a seeded
+// differential property test driving SlotLog against a std::map
+// reference model through tens of thousands of randomised operations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "paxos/slot_log.h"
+#include "util/rng.h"
+
+namespace epx {
+namespace {
+
+using paxos::InstanceId;
+using paxos::kNoInstance;
+using paxos::SlotBitmap;
+using paxos::SlotLog;
+
+TEST(SlotLogTest, InsertFindEraseBasics) {
+  SlotLog<uint64_t> log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.first(), kNoInstance);
+  log[5] = 50;
+  log[7] = 70;
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.base(), 0u);
+  EXPECT_EQ(log.end(), 8u);
+  ASSERT_NE(log.find(5), nullptr);
+  EXPECT_EQ(*log.find(5), 50u);
+  EXPECT_EQ(log.find(6), nullptr);
+  EXPECT_EQ(log.first(), 5u);
+  EXPECT_EQ(log.lower_bound(6), 7u);
+  EXPECT_EQ(log.lower_bound(8), kNoInstance);
+  EXPECT_TRUE(log.erase(5));
+  EXPECT_FALSE(log.erase(5));
+  EXPECT_EQ(log.first(), 7u);
+}
+
+TEST(SlotLogTest, GrowthPreservesSparseEntries) {
+  SlotLog<uint64_t> log;
+  // Strided inserts force several capacity doublings with holes.
+  for (InstanceId i = 0; i < 1000; i += 7) log[i] = i * 10;
+  for (InstanceId i = 0; i < 1000; ++i) {
+    if (i % 7 == 0) {
+      ASSERT_NE(log.find(i), nullptr) << i;
+      EXPECT_EQ(*log.find(i), i * 10);
+    } else {
+      EXPECT_EQ(log.find(i), nullptr) << i;
+    }
+  }
+}
+
+TEST(SlotLogTest, TrimBelowDropsPrefixOnly) {
+  SlotLog<uint64_t> log;
+  for (InstanceId i = 0; i < 32; ++i) log[i] = i;
+  log.trim_below(20);
+  EXPECT_EQ(log.base(), 20u);
+  EXPECT_EQ(log.size(), 12u);
+  EXPECT_EQ(log.find(19), nullptr);
+  ASSERT_NE(log.find(20), nullptr);
+  EXPECT_EQ(log.first(), 20u);
+  // Trimming backwards is a no-op.
+  log.trim_below(5);
+  EXPECT_EQ(log.base(), 20u);
+  EXPECT_EQ(log.size(), 12u);
+}
+
+TEST(SlotLogTest, TrimPastSparseTailEmptiesAndFastForwards) {
+  SlotLog<uint64_t> log;
+  log[3] = 3;
+  log[90] = 90;  // sparse tail: holes between 4 and 89
+  ASSERT_EQ(log.size(), 2u);
+  log.trim_below(500);  // far beyond end()
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.base(), 500u);
+  EXPECT_EQ(log.end(), 500u);
+  EXPECT_EQ(log.first(), kNoInstance);
+  // The window resumes above the trim point.
+  log[501] = 1;
+  EXPECT_EQ(log.first(), 501u);
+}
+
+TEST(SlotLogTest, ReinsertBelowBaseRejected) {
+  SlotLog<uint64_t> log;
+  for (InstanceId i = 0; i < 10; ++i) log[i] = i;
+  log.trim_below(6);
+  EXPECT_EQ(log.insert(5), nullptr);  // protocol-stale by definition
+  EXPECT_EQ(log.insert(0), nullptr);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.find(5), nullptr);
+  // At the base is fine.
+  ASSERT_NE(log.insert(6), nullptr);
+}
+
+TEST(SlotLogTest, ClearResetsWindowToZero) {
+  SlotLog<uint64_t> log;
+  for (InstanceId i = 100; i < 120; ++i) log[i] = i;
+  log.trim_below(110);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.base(), 0u);  // crash wipe restarts at instance 0
+  log[0] = 7;
+  EXPECT_EQ(log.first(), 0u);
+}
+
+// Entries with non-trivial destructors are destroyed exactly once
+// (erase, trim, growth rehoming and the destructor all manage lifetime
+// by hand in raw storage).
+TEST(SlotLogTest, NonTrivialEntryLifetime) {
+  static int live = 0;
+  struct Counted {
+    Counted() { ++live; }
+    Counted(Counted&&) { ++live; }
+    ~Counted() { --live; }
+  };
+  {
+    SlotLog<Counted> log;
+    for (InstanceId i = 0; i < 300; i += 3) log.insert(i);  // forces growth
+    EXPECT_EQ(live, 100);
+    log.erase(3);
+    EXPECT_EQ(live, 99);
+    log.trim_below(150);
+    EXPECT_EQ(live, 50);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+// ---------------------------------------------------------------------
+// Differential property test: SlotLog vs std::map reference model.
+// ---------------------------------------------------------------------
+
+TEST(SlotLogTest, DifferentialAgainstMapReference) {
+  Rng rng(0xE1A57C0DE5ULL);
+  SlotLog<uint64_t> log;
+  std::map<InstanceId, uint64_t> ref;
+  InstanceId base = 0;
+
+  const auto ref_trim = [&](InstanceId t) {
+    ref.erase(ref.begin(), ref.lower_bound(t));
+    base = std::max(base, t);
+  };
+
+  for (int step = 0; step < 30000; ++step) {
+    const uint64_t op = rng.uniform(100);
+    // Ids land around the live window, spanning several growths.
+    const InstanceId id = base + rng.uniform(200);
+    if (op < 40) {
+      const uint64_t tag = rng.next();
+      log[id] = tag;
+      ref[id] = tag;
+    } else if (op < 55) {
+      EXPECT_EQ(log.erase(id), ref.erase(id) > 0) << "step " << step;
+    } else if (op < 70) {
+      const uint64_t* got = log.find(id);
+      auto it = ref.find(id);
+      ASSERT_EQ(got != nullptr, it != ref.end()) << "step " << step << " id " << id;
+      if (got != nullptr) ASSERT_EQ(*got, it->second);
+    } else if (op < 80) {
+      auto it = ref.lower_bound(id);
+      ASSERT_EQ(log.lower_bound(id), it == ref.end() ? kNoInstance : it->first)
+          << "step " << step << " id " << id;
+    } else if (op < 90) {
+      const InstanceId t = base + rng.uniform(48);
+      log.trim_below(t);
+      ref_trim(t);
+    } else if (op < 94) {
+      // Trim past the sparse tail: fast-forwards the whole window.
+      const InstanceId t = log.end() + rng.uniform(32);
+      log.trim_below(t);
+      ref_trim(t);
+    } else if (op < 99) {
+      // Reinsert below the base must be rejected and change nothing.
+      if (base > 0) {
+        const InstanceId below = rng.uniform(base);
+        ASSERT_EQ(log.insert(below), nullptr) << "step " << step;
+      }
+    } else {
+      log.clear();
+      ref.clear();
+      base = 0;
+    }
+
+    ASSERT_EQ(log.size(), ref.size()) << "step " << step;
+    ASSERT_EQ(log.empty(), ref.empty());
+    ASSERT_EQ(log.first(), ref.empty() ? kNoInstance : ref.begin()->first)
+        << "step " << step;
+
+    if (step % 512 == 0) {
+      // Full in-order walk agrees with the reference.
+      auto it = ref.begin();
+      for (InstanceId i = log.first(); i != kNoInstance; i = log.lower_bound(i + 1)) {
+        ASSERT_NE(it, ref.end());
+        ASSERT_EQ(i, it->first) << "step " << step;
+        ASSERT_EQ(*log.find(i), it->second);
+        ++it;
+      }
+      ASSERT_EQ(it, ref.end()) << "step " << step;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// SlotBitmap
+// ---------------------------------------------------------------------
+
+TEST(SlotBitmapTest, SetTestAndClear) {
+  SlotBitmap bm;
+  EXPECT_TRUE(bm.empty());
+  bm.set(10);
+  bm.set(700);  // beyond the initial 512-bit window: forces growth
+  EXPECT_EQ(bm.count(), 2u);
+  EXPECT_TRUE(bm.test(10));
+  EXPECT_FALSE(bm.test(11));
+  EXPECT_TRUE(bm.test(700));
+  EXPECT_TRUE(bm.test_and_clear(10));
+  EXPECT_FALSE(bm.test_and_clear(10));
+  EXPECT_EQ(bm.count(), 1u);
+}
+
+TEST(SlotBitmapTest, SetIsIdempotent) {
+  SlotBitmap bm;
+  bm.set(42);
+  bm.set(42);
+  EXPECT_EQ(bm.count(), 1u);
+}
+
+TEST(SlotBitmapTest, TrimBelowDropsBitsAndIgnoresStaleSets) {
+  SlotBitmap bm;
+  for (InstanceId i = 0; i < 100; i += 10) bm.set(i);
+  bm.trim_below(50);
+  EXPECT_EQ(bm.base(), 50u);
+  EXPECT_EQ(bm.count(), 5u);  // 50,60,70,80,90 survive
+  EXPECT_FALSE(bm.test(40));
+  EXPECT_TRUE(bm.test(50));
+  bm.set(30);  // below the base: ignored (already contiguous)
+  EXPECT_FALSE(bm.test(30));
+  EXPECT_EQ(bm.count(), 5u);
+}
+
+TEST(SlotBitmapTest, TrimPastEndFastForwards) {
+  SlotBitmap bm;
+  bm.set(5);
+  bm.trim_below(10000);
+  EXPECT_TRUE(bm.empty());
+  bm.set(10500);
+  EXPECT_TRUE(bm.test(10500));
+  EXPECT_EQ(bm.count(), 1u);
+}
+
+TEST(SlotBitmapTest, DifferentialContiguousDrain) {
+  // The coordinator's exact usage: out-of-order sets, then a contiguous
+  // drain via test_and_clear, then trim.
+  Rng rng(77);
+  SlotBitmap bm;
+  std::map<InstanceId, bool> ref;
+  InstanceId contiguous = 0;
+  for (int round = 0; round < 2000; ++round) {
+    const InstanceId id = contiguous + rng.uniform(96);
+    if (id > contiguous) {  // out-of-order decision
+      bm.set(id);
+      ref[id] = true;
+    } else {  // the contiguous instance decided
+      ++contiguous;
+      while (bm.test_and_clear(contiguous)) {
+        EXPECT_TRUE(ref.count(contiguous));
+        ref.erase(contiguous);
+        ++contiguous;
+      }
+      bm.trim_below(contiguous);
+      while (!ref.empty() && ref.begin()->first < contiguous) ref.erase(ref.begin());
+    }
+    ASSERT_EQ(bm.count(), ref.size()) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace epx

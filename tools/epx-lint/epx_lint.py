@@ -50,7 +50,7 @@ RULES = {
 ALLOWED = {
     "R1": ("src/util/logging.", "src/util/rng."),
     "R2": ("src/util/sorted.h",),
-    "R3": ("src/net/pool.", "src/sim/event_queue."),
+    "R3": ("src/net/pool.", "src/sim/event_queue.", "src/paxos/slot_log."),
     "R5": ("src/sim/",),
 }
 
@@ -194,6 +194,12 @@ def line_of(text: str, idx: int) -> int:
 
 ALLOW_RE = re.compile(r"epx-lint:\s*allow\(([^)]*)\)\s*:?\s*(\S.*)?")
 
+# Fixtures may pin the repo-relative path used for rule scoping, e.g.
+# `// epx-lint: path(src/paxos/slot_log.cc)`, so a path-keyed allowlist
+# entry can be exercised from tests/lint_fixtures/. Honored only under
+# --assume-src — real tree files can never re-scope themselves.
+PATH_OVERRIDE_RE = re.compile(r"epx-lint:\s*path\(([^)\s]+)\)")
+
 
 def allowed_rules_for_line(raw_lines, lineno: int):
     """Rules waived on `lineno` (1-based) by a directive on it or just above."""
@@ -257,8 +263,12 @@ class Linter:
         return self.ctx_cache[path]
 
     def effective_rel(self, ctx: FileCtx) -> str:
-        """Path used for rule scoping; --assume-src maps fixtures into src/."""
+        """Path used for rule scoping; --assume-src maps fixtures into src/
+        (or to an explicit `epx-lint: path(...)` override)."""
         if self.assume_src and not ctx.rel.startswith("src/"):
+            m = PATH_OVERRIDE_RE.search(ctx.raw)
+            if m:
+                return m.group(1)
             return "src/" + os.path.basename(ctx.rel)
         return ctx.rel
 

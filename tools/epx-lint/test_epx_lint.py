@@ -25,6 +25,9 @@ BAD = [
     ("r1_bad.cc", "R1", 8),
     ("r2_bad.cc", "R2", 4),
     ("r3_bad.cc", "R3", 5),
+    # Same raw slab storage as slot_log but scoped to a non-allowlisted
+    # path: the R3 exemption must not travel with the code.
+    ("r3_slotlog_bad.cc", "R3", 2),
     ("r4_bad_messages.h", "R4", 3),
     ("r5_bad.cc", "R5", 4),
     ("r6_bad.cc", "R6", 3),
@@ -35,6 +38,9 @@ CLEAN = [
     ("r1_clean.cc", "R1"),
     ("r2_clean.cc", "R2"),
     ("r3_clean.cc", "R3"),
+    # Pins itself to src/paxos/slot_log.cc via the path-override
+    # directive, so its raw slab storage rides the allowlist entry.
+    ("r3_slotlog_clean.cc", "R3"),
     ("r4_clean_messages.h", "R4"),
     ("r5_clean.cc", "R5"),
     ("r6_clean.cc", "R6"),

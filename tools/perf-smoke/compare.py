@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a fresh micro-benchmark run against the
+committed baseline (BENCH_micro.json at the repo root).
+
+Only a small set of end-to-end-ish keys is gated -- individual
+micro-benchmarks are too noisy on shared CI runners to gate tightly,
+so we pick the three that summarise the protocol hot path and allow a
+generous regression threshold (default 30%). Improvements never fail.
+
+Usage:
+  compare.py --baseline BENCH_micro.json --current fresh.json \
+             [--threshold 0.30] [--keys BM_A,BM_B,...]
+
+Exit status: 0 when every gated key is present in both files and within
+threshold, 1 on a regression or a missing key. Prints one line per key
+either way so the CI log doubles as the report.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_KEYS = [
+    "BM_AcceptRoundTrip",
+    "BM_MergerPump/4",
+    "BM_SimulatedClusterSecond",
+]
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def ns_per_op(results, key):
+    """Look up a benchmark, preferring the median aggregate when the run
+    was recorded with --benchmark_repetitions (keys come out suffixed)."""
+    for name in (key + "_median", key):
+        if name in results:
+            return results[name].get("ns_per_op")
+    return None
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="committed BENCH_micro.json")
+    ap.add_argument("--current", required=True, help="freshly recorded run")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="max allowed ns/op regression fraction (default 0.30)")
+    ap.add_argument("--keys", default=",".join(DEFAULT_KEYS),
+                    help="comma-separated benchmark names to gate")
+    args = ap.parse_args(argv)
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failed = False
+    for key in [k for k in args.keys.split(",") if k]:
+        base = ns_per_op(baseline, key)
+        cur = ns_per_op(current, key)
+        if base is None or cur is None:
+            where = args.baseline if base is None else args.current
+            print(f"FAIL {key}: missing from {where}")
+            failed = True
+            continue
+        delta = (cur - base) / base
+        verdict = "FAIL" if delta > args.threshold else "ok"
+        print(f"{verdict:4} {key}: {base:.0f} ns/op -> {cur:.0f} ns/op "
+              f"({delta:+.1%}, threshold +{args.threshold:.0%})")
+        failed = failed or verdict == "FAIL"
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
