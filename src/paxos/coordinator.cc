@@ -455,6 +455,11 @@ void Coordinator::finish_takeover() {
   InstanceId highest = decided_contiguous_;
   if (!adopt.empty()) highest = std::max(highest, adopt.rbegin()->first + 1);
   outstanding_.clear();
+  // Re-base the emptied window at the frontier (O(1) on an empty log):
+  // late in a run decided_contiguous_ is large, and re-proposing from a
+  // zero-based window would size the ring by the absolute instance id.
+  outstanding_.trim_below(decided_contiguous_);
+  decided_sparse_.trim_below(decided_contiguous_);
   for (InstanceId i = decided_contiguous_; i < highest; ++i) {
     auto it = adopt.find(i);
     // No-op for holes (consumes no slots); adopted values share the

@@ -21,6 +21,8 @@ void Learner::start(InstanceId from_instance) {
   caught_up_ = false;
   next_ = from_instance;
   pending_.clear();  // restart may rewind the window below the old base
+  pending_.trim_below(from_instance);  // re-base the empty ring at the frontier
+  far_.clear();
   host_->monitors().on_learner_reset(host_->id(), config_.stream, from_instance);
   ++*gen_;
   for (NodeId acc : config_.acceptors) {
@@ -53,6 +55,7 @@ void Learner::stop() {
   started_ = false;
   ++*gen_;
   pending_.clear();
+  far_.clear();
   for (NodeId acc : config_.acceptors) {
     host_->send(acc, net::make_message<LearnerLeaveMsg>(config_.stream, host_->id()));
   }
@@ -79,9 +82,21 @@ void Learner::request_recovery(InstanceId from, InstanceId to) {
   });
 }
 
+void Learner::buffer(InstanceId instance, const ProposalPtr& value) {
+  if (instance < next_ + pending_span()) {
+    pending_[instance] = value;
+  } else {
+    // Far beyond the frontier (elastic subscribe to a mature stream:
+    // live decisions arrive at the current instance while next_ is
+    // still near 0). Parking it keeps the dense ring from spanning the
+    // id gap — pending_[instance] here would allocate O(instance id).
+    far_[instance] = value;
+  }
+}
+
 void Learner::on_decision(const DecisionMsg& msg) {
   if (!started_ || msg.instance < next_) return;
-  pending_[msg.instance] = msg.value;
+  buffer(msg.instance, msg.value);
   deliver_ready();
 }
 
@@ -98,12 +113,13 @@ void Learner::on_recover_reply(const RecoverReplyMsg& msg) {
     // Anything buffered below the new frontier was superseded by the
     // trim — drop it now so a stale reply can never re-deliver it.
     pending_.trim_below(next_);
+    far_.erase(far_.begin(), far_.lower_bound(next_));
     // Legitimate discontinuity: tell the gap monitor so the jump is not
     // reported as a lost instance.
     host_->monitors().on_learner_jump(host_->id(), config_.stream, next_);
   }
   for (const auto& [instance, value] : msg.entries) {
-    if (instance >= next_) pending_[instance] = value;
+    if (instance >= next_) buffer(instance, value);
   }
   deliver_ready();
   if (next_ < msg.decided_watermark) {
@@ -114,7 +130,27 @@ void Learner::on_recover_reply(const RecoverReplyMsg& msg) {
   }
 }
 
+void Learner::promote_far() {
+  if (far_.empty()) return;
+  // Entries the frontier already passed (possible after a trim-horizon
+  // jump) were superseded — drop them.
+  far_.erase(far_.begin(), far_.lower_bound(next_));
+  const InstanceId horizon = next_ + pending_span();
+  while (!far_.empty() && far_.begin()->first < horizon) {
+    auto it = far_.begin();
+    pending_[it->first] = std::move(it->second);
+    far_.erase(it);
+  }
+}
+
+InstanceId Learner::buffered_first() const {
+  InstanceId first = pending_.first();
+  if (!far_.empty()) first = std::min(first, far_.begin()->first);
+  return first;
+}
+
 void Learner::deliver_ready() {
+  promote_far();
   const ProposalPtr* slot = pending_.find(next_);
   const Tick t = host_->now();  // frozen while this handler runs
   if (slot != nullptr) last_progress_ = t;
@@ -137,11 +173,18 @@ void Learner::deliver_ready() {
     pending_.erase(next_);
     ++next_;
     slot = pending_.find(next_);
+    if (slot == nullptr && !far_.empty()) {
+      // The frontier may have marched into the parked range; keep the
+      // ring dense before refilling so its span stays O(window).
+      pending_.trim_below(next_);
+      promote_far();
+      slot = pending_.find(next_);
+    }
   }
   // Advance the window base with the frontier so the ring stays dense
   // and nothing at or below a delivered position can be re-inserted.
   pending_.trim_below(next_);
-  if (pending_.empty()) gap_since_ = -1;
+  if (buffered_empty()) gap_since_ = -1;
 }
 
 void Learner::gap_check() {
@@ -151,19 +194,19 @@ void Learner::gap_check() {
   // e.g. the deciding acceptor restarted and lost its learner set.
   // Re-register and poll the log.
   const Tick silence_limit = 10 * config_.params.learner_gap_timeout;
-  if (caught_up_ && pending_.empty() && host_->now() - last_progress_ > silence_limit) {
+  if (caught_up_ && buffered_empty() && host_->now() - last_progress_ > silence_limit) {
     for (NodeId acc : config_.acceptors) {
       host_->send(acc, net::make_message<LearnerJoinMsg>(config_.stream, host_->id()));
     }
     request_recovery(next_, next_ + config_.params.recover_chunk);
     last_progress_ = host_->now();
   }
-  if (!pending_.empty()) {
+  if (!buffered_empty()) {
     // There is a hole below the smallest buffered instance.
     if (gap_since_ < 0) {
       gap_since_ = host_->now();
     } else if (host_->now() - gap_since_ >= config_.params.learner_gap_timeout) {
-      const InstanceId hole_end = pending_.first();
+      const InstanceId hole_end = buffered_first();
       gap_repairs_->add(host_->now());
       EPX_DEBUG << host_->name() << ": S" << config_.stream << " gap [" << next_ << ","
                 << hole_end << ") — recovering";

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 
 #include "paxos/messages.h"
@@ -63,6 +64,10 @@ class Learner {
   /// running on live decisions only.
   bool caught_up() const { return caught_up_; }
   uint64_t proposals_delivered() const { return delivered_->total(); }
+  /// Allocated slots of the dense pending ring — bounded by
+  /// pending_span(), never by the absolute instance id (pinned by the
+  /// elastic-subscribe regression test).
+  size_t pending_capacity() const { return pending_.capacity(); }
 
  private:
   void deliver_ready();
@@ -70,6 +75,16 @@ class Learner {
   void gap_check();
   void report_position();
   NodeId pick_acceptor();
+  /// Width of the dense buffering window above next_: the coordinator's
+  /// pipeline window plus recovery-chunk headroom, doubled for slack.
+  InstanceId pending_span() const {
+    return 2 * (config_.params.window + config_.params.recover_chunk);
+  }
+  void buffer(InstanceId instance, const ProposalPtr& value);
+  void promote_far();
+  /// Smallest buffered instance across the ring and the far overlay.
+  InstanceId buffered_first() const;
+  bool buffered_empty() const { return pending_.empty() && far_.empty(); }
 
   sim::Process* host_;
   Config config_;
@@ -81,8 +96,17 @@ class Learner {
   InstanceId next_ = 0;
   /// Out-of-order decisions above next_. Trimmed to next_ whenever the
   /// delivery frontier moves, so nothing at or below a delivered (or
-  /// trim-jumped) position is ever retained.
+  /// trim-jumped) position is ever retained. The ring only buffers
+  /// [next_, next_ + pending_span()): its capacity is O(window), never
+  /// O(absolute instance id).
   SlotLog<ProposalPtr> pending_;
+  /// Sparse overlay for decisions beyond the dense window — an elastic
+  /// subscriber to a mature stream sees live decisions at the current
+  /// instance while next_ is still near 0. Parked here (O(buffered
+  /// entries), like the pre-ring std::map log) and promoted into the
+  /// ring as the frontier advances. Cold path: touched only during
+  /// catch-up.
+  std::map<InstanceId, ProposalPtr> far_;
   Tick gap_since_ = -1;
   Tick last_progress_ = 0;
   size_t acceptor_rr_ = 0;

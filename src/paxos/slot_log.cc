@@ -8,11 +8,14 @@ constexpr size_t kInitialBits = 512;
 }  // namespace
 
 void SlotBitmap::ensure(InstanceId id) {
-  if (bits_ != 0 && id - base_ < bits_) return;
+  if (count_ == 0) low_ = end_ = id;
+  const InstanceId lo = std::min(low_, id);
+  const InstanceId span = std::max(end_, id + 1) - lo;
+  if (bits_ != 0 && span <= bits_) return;
   size_t cap = bits_ == 0 ? kInitialBits : bits_ * 2;
-  while (id - base_ >= cap) cap *= 2;
+  while (span > cap) cap *= 2;
   std::vector<uint64_t> fresh(cap >> 6, 0);
-  for (InstanceId i = base_; i < end_; ++i) {
+  for (InstanceId i = low_; i < end_; ++i) {
     if (!test(i)) continue;
     const size_t r = static_cast<size_t>(i) & (cap - 1);
     fresh[r >> 6] |= uint64_t{1} << (r & 63);
@@ -31,10 +34,13 @@ void SlotBitmap::set(InstanceId id) {
     ++count_;
   }
   if (id >= end_) end_ = id + 1;
+  if (id < low_) low_ = id;
 }
 
 bool SlotBitmap::test(InstanceId id) const {
-  if (id < base_ || id >= end_) return false;
+  // [base_, low_) holds no bits but may alias live ring positions, so
+  // membership is bounded by the storage window, not the trim base.
+  if (id < low_ || id >= end_) return false;
   const size_t r = index_of(id);
   return (words_[r >> 6] >> (r & 63)) & 1;
 }
@@ -49,15 +55,26 @@ bool SlotBitmap::test_and_clear(InstanceId id) {
 
 void SlotBitmap::trim_below(InstanceId id) {
   if (id <= base_) return;
-  const InstanceId stop = std::min(id, end_);
-  for (InstanceId i = base_; i < stop; ++i) test_and_clear(i);
+  if (id >= end_) {
+    if (count_ != 0) {
+      for (InstanceId i = low_; i < end_; ++i) test_and_clear(i);
+    }
+    base_ = low_ = end_ = id;
+    return;
+  }
+  if (count_ != 0) {
+    for (InstanceId i = low_; i < id; ++i) test_and_clear(i);
+  }
   base_ = id;
-  if (end_ < base_) end_ = base_;
+  if (low_ < id) low_ = id;
 }
 
 void SlotBitmap::clear() {
-  words_.assign(words_.size(), 0);
+  words_.clear();
+  words_.shrink_to_fit();
+  bits_ = 0;
   base_ = 0;
+  low_ = 0;
   end_ = 0;
   count_ = 0;
 }

@@ -17,6 +17,14 @@
 // the base are rejected, mirroring the trim-horizon checks of the
 // protocol layer.
 //
+// The storage window floats independently of the trim base: capacity is
+// proportional to the *live span* [low, end), never to the absolute
+// instance id. An insert into an empty log re-bases the window at the
+// inserted id, so a crash-wiped acceptor log or a freshly-cleared
+// coordinator window that resumes at instance N allocates O(pipeline
+// window), not O(N). Inserts in [base, low) extend the window downward
+// (the protocol keeps that gap within the pipeline window).
+//
 // Storage is raw bytes managed with placement new and explicit destroy
 // (entries are constructed only when their slot is occupied). epx-lint
 // R3 permits that in this file and nowhere else.
@@ -45,19 +53,26 @@ class SlotLog {
   SlotLog(const SlotLog&) = delete;
   SlotLog& operator=(const SlotLog&) = delete;
   ~SlotLog() {
-    destroy_range(base_, end_);
+    destroy_range(low_, end_);
     release(slots_, capacity_);
   }
 
   /// Lowest retrievable id: everything below has been trimmed away.
   InstanceId base() const { return base_; }
-  /// One past the highest live id (== base() when empty).
+  /// One past the highest live id (== the storage window's low edge
+  /// when empty).
   InstanceId end() const { return end_; }
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  /// Allocated slots — grows with the live span, shrinks only on
+  /// clear(). Exposed so tests can pin the O(span) memory bound.
+  size_t capacity() const { return capacity_; }
 
   bool contains(InstanceId id) const {
-    return id >= base_ && id < end_ && test(id);
+    // Ids in [base_, low_) hold no entries but may alias live ring
+    // slots, so the lower bound here must be the storage window, not
+    // the trim base.
+    return id >= low_ && id < end_ && test(id);
   }
 
   T* find(InstanceId id) { return contains(id) ? &slot(id) : nullptr; }
@@ -74,6 +89,7 @@ class SlotLog {
       set(id);
       ++size_;
       if (id >= end_) end_ = id + 1;
+      if (id < low_) low_ = id;
     }
     return &slot(id);
   }
@@ -97,29 +113,43 @@ class SlotLog {
 
   /// Drops every entry below `id` and raises the base there. Passing a
   /// value beyond end() empties the log and fast-forwards the window
-  /// (trim-past-sparse-tail).
+  /// (trim-past-sparse-tail). O(1) on an empty log, so it doubles as an
+  /// explicit re-base after clear().
   void trim_below(InstanceId id) {
     if (id <= base_) return;
-    destroy_range(base_, std::min(id, end_));
+    if (id >= end_) {
+      destroy_range(low_, end_);
+      base_ = low_ = end_ = id;
+      return;
+    }
+    destroy_range(low_, id);
     base_ = id;
-    if (end_ < base_) end_ = base_;
+    if (low_ < id) low_ = id;
   }
 
-  /// Drops everything and resets the window to instance 0 (crash wipe).
+  /// Drops everything, releases the slab, and resets the trim base to
+  /// instance 0 (crash wipe: a restarted role may accept anything
+  /// again). The storage window re-floats at the next insert, so a log
+  /// that resumes at a large instance id stays small.
   void clear() {
-    destroy_range(base_, end_);
+    destroy_range(low_, end_);
+    release(slots_, capacity_);
+    slots_ = nullptr;
+    occupied_.clear();
+    capacity_ = 0;
     base_ = 0;
+    low_ = 0;
     end_ = 0;
   }
 
   /// Smallest live id, or kNoInstance when empty.
-  InstanceId first() const { return lower_bound(base_); }
+  InstanceId first() const { return lower_bound(low_); }
 
   /// Smallest live id >= from, or kNoInstance. In-order iteration:
   ///   for (auto id = log.lower_bound(x); id != kNoInstance;
   ///        id = log.lower_bound(id + 1)) ...
   InstanceId lower_bound(InstanceId from) const {
-    InstanceId id = std::max(from, base_);
+    InstanceId id = std::max(from, low_);
     while (id < end_) {
       const size_t ring = index_of(id);
       const uint64_t word = occupied_[ring >> 6] >> (ring & 63);
@@ -157,6 +187,7 @@ class SlotLog {
   }
 
   void destroy_range(InstanceId from, InstanceId to) {
+    if (size_ == 0) return;
     for (InstanceId id = from; id < to; ++id) {
       if (test(id)) {
         slot(id).~T();
@@ -175,14 +206,19 @@ class SlotLog {
     }
   }
 
-  /// Grows capacity until the window [base_, id] fits.
+  /// Grows capacity until the live span plus `id` fits. An empty log
+  /// floats its window to `id` first, so capacity tracks the span of
+  /// what is actually stored, never the absolute instance id.
   void ensure(InstanceId id) {
-    if (capacity_ != 0 && id - base_ < capacity_) return;
+    if (size_ == 0) low_ = end_ = id;
+    const InstanceId lo = std::min(low_, id);
+    const InstanceId span = std::max(end_, id + 1) - lo;
+    if (capacity_ != 0 && span <= capacity_) return;
     size_t cap = capacity_ == 0 ? kInitialCapacity : capacity_ * 2;
-    while (id - base_ >= cap) cap *= 2;
+    while (span > cap) cap *= 2;
     T* fresh = acquire(cap);
     std::vector<uint64_t> bits(cap >> 6, 0);
-    for (InstanceId i = base_; i < end_; ++i) {
+    for (InstanceId i = low_; i < end_; ++i) {
       if (!test(i)) continue;
       T& old = slot(i);
       const size_t r = static_cast<size_t>(i) & (cap - 1);
@@ -203,19 +239,24 @@ class SlotLog {
   T* slots_ = nullptr;
   std::vector<uint64_t> occupied_;
   size_t capacity_ = 0;  // power of two (or 0 before first insert)
-  InstanceId base_ = 0;
+  InstanceId base_ = 0;  // trim base: inserts below are rejected
+  InstanceId low_ = 0;   // storage window low edge: base_ <= low_ <= end_
   InstanceId end_ = 0;
   size_t size_ = 0;
 };
 
 /// Bitmap ring over the decision window: a set of InstanceIds above a
 /// moving base, O(1) set/test-and-clear, O(words) trim. Replaces the
-/// coordinator's unordered_set of sparsely-decided instances.
+/// coordinator's unordered_set of sparsely-decided instances. Like
+/// SlotLog, the storage window floats to the first set() on an empty
+/// bitmap, so capacity tracks the live span, not the absolute id.
 class SlotBitmap {
  public:
   InstanceId base() const { return base_; }
   size_t count() const { return count_; }
   bool empty() const { return count_ == 0; }
+  /// Allocated bits — grows with the live span (tests pin the bound).
+  size_t capacity() const { return bits_; }
 
   /// Marks `id`. Ids below the base are ignored (already contiguous).
   void set(InstanceId id);
@@ -235,9 +276,10 @@ class SlotBitmap {
   void ensure(InstanceId id);
 
   std::vector<uint64_t> words_;
-  size_t bits_ = 0;  // capacity in bits, power of two (or 0)
-  InstanceId base_ = 0;
-  InstanceId end_ = 0;  // one past highest set bit ever while live
+  size_t bits_ = 0;      // capacity in bits, power of two (or 0)
+  InstanceId base_ = 0;  // trim base: sets below are ignored
+  InstanceId low_ = 0;   // storage window low edge: base_ <= low_ <= end_
+  InstanceId end_ = 0;   // one past highest set bit ever while live
   size_t count_ = 0;
 };
 

@@ -76,13 +76,22 @@ void Proposal::encode(Writer& w) const {
   w.varint(first_slot);
 }
 
-Proposal Proposal::decode(Reader& r) {
-  Proposal p;
+namespace {
+// Single authority for the Proposal wire layout (command vector, then
+// skip_slots, then first_slot): Proposal::decode and decode_proposal
+// both read through here so the field order cannot drift between them.
+void decode_proposal_into(Proposal& p, Reader& r) {
   const uint64_t n = r.varint();
   p.commands.reserve(n);
   for (uint64_t i = 0; i < n && r.ok(); ++i) p.commands.push_back(Command::decode(r));
   p.skip_slots = r.varint();
   p.first_slot = r.varint();
+}
+}  // namespace
+
+Proposal Proposal::decode(Reader& r) {
+  Proposal p;
+  decode_proposal_into(p, r);
   return p;
 }
 
@@ -98,11 +107,7 @@ const ProposalPtr& empty_proposal() {
 
 ProposalPtr decode_proposal(Reader& r) {
   auto p = std::allocate_shared<Proposal>(net::PoolAllocator<Proposal>());
-  const uint64_t n = r.varint();
-  p->commands.reserve(n);
-  for (uint64_t i = 0; i < n && r.ok(); ++i) p->commands.push_back(Command::decode(r));
-  p->skip_slots = r.varint();
-  p->first_slot = r.varint();
+  decode_proposal_into(*p, r);
   return p;
 }
 

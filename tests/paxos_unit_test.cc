@@ -414,6 +414,70 @@ TEST_F(AcceptorTest, LearnerDropsPendingBelowTrimJump) {
   EXPECT_EQ(host.delivered[0].second, 105u);
 }
 
+// Regression: an elastic subscriber to a mature stream sees its first
+// fanned-out decision at the current (huge) instance while next_ is
+// still 0. That decision must park in the sparse far overlay — buffering
+// it in the dense ring would allocate O(absolute instance id) slots —
+// and surface once the trim-horizon jump moves the frontier to it.
+TEST_F(AcceptorTest, LearnerParksFarDecisionsDuringCatchUp) {
+  LearnerHost host(&sim, &net, 65);
+  host.init({acc->id()});
+  host.learner->start(0);
+  sim.run_until(sim.now() + 10 * kMillisecond);
+
+  const paxos::InstanceId huge = 50'000'000;
+  net.send(sender->id(), host.id(),
+           std::make_shared<DecisionMsg>(1, huge, make_value(7, 0)), 0);
+  sim.run_until(sim.now() + 10 * kMillisecond);
+  EXPECT_TRUE(host.delivered.empty());
+  EXPECT_LE(host.learner->pending_capacity(), 1024u);  // not O(instance id)
+
+  // The acceptors trimmed to the decision's instance: recovery jumps the
+  // frontier there and the parked decision is promoted and delivered.
+  auto reply = std::make_shared<RecoverReplyMsg>();
+  reply->stream = 1;
+  reply->trim_horizon = huge;
+  reply->decided_watermark = huge + 1;
+  net.send(sender->id(), host.id(), reply, 0);
+  sim.run_until(sim.now() + 100 * kMillisecond);
+  ASSERT_EQ(host.delivered.size(), 1u);
+  EXPECT_EQ(host.delivered[0].first, huge);
+  EXPECT_EQ(host.delivered[0].second, 7u);
+  EXPECT_EQ(host.learner->next_instance(), huge + 1);
+  EXPECT_TRUE(host.learner->caught_up());
+  EXPECT_LE(host.learner->pending_capacity(), 1024u);
+}
+
+// A contiguous parked run is promoted window-by-window inside a single
+// delivery sweep, keeping the dense ring's span (and capacity) bounded
+// while everything still arrives at the sink in instance order.
+TEST_F(AcceptorTest, LearnerPromotesParkedRunInOneSweep) {
+  LearnerHost host(&sim, &net, 66);
+  host.init({acc->id()});
+  host.learner->start(0);
+  sim.run_until(sim.now() + 10 * kMillisecond);
+
+  // 1..800 arrive while 0 is missing: the tail lands beyond the dense
+  // window and parks in the far overlay.
+  for (paxos::InstanceId i = 1; i <= 800; ++i) {
+    net.send(sender->id(), host.id(),
+             std::make_shared<DecisionMsg>(1, i, make_value(100 + i, i)), 0);
+  }
+  sim.run_until(sim.now() + 10 * kMillisecond);
+  EXPECT_TRUE(host.delivered.empty());
+  EXPECT_LE(host.learner->pending_capacity(), 1024u);
+
+  net.send(sender->id(), host.id(),
+           std::make_shared<DecisionMsg>(1, 0, make_value(100, 0)), 0);
+  sim.run_until(sim.now() + 10 * kMillisecond);
+  ASSERT_EQ(host.delivered.size(), 801u);
+  for (paxos::InstanceId i = 0; i <= 800; ++i) {
+    EXPECT_EQ(host.delivered[i].first, i);
+    EXPECT_EQ(host.delivered[i].second, 100 + i);
+  }
+  EXPECT_LE(host.learner->pending_capacity(), 1024u);
+}
+
 // ------------------------------------------------------- StreamQueue --
 
 TEST(StreamQueueTest, InitialisesFromFirstProposal) {

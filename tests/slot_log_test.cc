@@ -94,6 +94,57 @@ TEST(SlotLogTest, ReinsertBelowBaseRejected) {
   ASSERT_NE(log.insert(6), nullptr);
 }
 
+// Regression: capacity must track the live span, never the absolute
+// instance id. A log whose first insert lands at a huge id (crash-wiped
+// acceptor resuming mid-run, coordinator window after takeover) floats
+// its storage window there instead of allocating a slab from 0.
+TEST(SlotLogTest, EmptyLogFloatsToFirstInsert) {
+  SlotLog<uint64_t> log;
+  const InstanceId huge = InstanceId{1} << 40;
+  log[huge] = 1;
+  EXPECT_EQ(log.capacity(), 64u);  // kInitialCapacity, not O(2^40)
+  EXPECT_EQ(log.base(), 0u);       // the trim base did not move
+  EXPECT_EQ(log.first(), huge);
+  EXPECT_EQ(log.lower_bound(0), huge);
+  EXPECT_EQ(log.find(huge - 1), nullptr);
+
+  // Nearby inserts below the floated window extend it downward.
+  log[huge - 3] = 2;
+  EXPECT_EQ(log.capacity(), 64u);
+  EXPECT_EQ(log.first(), huge - 3);
+  EXPECT_EQ(*log.find(huge - 3), 2u);
+
+  // Trimming past the tail re-floats; below the new base is rejected.
+  log.trim_below(huge + 100);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.insert(huge), nullptr);
+  log[huge + 100] = 3;
+  EXPECT_EQ(log.capacity(), 64u);
+  EXPECT_EQ(log.first(), huge + 100);
+}
+
+// The takeover / crash-wipe pattern: clear() releases the slab, and the
+// next insert (or an explicit O(1) trim_below on the empty log) re-bases
+// the window at the frontier.
+TEST(SlotLogTest, ClearReleasesStorageAndRefloats) {
+  SlotLog<uint64_t> log;
+  for (InstanceId i = 0; i < 1000; ++i) log[i] = i;
+  EXPECT_GE(log.capacity(), 1000u);
+  log.clear();
+  EXPECT_EQ(log.capacity(), 0u);  // slab released on crash wipe
+
+  const InstanceId frontier = InstanceId{1} << 30;
+  log.trim_below(frontier);  // explicit re-base works on the empty log
+  EXPECT_EQ(log.base(), frontier);
+  EXPECT_EQ(log.insert(frontier - 1), nullptr);
+  log[frontier] = 7;
+  log[frontier + 63] = 8;
+  EXPECT_EQ(log.capacity(), 64u);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.first(), frontier);
+  EXPECT_EQ(log.lower_bound(frontier + 1), frontier + 63);
+}
+
 TEST(SlotLogTest, ClearResetsWindowToZero) {
   SlotLog<uint64_t> log;
   for (InstanceId i = 100; i < 120; ++i) log[i] = i;
@@ -166,8 +217,11 @@ TEST(SlotLogTest, DifferentialAgainstMapReference) {
       log.trim_below(t);
       ref_trim(t);
     } else if (op < 94) {
-      // Trim past the sparse tail: fast-forwards the whole window.
-      const InstanceId t = log.end() + rng.uniform(32);
+      // Trim past the sparse tail: fast-forwards the whole window —
+      // occasionally by a large stride, so the floated storage window
+      // (and the capacity-stays-O(span) discipline) is exercised too.
+      const InstanceId jump = rng.uniform(16) == 0 ? (InstanceId{1} << 16) : 0;
+      const InstanceId t = log.end() + rng.uniform(32) + jump;
       log.trim_below(t);
       ref_trim(t);
     } else if (op < 99) {
@@ -247,6 +301,26 @@ TEST(SlotBitmapTest, TrimPastEndFastForwards) {
   bm.set(10500);
   EXPECT_TRUE(bm.test(10500));
   EXPECT_EQ(bm.count(), 1u);
+}
+
+// Same floating-window property as SlotLog: a first set() at a huge id
+// (standby coordinator joining a mature stream) must not size the ring
+// by the absolute instance id.
+TEST(SlotBitmapTest, EmptyBitmapFloatsToFirstSet) {
+  SlotBitmap bm;
+  const InstanceId huge = InstanceId{1} << 40;
+  bm.set(huge);
+  EXPECT_EQ(bm.capacity(), 512u);  // kInitialBits, not O(2^40)
+  EXPECT_TRUE(bm.test(huge));
+  EXPECT_FALSE(bm.test(huge - 1));
+  bm.set(huge - 5);  // downward extension stays within the window
+  EXPECT_EQ(bm.capacity(), 512u);
+  EXPECT_TRUE(bm.test(huge - 5));
+  EXPECT_EQ(bm.count(), 2u);
+  bm.trim_below(huge + 1);
+  EXPECT_TRUE(bm.empty());
+  bm.clear();
+  EXPECT_EQ(bm.capacity(), 0u);  // storage released
 }
 
 TEST(SlotBitmapTest, DifferentialContiguousDrain) {
