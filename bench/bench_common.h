@@ -8,6 +8,8 @@
 // limits in the same proportions.
 #pragma once
 
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "harness/cluster.h"
@@ -69,5 +71,19 @@ inline harness::ClusterOptions kv_options() {
 }
 
 inline void bench_logging() { log::set_level(log::Level::kWarn); }
+
+/// Parses --threads=N and installs it as the harness-wide default, so
+/// every cluster the driver builds runs on the N-shard parallel engine
+/// (identical output to serial; see DESIGN.md §13). Returns the count
+/// in effect (1 = serial).
+inline size_t parse_threads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const long n = std::strtol(argv[i] + 10, nullptr, 10);
+      if (n > 0) harness::set_default_threads(static_cast<size_t>(n));
+    }
+  }
+  return harness::default_threads();
+}
 
 }  // namespace epx::bench

@@ -6,6 +6,7 @@
 // scenario with headline numbers plus the full metrics-registry
 // snapshot, all pulled through the observability subsystem — the bench
 // touches no role-level stat getters.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -139,6 +140,69 @@ ScenarioResult run_kv(Tick duration, const TraceFlags& trace_flags) {
   return r;
 }
 
+/// Thread-scaling series over the same eight-ring topology as
+/// micro_components' BM_SimulatedClusterSecond/T:N: engine events per
+/// WALL second at each thread count, T=1 being the serial reference
+/// engine. Virtual-time results are identical at every T (the
+/// differential tests enforce it); only the wall clock moves.
+struct ScalingPoint {
+  size_t threads = 1;
+  double events_per_wall_sec = 0.0;
+  double speedup = 1.0;  // vs the T=1 run in this same series
+};
+
+ScalingPoint run_scaling_point(size_t threads, Tick duration) {
+  ClusterOptions options;
+  options.threads = threads;
+  Cluster cluster(options);
+  constexpr int kStreams = 8;
+  for (int i = 0; i < kStreams; ++i) {
+    const StreamId s = cluster.add_stream();
+    cluster.add_replica(static_cast<paxos::GroupId>(i + 1), {s});
+    LoadClient::Config cfg;
+    cfg.threads = 8;
+    cfg.payload_bytes = 1024;
+    cfg.route = [s] { return s; };
+    auto* client = cluster.spawn<LoadClient>("client" + std::to_string(i + 1),
+                                             &cluster.directory(), cfg);
+    client->start();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.run_until(duration);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  ScalingPoint p;
+  p.threads = threads;
+  if (wall > 0) {
+    p.events_per_wall_sec =
+        static_cast<double>(cluster.sim().events_processed()) / wall;
+  }
+  return p;
+}
+
+std::vector<ScalingPoint> run_thread_scaling(Tick duration) {
+  std::vector<ScalingPoint> out;
+  for (size_t threads : {1, 2, 4, 8}) {
+    out.push_back(run_scaling_point(threads, duration));
+    if (out.front().events_per_wall_sec > 0) {
+      out.back().speedup =
+          out.back().events_per_wall_sec / out.front().events_per_wall_sec;
+    }
+  }
+  return out;
+}
+
+void append_scaling(std::string* out, const std::vector<ScalingPoint>& series) {
+  for (const ScalingPoint& p : series) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"BM_SimulatedClusterSecond/T%zu\": {\"events_per_second\": "
+                  "%.0f, \"speedup_vs_t1\": %.2f},\n",
+                  p.threads, p.events_per_wall_sec, p.speedup);
+    *out += buf;
+  }
+}
+
 void append_scenario(std::string* out, const ScenarioResult& r, bool last) {
   char buf[320];
   std::snprintf(buf, sizeof(buf),
@@ -162,6 +226,7 @@ void append_scenario(std::string* out, const ScenarioResult& r, bool last) {
 
 int main(int argc, char** argv) {
   bench::bench_logging();
+  bench::parse_threads(argc, argv);
   const TraceFlags trace_flags = TraceFlags::parse(argc, argv);
   std::string json_path = "BENCH_cluster.json";
   for (int i = 1; i < argc; ++i) {
@@ -172,6 +237,7 @@ int main(int argc, char** argv) {
   const ScenarioResult broadcast =
       run_broadcast(duration, scenario_trace(trace_flags, "broadcast"));
   const ScenarioResult kv = run_kv(duration, scenario_trace(trace_flags, "kv"));
+  const std::vector<ScalingPoint> scaling = run_thread_scaling(duration);
 
   print_header("Cluster bench (5 virtual seconds per scenario)");
   for (const ScenarioResult* r : {&broadcast, &kv}) {
@@ -180,8 +246,14 @@ int main(int argc, char** argv) {
                 r->name.c_str(), r->throughput, r->p50_ms, r->p95_ms, r->p99_ms,
                 r->replica_cpu_pct);
   }
+  for (const ScalingPoint& p : scaling) {
+    std::printf("8-ring cluster-second  T=%zu  %12.0f events/wall-s  "
+                "speedup %.2fx\n",
+                p.threads, p.events_per_wall_sec, p.speedup);
+  }
 
   std::string json = "{\n";
+  append_scaling(&json, scaling);
   append_scenario(&json, broadcast, /*last=*/false);
   append_scenario(&json, kv, /*last=*/true);
   json += "}\n";

@@ -20,6 +20,7 @@ using namespace epx::harness;   // NOLINT(google-build-using-namespace)
 
 int main(int argc, char** argv) {
   bench::bench_logging();
+  bench::parse_threads(argc, argv);
   const TraceFlags trace_flags = TraceFlags::parse(argc, argv);
   auto options = bench::broadcast_options();
   options.params.admission_rate = 750.0;  // the paper's "30%" per-stream throttle

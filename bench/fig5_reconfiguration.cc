@@ -20,6 +20,7 @@ using namespace epx::harness;   // NOLINT(google-build-using-namespace)
 
 int main(int argc, char** argv) {
   bench::bench_logging();
+  bench::parse_threads(argc, argv);
   const TraceFlags trace_flags = TraceFlags::parse(argc, argv);
   auto options = bench::broadcast_options();
   Cluster cluster(options);

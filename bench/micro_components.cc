@@ -189,6 +189,48 @@ void BM_MergerPump(benchmark::State& state) {
   paxos::Command cmd;
   cmd.payload_size = 64;
   uint64_t id = 0;
+  std::vector<paxos::Proposal> round;
+  for (auto _ : state) {
+    round.clear();
+    round.reserve(static_cast<size_t>(num_streams));
+    for (int s = 0; s < num_streams; ++s) {
+      paxos::Proposal p;
+      p.first_slot = pos[static_cast<size_t>(s)]++;
+      cmd.id = ++id;
+      p.commands.push_back(cmd);
+      round.push_back(std::move(p));
+    }
+    // One frozen block per round instead of one freeze per proposal —
+    // the bulk feed path (see paxos::freeze_batch).
+    auto frozen = paxos::freeze_batch(std::move(round));
+    for (int s = 0; s < num_streams; ++s) {
+      merger.queue(streams[static_cast<size_t>(s)])
+          .push_proposal(frozen[static_cast<size_t>(s)]);
+    }
+    merger.pump();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(delivered));
+}
+BENCHMARK(BM_MergerPump)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Per-proposal-freeze baseline for BM_MergerPump: identical feed and
+/// merge work, but each proposal is frozen into its own shared block
+/// (the pre-freeze_batch path). Kept, like BM_SlotLogStdMapBaseline,
+/// so the amortization stays measurable instead of anecdotal.
+void BM_MergerPumpPerProposalFreeze(benchmark::State& state) {
+  const int num_streams = static_cast<int>(state.range(0));
+  uint64_t delivered = 0;
+  elastic::ElasticMerger merger(
+      1, {[](paxos::StreamId) {}, [](paxos::StreamId) {},
+          [&](const paxos::Command&, paxos::StreamId) { ++delivered; },
+          [](const paxos::Command&) {}});
+  std::vector<paxos::StreamId> streams;
+  for (int s = 1; s <= num_streams; ++s) streams.push_back(static_cast<uint32_t>(s));
+  merger.bootstrap(streams);
+  std::vector<paxos::SlotIndex> pos(static_cast<size_t>(num_streams), 0);
+  paxos::Command cmd;
+  cmd.payload_size = 64;
+  uint64_t id = 0;
   for (auto _ : state) {
     for (int s = 0; s < num_streams; ++s) {
       paxos::Proposal p;
@@ -201,7 +243,7 @@ void BM_MergerPump(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(delivered));
 }
-BENCHMARK(BM_MergerPump)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_MergerPumpPerProposalFreeze)->Arg(4);
 
 void BM_KeyHash(benchmark::State& state) {
   std::string key = "key0000012345";
@@ -410,6 +452,45 @@ void BM_SimulatedClusterSecond(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(last));
 }
 BENCHMARK(BM_SimulatedClusterSecond);
+
+/// Thread-scaling series: one virtual second of a loaded EIGHT-ring
+/// cluster per iteration, executed on T shards. The topology is fixed
+/// across T so items/sec compares directly; T:1 is the serial engine
+/// (the parallel engine's differential reference), T>1 the conservative
+/// windowed engine. Reported as BM_SimulatedClusterSecond/T:N.
+void BM_SimulatedClusterSecondThreads(benchmark::State& state) {
+  log::set_level(log::Level::kOff);
+  harness::ClusterOptions options;
+  options.threads = static_cast<size_t>(state.range(0));
+  harness::Cluster cluster(options);
+  constexpr int kStreams = 8;
+  std::vector<elastic::Replica*> replicas;
+  for (int i = 0; i < kStreams; ++i) {
+    const auto s = cluster.add_stream();
+    replicas.push_back(
+        cluster.add_replica(static_cast<paxos::GroupId>(i + 1), {s}));
+    harness::LoadClient::Config cfg;
+    cfg.threads = 8;
+    cfg.payload_bytes = 1024;
+    cfg.route = [s] { return s; };
+    auto* client = cluster.spawn<harness::LoadClient>(
+        "client" + std::to_string(i + 1), &cluster.directory(), cfg);
+    client->start();
+  }
+  for (auto _ : state) {
+    cluster.run_for(kSecond);
+  }
+  uint64_t delivered = 0;
+  for (auto* r : replicas) delivered += r->delivered();
+  state.SetItemsProcessed(static_cast<int64_t>(delivered));
+}
+BENCHMARK(BM_SimulatedClusterSecondThreads)
+    ->Name("BM_SimulatedClusterSecond")
+    ->ArgName("T")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
 
 }  // namespace
 

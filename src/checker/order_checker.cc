@@ -7,6 +7,7 @@
 namespace epx::checker {
 
 void OrderChecker::record(uint32_t replica, uint64_t cmd_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   sequences_[replica].push_back(cmd_id);
 }
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +47,13 @@ class OrderChecker {
   size_t replica_count() const { return sequences_.size(); }
 
  private:
+  // record() is called from replica delivery listeners, which the
+  // parallel engine runs on shard worker threads. Each replica's
+  // appends stay in its own delivery order (a replica lives on one
+  // shard); the lock only protects the map structure when listeners
+  // from different shards insert concurrently. check_*() and
+  // sequence() are evaluated after the run, single-threaded.
+  std::mutex mu_;
   std::map<uint32_t, std::vector<uint64_t>> sequences_;
 };
 

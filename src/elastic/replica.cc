@@ -30,6 +30,9 @@ Replica::Replica(sim::Simulation* sim, sim::Network* net, NodeId id, std::string
       this->id(),
       &monitors(),
   });
+  // Decisions from independent streams pump the merger once per dispatch
+  // batch (see on_batch_end) instead of once per message.
+  set_batch_dispatch(true);
 }
 
 obs::Counter& Replica::per_stream_counter(StreamId stream) {
@@ -81,14 +84,14 @@ void Replica::on_message(NodeId from, const MessagePtr& msg) {
       const auto& decision = static_cast<const paxos::DecisionMsg&>(*msg);
       auto it = learners_.find(decision.stream);
       if (it != learners_.end()) it->second->on_decision(decision);
-      merger_.pump();
+      pump_pending_ = true;
       break;
     }
     case MsgType::kRecoverReply: {
       const auto& reply = static_cast<const paxos::RecoverReplyMsg&>(*msg);
       auto it = learners_.find(reply.stream);
       if (it != learners_.end()) it->second->on_recover_reply(reply);
-      merger_.pump();
+      pump_pending_ = true;
       break;
     }
     default:
@@ -101,6 +104,16 @@ void Replica::on_app_message(NodeId from, const MessagePtr& msg) {
   EPX_WARN << name() << ": unexpected " << msg->debug_string();
 }
 
+void Replica::on_batch_end() {
+  // One pump per dispatch batch: every stream's decisions from this
+  // batch are already in their queues, so a single merge scan fans all
+  // of them out (and a batch with no decisions costs one branch).
+  if (pump_pending_) {
+    pump_pending_ = false;
+    merger_.pump();
+  }
+}
+
 void Replica::on_crash() {
   for (auto& [stream, learner] : learners_) learner->stop();
   learners_.clear();
@@ -108,7 +121,19 @@ void Replica::on_crash() {
 
 void Replica::on_deliver(const Command& cmd, StreamId stream) {
   if (config_.dedup_deliveries) {
-    if (!seen_ids_.insert(cmd.id).second) return;  // duplicate ordering
+    if (!seen_ids_.insert(cmd.id).second) {
+      // Duplicate ordering (client re-send): execution is suppressed but
+      // the acknowledgment is re-sent. The duplicate exists precisely
+      // because the client saw no reply for the first ordering; staying
+      // silent here would leave it re-sending forever — every retry
+      // deduped, never acknowledged — until some freshly subscribed
+      // group delivers the retry as its first occurrence (and orders it
+      // against later commands inversely to longer-subscribed groups).
+      if (config_.send_replies && cmd.client != net::kInvalidNode) {
+        send(cmd.client, net::make_mutable_message<multicast::ReplyMsg>(cmd.id, 0));
+      }
+      return;
+    }
     seen_order_.push_back(cmd.id);
     constexpr size_t kSeenWindow = 1 << 17;
     if (seen_order_.size() > kSeenWindow) {

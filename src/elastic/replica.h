@@ -95,6 +95,11 @@ class Replica : public sim::Process {
   void on_message(NodeId from, const MessagePtr& msg) override;
   /// Non-stream messages (application traffic); default warns.
   virtual void on_app_message(NodeId from, const MessagePtr& msg);
+  /// Replicas dispatch in batch mode: decision handlers only feed the
+  /// learners and the merger pumps once per batch here, amortising the
+  /// per-proposal merge scan across every decision that arrived in the
+  /// same dispatch. Subclasses overriding this must call the base.
+  void on_batch_end() override;
   void on_crash() override;
 
   const Config& config() const { return config_; }
@@ -125,6 +130,7 @@ class Replica : public sim::Process {
 
   std::set<uint64_t> seen_ids_;
   std::deque<uint64_t> seen_order_;
+  bool pump_pending_ = false;  // merger pump deferred to on_batch_end
 };
 
 }  // namespace epx::elastic

@@ -4,8 +4,22 @@
 
 namespace epx::harness {
 
+namespace {
+size_t g_default_threads = 1;
+}  // namespace
+
+size_t default_threads() { return g_default_threads; }
+void set_default_threads(size_t n) { g_default_threads = n == 0 ? 1 : n; }
+
 Cluster::Cluster(ClusterOptions options)
     : options_(std::move(options)), net_(&sim_, options_.seed) {
+  // Thread count must be fixed before the first process attaches (shard
+  // assignment happens at attach time); the cluster builds nothing in
+  // its constructor, so this is the one safe place.
+  sim_.set_threads(options_.threads != 0 ? options_.threads : default_threads());
+  sim_.set_shard_assignment([this](uint32_t id) {
+    return id < node_shard_.size() ? node_shard_[id] : id;
+  });
   net_.set_default_link(options_.link);
   if (options_.node_bandwidth_bps > 0.0) {
     net_.set_default_bandwidth(options_.node_bandwidth_bps);
@@ -27,7 +41,7 @@ StreamId Cluster::add_stream_after(Tick provisioning_delay) {
     cfg.stream = stream;
     cfg.params = options_.params;
     auto acceptor = std::make_unique<paxos::Acceptor>(
-        &sim_, &net_, allocate_node_id(),
+        &sim_, &net_, allocate_node_on(stream),
         "acc" + std::to_string(stream) + "." + std::to_string(i), cfg);
     acceptor_ids.push_back(acceptor->id());
     procs.acceptors.push_back(std::move(acceptor));
@@ -46,7 +60,7 @@ StreamId Cluster::add_stream_after(Tick provisioning_delay) {
   ccfg.acceptors = acceptor_ids;
   ccfg.params = options_.params;
   procs.coordinator = std::make_unique<paxos::Coordinator>(
-      &sim_, &net_, allocate_node_id(), "coord" + std::to_string(stream), ccfg);
+      &sim_, &net_, allocate_node_on(stream), "coord" + std::to_string(stream), ccfg);
 
   directory_.add(paxos::StreamInfo{stream, procs.coordinator->id(), acceptor_ids});
 
@@ -75,7 +89,7 @@ paxos::Coordinator* Cluster::add_standby_coordinator(StreamId stream) {
     cfg.active = false;
     for (auto& acc : s.acceptors) cfg.acceptors.push_back(acc->id());
     auto standby = std::make_unique<paxos::Coordinator>(
-        &sim_, &net_, allocate_node_id(), "standby" + std::to_string(stream), cfg);
+        &sim_, &net_, allocate_node_on(stream), "standby" + std::to_string(stream), cfg);
     standby->start();
     s.coordinator->add_standby(standby->id());
     paxos::Coordinator* raw = standby.get();

@@ -27,8 +27,18 @@ using net::NodeId;
 using paxos::GroupId;
 using paxos::StreamId;
 
+/// Process-wide default for ClusterOptions.threads == 0 (initially 1,
+/// the serial engine). Test binaries override it at static-init from
+/// EPX_FORCE_THREADS (tests/force_threads.cc — getenv is banned inside
+/// src/), and bench drivers from --threads.
+size_t default_threads();
+void set_default_threads(size_t n);
+
 struct ClusterOptions {
   uint64_t seed = 1;
+  /// Simulation worker threads; 0 = use default_threads(). Values > 1
+  /// select the parallel engine (identical results, see DESIGN.md §13).
+  size_t threads = 0;
   sim::LinkParams link{200 * kMicrosecond, 50 * kMicrosecond};
   /// Per-node NIC egress bandwidth in bits/sec (0 = unlimited).
   double node_bandwidth_bps = 0.0;
@@ -71,10 +81,11 @@ class Cluster {
   elastic::Replica* add_replica(elastic::Replica::Config config);
 
   /// Adopts an externally constructed process (e.g. a KV replica or
-  /// client subclass); the cluster owns it from then on.
+  /// client subclass); the cluster owns it from then on. Spawned
+  /// processes round-robin across shards like replicas.
   template <typename T, typename... Args>
   T* spawn(Args&&... args) {
-    auto owned = std::make_unique<T>(&sim_, &net_, allocate_node_id(),
+    auto owned = std::make_unique<T>(&sim_, &net_, allocate_node_on(next_rr_shard_++),
                                      std::forward<Args>(args)...);
     T* raw = owned.get();
     extra_processes_.push_back(std::move(owned));
@@ -89,19 +100,33 @@ class Cluster {
   const std::vector<elastic::Replica*>& replicas() const { return replica_ptrs_; }
 
   /// Crashes a stream's coordinator and promotes a standby (tests).
-  NodeId allocate_node_id() { return next_node_id_++; }
+  NodeId allocate_node_id() { return allocate_node_on(next_rr_shard_++); }
 
   void run_for(Tick duration) { sim_.run_for(duration); }
   void run_until(Tick t) { sim_.run_until(t); }
   Tick now() const { return sim_.now(); }
 
  private:
+  /// Allocates a node id pinned to `shard` (modulo the thread count).
+  /// A stream's whole ring shares one shard so intra-stream traffic is
+  /// never staged across the window barrier; replicas, clients and the
+  /// controller round-robin. The choice affects performance only —
+  /// delivery order is identical for every assignment.
+  NodeId allocate_node_on(size_t shard) {
+    const NodeId id = next_node_id_++;
+    if (node_shard_.size() <= id) node_shard_.resize(id + 1, 0);
+    node_shard_[id] = shard;
+    return id;
+  }
+
   ClusterOptions options_;
   sim::Simulation sim_;
   sim::Network net_;
   paxos::StreamDirectory directory_;
   NodeId next_node_id_ = 1;
   StreamId next_stream_id_ = 1;
+  std::vector<size_t> node_shard_;
+  size_t next_rr_shard_ = 0;
 
   struct StreamProcs {
     StreamId id;

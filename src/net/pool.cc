@@ -1,10 +1,53 @@
 #include "net/pool.h"
 
+#include <mutex>
+#include <vector>
+
 namespace epx::net {
 
+namespace {
+// Every thread's pool is registered here so the objects stay reachable
+// for leak checkers after their thread exits. The pool objects are
+// intentionally never destroyed (envelopes released during static or
+// late-TLS teardown must still find a live freelist); the bulk of the
+// memory — the cached blocks — is returned by trim() at thread exit.
+std::mutex g_registry_mu;
+std::vector<EnvelopePool*>& pool_registry() {
+  static std::vector<EnvelopePool*>* r = new std::vector<EnvelopePool*>;
+  return *r;
+}
+
+struct ThreadExitTrim {
+  EnvelopePool* pool;
+  ~ThreadExitTrim() { pool->trim(); }
+};
+}  // namespace
+
 EnvelopePool& EnvelopePool::instance() {
-  static EnvelopePool* pool = new EnvelopePool;  // never destroyed
+  // One pool per thread: shard workers allocate and recycle envelopes
+  // with no synchronisation. Blocks may be freed on a different thread
+  // than they were carved on — they simply join the freeing thread's
+  // freelist; any pool can own any block.
+  thread_local EnvelopePool* pool = [] {
+    auto* p = new EnvelopePool;
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    pool_registry().push_back(p);
+    return p;
+  }();
+  thread_local ThreadExitTrim trim_guard{pool};
   return *pool;
+}
+
+void EnvelopePool::trim() {
+  for (std::size_t cls = 0; cls <= kClasses; ++cls) {
+    FreeNode* n = buckets_[cls];
+    buckets_[cls] = nullptr;
+    while (n != nullptr) {
+      FreeNode* next = n->next;
+      ::operator delete(static_cast<void*>(n));
+      n = next;
+    }
+  }
 }
 
 #if defined(EPX_SANITIZE_BUILD)

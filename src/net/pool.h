@@ -7,9 +7,12 @@
 // std::allocate_shared produces, making the Network::send -> Process
 // delivery path allocation-free in steady state.
 //
-// Single-threaded by design: the simulation runs on one thread (the
-// whole engine assumes it — see sim/simulation.h). Blocks above the
-// pooled ceiling fall through to operator new.
+// Thread-confined by design: instance() is thread-local, so each shard
+// worker of a parallel simulation (see sim/simulation.h) recycles
+// envelopes without synchronisation. Envelopes freed on a different
+// thread than they were carved on simply join the freeing thread's
+// freelist. Blocks above the pooled ceiling fall through to operator
+// new.
 //
 // Sanitizer builds (-DEPX_SANITIZE=ON) compile the pool as a pass-
 // through so ASan retains full use-after-free coverage of message
@@ -24,13 +27,18 @@ namespace epx::net {
 
 class EnvelopePool {
  public:
-  /// The process-wide pool. Intentionally never destroyed so that
-  /// envelopes released during static teardown stay safe; cached blocks
-  /// remain reachable through the instance, keeping leak checkers quiet.
+  /// The calling thread's pool. Intentionally never destroyed so that
+  /// envelopes released during static teardown stay safe; the objects
+  /// stay reachable through a process-wide registry, keeping leak
+  /// checkers quiet, and cached blocks are trimmed at thread exit.
   static EnvelopePool& instance();
 
   void* allocate(std::size_t bytes);
   void deallocate(void* p, std::size_t bytes) noexcept;
+
+  /// Returns every cached freelist block to the system allocator (live
+  /// envelopes are unaffected). Runs automatically when a thread exits.
+  void trim();
 
   // --- stats -------------------------------------------------------------
   uint64_t reused() const { return reused_; }     ///< freelist hits

@@ -23,6 +23,7 @@ std::string metric_key(std::string_view name, Labels labels) {
 
 Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
   std::string key = metric_key(name, std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(key);
   if (it == counters_.end()) {
     it = counters_.emplace(std::move(key), std::make_unique<Counter>()).first;
@@ -32,6 +33,7 @@ Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
 
 Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
   std::string key = metric_key(name, std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(key);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::move(key), std::make_unique<Gauge>()).first;
@@ -41,6 +43,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
 
 Timer& MetricsRegistry::timer(std::string_view name, Labels labels) {
   std::string key = metric_key(name, std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = timers_.find(key);
   if (it == timers_.end()) {
     it = timers_.emplace(std::move(key), std::make_unique<Timer>()).first;

@@ -27,6 +27,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -106,6 +107,11 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   // --- registration (idempotent: same key returns the same instrument) --
+  // Registration is mutex-serialised so roles created lazily on shard
+  // workers (e.g. a replica's first-delivery per-stream counter) can
+  // register concurrently; handles stay stable (map nodes never move).
+  // Recording through a handle stays lock-free — each instrument is
+  // owned by one shard.
   Counter& counter(std::string_view name, Labels labels = {});
   Gauge& gauge(std::string_view name, Labels labels = {});
   Timer& timer(std::string_view name, Labels labels = {});
@@ -133,6 +139,7 @@ class MetricsRegistry {
   std::string to_json(bool include_series = true) const;
 
  private:
+  mutable std::mutex mu_;  // guards registration only
   CounterMap counters_;
   GaugeMap gauges_;
   TimerMap timers_;

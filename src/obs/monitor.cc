@@ -6,6 +6,7 @@
 namespace epx::obs {
 
 void MonitorHub::register_replica(uint64_t group, uint32_t node) {
+  if (!enabled_) return;
   GroupState& g = groups_[group];
   if (g.position.empty()) {
     // (Re)founding member: the group's ordinal space restarts at 0.
@@ -28,6 +29,7 @@ void MonitorHub::register_replica(uint64_t group, uint32_t node) {
 }
 
 void MonitorHub::deregister_replica(uint64_t group, uint32_t node) {
+  if (!enabled_) return;
   auto it = groups_.find(group);
   if (it == groups_.end()) return;
   it->second.position.erase(node);
@@ -84,11 +86,13 @@ void MonitorHub::on_deliver_impl(uint64_t group, uint32_t node, uint32_t stream,
 
 void MonitorHub::on_learner_reset(uint32_t node, uint32_t stream,
                                   uint64_t from_instance) {
+  if (!enabled_) return;
   next_instance_[{node, stream}] = from_instance;
 }
 
 void MonitorHub::on_learner_jump(uint32_t node, uint32_t stream,
                                  uint64_t to_instance) {
+  if (!enabled_) return;
   next_instance_[{node, stream}] = to_instance;
 }
 

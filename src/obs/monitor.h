@@ -27,9 +27,16 @@
 // tests assert `violations().empty()` (or the opposite, for injection
 // tests).
 //
-// Disabled by default: every hook starts with one enabled_ branch, so
-// benches that leave monitoring off pay a single predictable branch per
-// delivery. Replica membership registration is cheap and unconditional.
+// Disabled by default: EVERY hook — including membership registration
+// and learner reset/jump — starts with one enabled_ branch, so benches
+// that leave monitoring off pay a single predictable branch per
+// delivery. The disabled hub must also be completely inert because
+// shard handlers call in from worker threads on the parallel engine;
+// an enabled hub forces the serial windowed fallback (sim/simulation.cc
+// run_until_windowed), which is the hub's only thread-safety story.
+// Arm monitors before adding replicas: a hub enabled mid-run has no
+// registration baseline (the gap monitor self-seeds on first delivery,
+// the order monitor checks only registered members).
 #pragma once
 
 #include <cstdint>

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -74,9 +75,17 @@ class Trace {
   /// `trace.dropped` instead of only via dropped().
   void bind_drop_counter(Counter* counter) { drop_counter_ = counter; }
 
+  /// Thread-safe: control-plane events can originate on shard workers in
+  /// parallel runs (skip-runs, trims, crash timers), so the ring append
+  /// takes a mutex. Steady state records only control-plane events, so
+  /// the lock is uncontended; ring ORDER across shards is scheduling-
+  /// dependent and is deliberately outside the parallel-determinism
+  /// contract (traced runs — spans/monitors armed — are single-threaded
+  /// and fully deterministic).
   void record(Tick time, TraceKind kind, uint32_t node = 0, uint32_t stream = 0,
               uint64_t a = 0, uint64_t b = 0, std::string_view detail = {}) {
     if (is_hot(kind) && !verbose_) return;
+    std::lock_guard<std::mutex> lock(mu_);
     if (ring_.size() >= capacity_ && drop_counter_ != nullptr) {
       drop_counter_->add(time);
     }
@@ -126,6 +135,7 @@ class Trace {
     return ev;
   }
 
+  mutable std::mutex mu_;
   size_t capacity_;
   std::vector<TraceEvent> ring_;
   size_t head_ = 0;  ///< index of the oldest event once the ring is full.

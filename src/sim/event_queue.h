@@ -43,6 +43,21 @@
 
 namespace epx::sim {
 
+/// Ordering lane of an event within one tick. Same-tick events pop in
+/// class order (deliveries, then timers, then dispatches, then control),
+/// FIFO within a class. The lane makes same-tick ordering a property of
+/// the event's *kind* instead of global insertion order — the invariant
+/// the parallel engine needs so that per-shard queues reproduce exactly
+/// the serial pop order (see DESIGN.md §13): all of a tick's message
+/// arrivals land in a process's inbox before any dispatch at that tick
+/// runs, in both execution modes.
+enum class EventClass : uint8_t {
+  kDelivery = 0,  ///< network arrival pumps (canonical channel drains)
+  kTimer = 1,     ///< Process::after timer fires
+  kDispatch = 2,  ///< Process inbox dispatch (handler execution)
+  kControl = 3,   ///< everything scheduled from outside process context
+};
+
 class EventQueue {
  public:
   EventQueue();
@@ -52,13 +67,17 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Enqueues `fn` to run at absolute time `time`. Callbacks scheduled
-  /// for the same time run in schedule order (FIFO).
+  /// for the same time and class run in schedule order (FIFO).
+  ///
+  /// The class rides in the top bits of the 64-bit ordering seq, so the
+  /// node layout, the comparator and the (time, seq) pop contract are
+  /// unchanged — "seq" simply became "class ## insertion counter".
   template <typename F>
-  void schedule(Tick time, F&& fn) {
+  void schedule(Tick time, EventClass cls, F&& fn) {
     using Fn = std::decay_t<F>;
     Node* n = alloc_node();
     n->time = time;
-    n->seq = next_seq_++;
+    n->seq = (static_cast<uint64_t>(cls) << kClassShift) | next_seq_++;
     if constexpr (fits_inline<Fn>()) {
       ::new (static_cast<void*>(n->storage)) Fn(std::forward<F>(fn));
       n->run_and_destroy = &run_inline<Fn>;
@@ -70,6 +89,13 @@ class EventQueue {
       n->destroy = &destroy_boxed<Fn>;
     }
     insert(n);
+  }
+
+  /// Back-compat entry point for callers without a natural lane (tests,
+  /// micro benches driving the queue directly): the control lane.
+  template <typename F>
+  void schedule(Tick time, F&& fn) {
+    schedule(time, EventClass::kControl, std::forward<F>(fn));
   }
 
   bool empty() const { return size_ == 0; }
@@ -103,6 +129,9 @@ class EventQueue {
 
   /// Callback captures up to this size are stored inline (no allocation).
   static constexpr size_t kInlineBytes = 80;
+  /// Bit position of the EventClass within the ordering seq; the low 62
+  /// bits are the per-queue insertion counter.
+  static constexpr int kClassShift = 62;
   /// Virtual time covered by one wheel slot (2^12 ticks = 4.096 us).
   static constexpr int kQuantumShift = 12;
   /// Wheel slots; window = kWheelSlots << kQuantumShift (~33.5 ms).

@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "sim/process.h"
 #include "util/logging.h"
@@ -11,19 +12,53 @@ namespace {
 uint64_t link_key(NodeId from, NodeId to) {
   return (static_cast<uint64_t>(from) << 32) | to;
 }
+
+/// Canonical delivery order within a channel and across staged records.
+struct RecordBefore {
+  template <typename R>
+  bool operator()(const R& a, const R& b) const {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    if (a.from != b.from) return a.from < b.from;
+    return a.seq < b.seq;
+  }
+};
+/// std::push_heap/pop_heap build max-heaps; invert to get the min-record
+/// at the front.
+struct RecordAfter {
+  template <typename R>
+  bool operator()(const R& a, const R& b) const {
+    return RecordBefore{}(b, a);
+  }
+};
 }  // namespace
 
-Network::Network(Simulation* sim, uint64_t seed) : sim_(sim), rng_(seed) {
+Network::Network(Simulation* sim, uint64_t seed)
+    : sim_(sim), seed_(seed), link_min_latency_(std::numeric_limits<Tick>::max()) {
   messages_sent_ = &sim_->metrics().counter("net.messages_sent");
   messages_dropped_ = &sim_->metrics().counter("net.messages_dropped");
   bytes_sent_ = &sim_->metrics().counter("net.bytes_sent");
+  sim_->register_parallel_client(this);
 }
 
 void Network::attach(Process* process) {
   const NodeId id = process->id();
-  if (id >= endpoints_.size()) endpoints_.resize(id + 1, nullptr);
+  if (id >= endpoints_.size()) {
+    const size_t old_size = sender_rng_.size();
+    endpoints_.resize(id + 1, nullptr);
+    egress_bytes_.resize(id + 1, nullptr);
+    egress_free_at_.resize(id + 1, 0);
+    sender_seq_.resize(id + 1, 0);
+    sender_rng_.resize(id + 1);
+    channels_.resize(id + 1);
+    // Each sender gets an independent RNG stream derived from (network
+    // seed, node id): its loss/jitter draws depend only on its own send
+    // history, never on how other processes' sends interleave.
+    for (size_t i = old_size; i < sender_rng_.size(); ++i) {
+      uint64_t state = seed_ + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(i) + 1);
+      sender_rng_[i].reseed(splitmix64(state));
+    }
+  }
   endpoints_[id] = process;
-  if (id >= egress_bytes_.size()) egress_bytes_.resize(id + 1, nullptr);
   egress_bytes_[id] = &sim_->metrics().counter("net.egress_bytes", {{"node", process->name()}});
 }
 
@@ -33,6 +68,7 @@ void Network::detach(NodeId id) {
 
 void Network::set_link(NodeId from, NodeId to, LinkParams params) {
   links_[link_key(from, to)] = params;
+  link_min_latency_ = std::min(link_min_latency_, params.latency);
 }
 
 void Network::set_node_bandwidth(NodeId id, double bits_per_second) {
@@ -66,27 +102,139 @@ double Network::bandwidth_for(NodeId id) const {
   return it != bandwidth_.end() ? it->second : default_bw_;
 }
 
+Tick Network::lookahead() const {
+  // Raising a latency cannot raise the bound back up (link_min_latency_
+  // only falls); a stale-low bound shrinks windows but stays correct.
+  return std::min(default_link_.latency, link_min_latency_);
+}
+
+void Network::begin_parallel(size_t shards) {
+  staged_.resize(shards);
+  staged_counts_.resize(shards);
+}
+
+// --- counters -------------------------------------------------------------
+
+Network::CounterStage& Network::stage_for(Tick at) {
+  // Bucketing uses the registry's default window (these three counters
+  // are created without an override), so a flush stamped with the
+  // window's start lands in exactly the bucket the original add would
+  // have — per-window series and totals come out byte-identical.
+  const Tick window_start = at - (at % kSecond);
+  auto& stages = staged_counts_[sim_->executing_shard_index()];
+  if (stages.empty() || stages.back().window_start != window_start) {
+    stages.push_back(CounterStage{window_start, 0, 0, 0});
+  }
+  return stages.back();
+}
+
+void Network::count_sent(Tick at, uint64_t bytes) {
+  if (sim_->in_shard_context() && sim_->parallel()) {
+    CounterStage& s = stage_for(at);
+    s.sent += 1;
+    s.bytes += bytes;
+    return;
+  }
+  messages_sent_->add(at);
+  bytes_sent_->add(at, bytes);
+}
+
+void Network::count_dropped(Tick at) {
+  if (sim_->in_shard_context() && sim_->parallel()) {
+    stage_for(at).dropped += 1;
+    return;
+  }
+  messages_dropped_->add(at);
+}
+
+// --- delivery -------------------------------------------------------------
+
+void Network::channel_push(ChannelRecord rec) {
+  const NodeId to = rec.to;
+  const Tick arrival = rec.arrival;
+  if (to >= channels_.size()) channels_.resize(to + 1);
+  Channel& ch = channels_[to];
+  ch.heap.push_back(std::move(rec));
+  std::push_heap(ch.heap.begin(), ch.heap.end(), RecordAfter{});
+  // One pump per (node, tick): the first pump at a tick drains every
+  // ripe record for the node in canonical order, so further records
+  // landing on the same arrival tick (quorum replies, client batches)
+  // ride the already-scheduled event. The marker only covers the most
+  // recently scheduled tick — an older pending pump at another tick
+  // just schedules again, which the drain loop tolerates as a no-op.
+  // The capture is 12 bytes — well inside the queue's inline storage.
+  if (ch.pump_scheduled_for == arrival) return;
+  ch.pump_scheduled_for = arrival;
+  sim_->schedule_shard(sim_->shard_for(to), EventClass::kDelivery, arrival,
+                       [this, to] { pump(to); });
+}
+
+void Network::pump(NodeId to) {
+  auto& heap = channels_[to].heap;
+  const Tick now = sim_->now();
+  if (channels_[to].pump_scheduled_for == now) {
+    channels_[to].pump_scheduled_for = kNever;
+  }
+  while (!heap.empty() && heap.front().arrival <= now) {
+    std::pop_heap(heap.begin(), heap.end(), RecordAfter{});
+    ChannelRecord rec = std::move(heap.back());
+    heap.pop_back();
+    Process* dest = endpoint(to);
+    // Re-check the partition at delivery time so an in-flight message
+    // cannot cross a partition installed after it was sent.
+    if (dest == nullptr || crosses_partition(rec.from, to)) {
+      count_dropped(now);
+      continue;
+    }
+    dest->enqueue_message(rec.from, std::move(rec.msg));
+  }
+}
+
+void Network::exchange() {
+  // Splice every staged cross-shard record into the channels in the
+  // canonical order, so channel-heap and pump-event construction do not
+  // depend on the shard partitioning.
+  auto& all = exchange_scratch_;
+  for (auto& staged : staged_) {
+    for (auto& rec : staged) all.push_back(std::move(rec));
+    staged.clear();
+  }
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end(), RecordBefore{});
+    for (auto& rec : all) channel_push(std::move(rec));
+    all.clear();
+  }
+  for (auto& stages : staged_counts_) {
+    for (const CounterStage& s : stages) {
+      if (s.sent != 0) messages_sent_->add(s.window_start, s.sent);
+      if (s.bytes != 0) bytes_sent_->add(s.window_start, s.bytes);
+      if (s.dropped != 0) messages_dropped_->add(s.window_start, s.dropped);
+    }
+    stages.clear();
+  }
+}
+
 void Network::send(NodeId from, NodeId to, MessagePtr msg, Tick earliest) {
   const Tick now = sim_->now();
-  messages_sent_->add(now);
   const size_t bytes = msg->wire_size();
-  bytes_sent_->add(now, bytes);
+  count_sent(now, bytes);
+  // Per-sender counter: the sender's shard owns it, add directly.
   if (from < egress_bytes_.size() && egress_bytes_[from] != nullptr) {
     egress_bytes_[from]->add(now, bytes);
   }
 
-  if (crosses_partition(from, to) || rng_.chance(loss_probability_)) {
-    messages_dropped_->add(now);
+  Rng& rng = sender_rng_[from];
+  if (crosses_partition(from, to) || rng.chance(loss_probability_)) {
+    count_dropped(now);
     return;
   }
 
   // NIC egress: transmissions from one node serialise.
-  Tick depart = std::max(earliest, sim_->now());
+  Tick depart = std::max(earliest, now);
   const double bw = bandwidth_for(from);
   Tick tx_time = 0;
   if (bw > 0.0) {
     tx_time = static_cast<Tick>(static_cast<double>(bytes) * 8.0 / bw * kSecond);
-    if (from >= egress_free_at_.size()) egress_free_at_.resize(from + 1, 0);
     Tick& free_at = egress_free_at_[from];
     depart = std::max(depart, free_at);
     free_at = depart + tx_time;
@@ -94,25 +242,21 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg, Tick earliest) {
 
   const LinkParams link = link_for(from, to);
   Tick jitter = 0;
-  if (link.jitter > 0) jitter = static_cast<Tick>(rng_.uniform(static_cast<uint64_t>(link.jitter)));
+  if (link.jitter > 0) jitter = static_cast<Tick>(rng.uniform(static_cast<uint64_t>(link.jitter)));
   const Tick arrival = depart + tx_time + link.latency + jitter;
+  const uint64_t seq = sender_seq_[from]++;
 
-  // The delivery capture (this, from, to, msg) fits the event queue's
-  // inline storage, so scheduling the delivery allocates nothing.
-  sim_->schedule_at(arrival, [this, from, to, msg = std::move(msg)]() mutable {
-    Process* dest = endpoint(to);
-    if (dest == nullptr) {
-      messages_dropped_->add(sim_->now());
+  if (sim_->in_shard_context() && sim_->parallel()) {
+    const size_t src_shard = sim_->executing_shard_index();
+    // Cross-shard (or beyond the pre-sized channel vector, which only a
+    // barrier-time resize may grow): stage for the next barrier. The
+    // conservative window guarantees arrival >= the barrier's horizon.
+    if (to >= channels_.size() || sim_->shard_for(to) != src_shard) {
+      staged_[src_shard].push_back(ChannelRecord{arrival, from, seq, to, std::move(msg)});
       return;
     }
-    // Re-check the partition at delivery time so an in-flight message
-    // cannot cross a partition installed after it was sent.
-    if (crosses_partition(from, to)) {
-      messages_dropped_->add(sim_->now());
-      return;
-    }
-    dest->enqueue_message(from, std::move(msg));
-  });
+  }
+  channel_push(ChannelRecord{arrival, from, seq, to, std::move(msg)});
 }
 
 }  // namespace epx::sim

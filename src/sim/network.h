@@ -9,6 +9,20 @@
 //
 // Messages are typed, immutable objects (net::Message); their wire_size()
 // drives the bandwidth model without serialising payload bytes.
+//
+// Delivery runs through canonical per-destination channels in every
+// execution mode: a send appends a record keyed (arrival, sender,
+// per-sender seq) to the destination's channel and schedules a delivery
+// pump that drains all ripe records in that key order. The key depends
+// only on each sender's own history — not on how sends from different
+// processes interleave — which is what lets the parallel engine replay
+// the serial delivery order exactly (DESIGN.md §13). For the same
+// reason, loss and jitter draw from per-sender RNG streams.
+//
+// As the simulation's cross-shard fabric (sim::ParallelClient), the
+// network stages worker-thread sends whose destination lives on another
+// shard and splices them into the channels at window barriers; shared
+// counters are staged per shard and flushed at the same points.
 #pragma once
 
 #include <cstdint>
@@ -33,12 +47,13 @@ struct LinkParams {
 
 class Process;
 
-class Network {
+class Network : public ParallelClient {
  public:
   Network(Simulation* sim, uint64_t seed = 1);
 
   /// Registers a process endpoint. The process must outlive the network
-  /// or detach before destruction.
+  /// or detach before destruction. In parallel runs, attachment is a
+  /// topology mutation and must happen at control time (workers parked).
   void attach(Process* process);
   void detach(NodeId id);
 
@@ -74,10 +89,54 @@ class Network {
 
   Simulation& simulation() { return *sim_; }
 
+  // --- sim::ParallelClient ----------------------------------------------
+  /// Conservative window bound: the smallest propagation latency any
+  /// message can experience (bandwidth and jitter only add delay).
+  Tick lookahead() const override;
+  void begin_parallel(size_t shards) override;
+  void exchange() override;
+
  private:
+  /// One in-flight message in a destination's canonical channel. The
+  /// (arrival, from, seq) triple totally orders records independently of
+  /// cross-process send interleaving: `seq` counts the sender's own
+  /// sends, so the key is a function of per-sender history alone.
+  struct ChannelRecord {
+    Tick arrival;
+    NodeId from;
+    uint64_t seq;
+    NodeId to;  // routing key while staged; redundant once channelled
+    MessagePtr msg;
+  };
+  /// Min-heap on (arrival, from, seq) for one destination node. Owned by
+  /// the destination's shard during windows; mutated by the coordinator
+  /// only at barriers / control time. `pump_scheduled_for` dedupes pump
+  /// events: fan-in bursts (quorum replies, client batches) land many
+  /// records on one (node, tick) and need only one pump there.
+  struct Channel {
+    std::vector<ChannelRecord> heap;
+    Tick pump_scheduled_for = kNever;
+  };
+  static constexpr Tick kNever = static_cast<Tick>(-1);
+  /// Shard-staged deltas for the global (cross-shard) net counters,
+  /// bucketed by metrics window so the flushed series is byte-identical
+  /// to serial execution.
+  struct CounterStage {
+    Tick window_start;
+    uint64_t sent;
+    uint64_t dropped;
+    uint64_t bytes;
+  };
+
   bool crosses_partition(NodeId from, NodeId to) const;
   LinkParams link_for(NodeId from, NodeId to) const;
   double bandwidth_for(NodeId id) const;
+
+  void channel_push(ChannelRecord rec);
+  void pump(NodeId to);
+  void count_sent(Tick at, uint64_t bytes);
+  void count_dropped(Tick at);
+  CounterStage& stage_for(Tick at);
 
   /// Endpoint / NIC state is held in flat vectors indexed by NodeId: the
   /// harness assigns small sequential ids, and the per-message delivery
@@ -88,16 +147,31 @@ class Network {
   }
 
   Simulation* sim_;
-  Rng rng_;
+  uint64_t seed_;
   std::vector<Process*> endpoints_;                 // indexed by NodeId
   std::unordered_map<uint64_t, LinkParams> links_;  // key = from<<32|to
   LinkParams default_link_;
+  Tick link_min_latency_;  // min over explicit links (monotone lower bound)
   std::unordered_map<NodeId, double> bandwidth_;
   double default_bw_ = 0.0;  // unlimited
-  std::vector<Tick> egress_free_at_;  // indexed by NodeId
   double loss_probability_ = 0.0;
   std::unordered_set<NodeId> island_;
   bool partitioned_ = false;
+
+  // Per-sender state, indexed by NodeId and touched only by the sender's
+  // owning shard (or the coordinator): RNG stream for loss/jitter, send
+  // sequence for the channel key, NIC egress cursor.
+  std::vector<Rng> sender_rng_;
+  std::vector<uint64_t> sender_seq_;
+  std::vector<Tick> egress_free_at_;
+
+  std::vector<Channel> channels_;  // indexed by destination NodeId
+
+  // Parallel staging, indexed by source shard; single-producer during
+  // windows, drained by the coordinator in exchange().
+  std::vector<std::vector<ChannelRecord>> staged_;
+  std::vector<std::vector<CounterStage>> staged_counts_;
+  std::vector<ChannelRecord> exchange_scratch_;
 
   obs::Counter* messages_sent_;
   obs::Counter* messages_dropped_;

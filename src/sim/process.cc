@@ -7,7 +7,7 @@
 namespace epx::sim {
 
 Process::Process(Simulation* sim, Network* net, NodeId id, std::string name)
-    : sim_(sim), net_(net), id_(id), name_(std::move(name)) {
+    : sim_(sim), net_(net), id_(id), name_(std::move(name)), shard_(sim->shard_for(id)) {
   cpu_busy_ = &sim_->metrics().counter("cpu.busy", {{"node", name_}});
   inbox_depth_ = &sim_->metrics().gauge("inbox.depth", {{"node", name_}});
   net_->attach(this);
@@ -64,7 +64,11 @@ void Process::maybe_schedule() {
   dispatch_scheduled_ = true;
   const Tick at = std::max(now(), busy_until_);
   const uint64_t epoch = epoch_;
-  sim_->schedule_at(at, [this, epoch] {
+  // Dispatch lane: at a given tick every message arrival (kDelivery) and
+  // timer (kTimer) sorts ahead of this event, so the inbox a dispatch
+  // sees is a function of virtual time alone — identical in serial and
+  // parallel runs.
+  sim_->schedule_shard(shard_, EventClass::kDispatch, at, [this, epoch] {
     if (epoch != epoch_) return;  // crashed/restarted meanwhile
     dispatch_scheduled_ = false;
     process_next();
@@ -73,20 +77,36 @@ void Process::maybe_schedule() {
 
 void Process::process_next() {
   if (!alive_ || inbox_.empty()) return;
-  InboxItem item = std::move(inbox_.front());
-  inbox_.pop_front();
-  if (inbox_.empty()) inbox_depth_->set(0);
-
+  const uint64_t epoch = epoch_;
   handler_elapsed_ = 0;
-  in_handler_ = true;
-  if (auto* m = std::get_if<MessageItem>(&item)) {
-    on_message(m->from, m->msg);
-  } else {
-    std::get<TaskItem>(item).fn();
-  }
-  in_handler_ = false;
+  // Batch mode drains everything queued at dispatch time; nothing can
+  // join mid-batch (the clock is frozen and arrivals only come from
+  // events). A handler crashing its own process empties the inbox and
+  // bumps the epoch, ending the loop.
+  size_t budget = batch_dispatch_ ? inbox_.size() : 1;
+  while (budget-- > 0 && alive_ && epoch == epoch_ && !inbox_.empty()) {
+    InboxItem item = std::move(inbox_.front());
+    inbox_.pop_front();
+    if (inbox_.empty()) inbox_depth_->set(0);
 
-  // Sim time is frozen while a handler runs, so flushing the batched
+    in_handler_ = true;
+    if (auto* m = std::get_if<MessageItem>(&item)) {
+      on_message(m->from, m->msg);
+    } else {
+      std::get<TaskItem>(item).fn();
+    }
+    in_handler_ = false;
+  }
+
+  if (alive_ && epoch == epoch_) {
+    // Still "on the CPU": follow-up work charges into the same batch and
+    // its sends depart after everything charged before them.
+    in_handler_ = true;
+    on_batch_end();
+    in_handler_ = false;
+  }
+
+  // Sim time is frozen while handlers run, so flushing the batched
   // charges as one add lands in exactly the same series window (and
   // total) as per-charge adds would — at a fraction of the cost.
   if (pending_busy_ > 0) {
@@ -121,10 +141,13 @@ void Process::send(NodeId to, MessagePtr msg) {
 
 void Process::after(Tick delay, std::function<void()> fn) {
   const uint64_t epoch = epoch_;
-  sim_->schedule_after(delay, [this, epoch, fn = std::move(fn)]() mutable {
-    if (epoch != epoch_ || !alive_) return;
-    enqueue(TaskItem{std::move(fn)});
-  });
+  // Timer lane, on the owning shard: fires between the tick's arrivals
+  // and its dispatches in both execution modes.
+  sim_->schedule_shard(shard_, EventClass::kTimer, now() + delay,
+                       [this, epoch, fn = std::move(fn)]() mutable {
+                         if (epoch != epoch_ || !alive_) return;
+                         enqueue(TaskItem{std::move(fn)});
+                       });
 }
 
 }  // namespace epx::sim

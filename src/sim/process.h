@@ -86,8 +86,23 @@ class Process {
   /// account processing cost.
   virtual void on_message(NodeId from, const MessagePtr& msg) = 0;
 
+  /// Runs after every dispatch completes (after the single item, or
+  /// after the whole batch in batch-dispatch mode), still on the CPU:
+  /// charges accumulate and sends respect the elapsed handler time.
+  /// Batch-oriented roles (Replica) defer per-item follow-up work —
+  /// merger pumping, delivery fan-out — to here so it runs once per
+  /// batch instead of once per message.
+  virtual void on_batch_end() {}
+
   virtual void on_crash() {}
   virtual void on_restart() {}
+
+  /// Opt-in: one dispatch drains the whole inbox instead of one item.
+  /// Same-tick arrivals sort ahead of the dispatch (EventClass), so the
+  /// batch composition is identical in serial and parallel runs. CPU
+  /// accounting is unchanged — handler costs accumulate across the
+  /// batch and sends depart after the work charged before them.
+  void set_batch_dispatch(bool on) { batch_dispatch_ = on; }
 
   Simulation& sim() { return *sim_; }
   Network& net() { return *net_; }
@@ -110,7 +125,9 @@ class Process {
   Network* net_;
   NodeId id_;
   std::string name_;
+  size_t shard_ = 0;  // owning shard in parallel runs (0 when serial)
   bool alive_ = true;
+  bool batch_dispatch_ = false;
   uint64_t epoch_ = 0;
 
   std::deque<InboxItem> inbox_;

@@ -1,5 +1,10 @@
 #include "sim/simulation.h"
 
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <thread>
+
 #include "util/logging.h"
 
 namespace epx::sim {
@@ -9,16 +14,56 @@ namespace {
 // them so its destructor can uninstall and later Simulations can take
 // over. Without this, the hooks dangle once the Simulation dies (e.g.
 // benches that run several clusters back to back).
+// epx-lint: allow(R7): written only in Simulation ctor/dtor while no worker threads exist; read-only during a run
 Simulation* g_log_hook_owner = nullptr;
+
+constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+Tick saturating_add(Tick a, Tick b) {
+  return (b >= kTickMax - a) ? kTickMax : a + b;
+}
+
+void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
 }  // namespace
+
+thread_local Simulation::Shard* Simulation::tls_shard_ = nullptr;
+
+/// Worker threads and the window barrier. One generation counter drives
+/// everything: the coordinator publishes (horizon, remaining) and bumps
+/// `epoch` with release semantics; workers acquire it, run their shard
+/// up to the horizon, and count down `remaining`. Between windows the
+/// coordinator owns every shard queue (exchange, control drains), which
+/// is exactly the interval where `remaining == 0`. Workers spin briefly
+/// then futex-park (C++20 atomic wait), so an idle simulation burns no
+/// CPU between run_until calls.
+struct Simulation::WorkerPool {
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> epoch{0};
+  std::atomic<size_t> remaining{0};
+  std::atomic<Tick> horizon{0};
+  std::atomic<bool> shutdown{false};
+  /// Spins before parking. Zero on oversubscribed hosts (fewer cores
+  /// than engine threads), where a spinning thread only delays the peer
+  /// it is waiting for. Written once before the threads start; affects
+  /// the wait strategy only, never simulation results.
+  int spin_budget = 4096;
+};
 
 Simulation::Simulation() {
   g_log_hook_owner = this;
-  log::set_time_source([this] { return now_; });
+  // now() (not now_): worker-thread log lines must carry the executing
+  // shard's clock.
+  log::set_time_source([this] { return now(); });
   // Trace-level log lines become structured events in the trace ring
   // instead of flooding stderr (see util/logging.h).
   log::set_trace_sink([this](const std::string& msg) {
-    trace_.record(now_, obs::TraceKind::kLog, 0, 0, 0, 0, msg);
+    trace_.record(now(), obs::TraceKind::kLog, 0, 0, 0, 0, msg);
   });
   trace_.bind_drop_counter(&metrics_.counter("trace.dropped"));
   spans_.bind_metrics(&metrics_);
@@ -28,6 +73,7 @@ Simulation::Simulation() {
 }
 
 Simulation::~Simulation() {
+  stop_workers();
   if (g_log_hook_owner == this) {
     g_log_hook_owner = nullptr;
     log::set_time_source(nullptr);
@@ -35,7 +81,30 @@ Simulation::~Simulation() {
   }
 }
 
+void Simulation::set_threads(size_t n) {
+  if (n == 0) n = 1;
+  if (n == threads_) return;
+  if (!shards_.empty() || processed_ != 0) {
+    // Processes already attached picked their shard under the old count;
+    // re-sharding them is not supported. Refuse loudly instead of
+    // silently corrupting the schedule.
+    EPX_WARN << "set_threads(" << n << ") ignored: simulation already started";
+    return;
+  }
+  threads_ = n;
+  if (n > 1) {
+    shards_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto s = std::make_unique<Shard>();
+      s->sim = this;
+      s->index = i;
+      shards_.push_back(std::move(s));
+    }
+  }
+}
+
 bool Simulation::step() {
+  // Serial engine only: the parallel runner advances via run_until.
   if (queue_.empty()) return false;
   // The clock must read the event's time while its callback runs.
   now_ = queue_.next_time();
@@ -45,12 +114,211 @@ bool Simulation::step() {
 }
 
 void Simulation::run_until(Tick t) {
+  if (threads_ > 1) {
+    run_until_windowed(t, /*to_completion=*/false);
+    return;
+  }
   while (!queue_.empty() && queue_.next_time() <= t) step();
   if (now_ < t) now_ = t;
 }
 
 void Simulation::run_to_completion() {
+  if (threads_ > 1) {
+    run_until_windowed(kTickMax, /*to_completion=*/true);
+    return;
+  }
   while (step()) {
+  }
+}
+
+size_t Simulation::pending_events() const {
+  size_t n = queue_.size();
+  for (const auto& s : shards_) n += s->queue.size();
+  return n;
+}
+
+uint64_t Simulation::events_processed() const {
+  uint64_t n = processed_;
+  for (const auto& s : shards_) n += s->processed;
+  return n;
+}
+
+void Simulation::begin_parallel_run() {
+  if (parallel_started_) return;
+  parallel_started_ = true;
+  for (ParallelClient* c : clients_) c->begin_parallel(shards_.size());
+}
+
+void Simulation::exchange_all() {
+  for (ParallelClient* c : clients_) c->exchange();
+}
+
+// The conservative windowed schedule. Invariants (see DESIGN.md §13):
+//
+//   * Window: with L = min cross-shard delay, every shard may run events
+//     with time < H = min(t_min + L, t_ctrl + 1, t_limit + 1), because
+//     anything a shard sends during the window arrives at or after
+//     t_min + L >= H — no cross-shard event can land inside the window
+//     being executed. Cross-shard sends are staged and exchanged at the
+//     barrier in canonical (arrival, sender, seq) order.
+//
+//   * Control lane: events scheduled from outside process context live
+//     in the coordinator's own queue and run only once every shard has
+//     drained past their timestamp (t_min > t_ctrl; same-tick shard
+//     events sort ahead of control by class). Each control pop may feed
+//     shard queues at the same tick (e.g. posting work to a process), so
+//     the coordinator re-drains shards through t_ctrl — reproducing
+//     exactly the serial heap's class ordering — and exchanges staged
+//     sends before looking at the next event.
+void Simulation::run_until_windowed(Tick t, bool to_completion) {
+  begin_parallel_run();
+  // Spans and monitors hook delivery/handler paths across all shards and
+  // are not shard-confined; traced runs execute the same windowed
+  // schedule on this thread only, keeping their output valid (and
+  // deterministic) at single-thread speed.
+  const bool use_workers = !spans_.enabled() && !monitors_.enabled();
+  if (use_workers && pool_ == nullptr) start_workers();
+
+  const Tick limit = to_completion ? kTickMax : t;
+  bool warned_zero_lookahead = false;
+  for (;;) {
+    Tick tmin = kTickMax;
+    for (const auto& s : shards_)
+      if (!s->queue.empty()) tmin = std::min(tmin, s->queue.next_time());
+    const Tick tctrl = queue_.empty() ? kTickMax : queue_.next_time();
+    if (tmin == kTickMax && tctrl == kTickMax) break;  // fully drained
+    if (tmin > limit && tctrl > limit) break;
+
+    if (tctrl < tmin) {
+      // Every shard is strictly past the control timestamp: safe to run.
+      now_ = tctrl;
+      for (const auto& s : shards_) s->now = std::max(s->now, tctrl);
+      ++processed_;
+      queue_.pop_and_run();
+      drain_shards_through(tctrl);
+      exchange_all();
+      continue;
+    }
+
+    // Lookahead is re-read every window: control events may retune link
+    // latencies mid-run and the window must shrink with them.
+    Tick lookahead = kTickMax;
+    for (ParallelClient* c : clients_) lookahead = std::min(lookahead, c->lookahead());
+    if (lookahead <= 0) {
+      // A zero-delay link collapses windows to single ticks; still
+      // correct and deterministic, but same-tick send->deliver chains
+      // order by window passes rather than the serial heap. No topology
+      // in the repo does this; warn once so a future one is noticed.
+      if (!warned_zero_lookahead) {
+        warned_zero_lookahead = true;
+        EPX_WARN << "parallel run with zero lookahead: windows degrade to single ticks";
+      }
+      lookahead = 1;
+    }
+
+    const Tick horizon = std::min(saturating_add(tmin, lookahead),
+                                  std::min(saturating_add(tctrl, 1), saturating_add(limit, 1)));
+    execute_window(horizon, use_workers);
+    exchange_all();
+  }
+
+  if (!to_completion) {
+    now_ = std::max(now_, t);
+    for (const auto& s : shards_) s->now = std::max(s->now, t);
+  } else {
+    for (const auto& s : shards_) now_ = std::max(now_, s->now);
+  }
+}
+
+void Simulation::execute_window(Tick horizon, bool use_workers) {
+  if (!use_workers || pool_ == nullptr) {
+    for (const auto& s : shards_) run_shard_window(*s, horizon);
+    return;
+  }
+  WorkerPool& p = *pool_;
+  p.horizon.store(horizon, std::memory_order_relaxed);
+  p.remaining.store(shards_.size() - 1, std::memory_order_relaxed);
+  p.epoch.fetch_add(1, std::memory_order_release);
+  p.epoch.notify_all();
+  // Shard 0 always runs on the coordinating thread: one fewer worker,
+  // and the coordinator does useful work instead of waiting.
+  run_shard_window(*shards_[0], horizon);
+  int spins = 0;
+  for (;;) {
+    const size_t rem = p.remaining.load(std::memory_order_acquire);
+    if (rem == 0) break;
+    if (++spins < p.spin_budget) {
+      cpu_relax();
+    } else {
+      p.remaining.wait(rem, std::memory_order_acquire);
+    }
+  }
+}
+
+void Simulation::run_shard_window(Shard& s, Tick horizon) {
+  tls_shard_ = &s;
+  EventQueue& q = s.queue;
+  while (!q.empty()) {
+    const Tick t = q.next_time();
+    if (t >= horizon) break;
+    s.now = t;
+    ++s.processed;
+    q.pop_and_run();
+  }
+  tls_shard_ = nullptr;
+}
+
+void Simulation::drain_shards_through(Tick t) {
+  for (const auto& s : shards_) {
+    if (s->queue.empty() || s->queue.next_time() > t) continue;
+    tls_shard_ = s.get();
+    EventQueue& q = s->queue;
+    while (!q.empty() && q.next_time() <= t) {
+      s->now = std::max(s->now, q.next_time());
+      ++s->processed;
+      q.pop_and_run();
+    }
+    tls_shard_ = nullptr;
+  }
+}
+
+void Simulation::start_workers() {
+  pool_ = std::make_unique<WorkerPool>();
+  const auto cores = static_cast<size_t>(std::thread::hardware_concurrency());
+  if (cores != 0 && cores < shards_.size()) pool_->spin_budget = 0;
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    pool_->threads.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void Simulation::stop_workers() {
+  if (pool_ == nullptr) return;
+  pool_->shutdown.store(true, std::memory_order_release);
+  pool_->epoch.fetch_add(1, std::memory_order_release);
+  pool_->epoch.notify_all();
+  for (std::thread& th : pool_->threads) th.join();
+  pool_.reset();
+}
+
+void Simulation::worker_loop(size_t index) {
+  WorkerPool& p = *pool_;
+  uint64_t seen = 0;
+  for (;;) {
+    uint64_t e;
+    int spins = 0;
+    while ((e = p.epoch.load(std::memory_order_acquire)) == seen) {
+      if (++spins < p.spin_budget) {
+        cpu_relax();
+      } else {
+        p.epoch.wait(seen, std::memory_order_acquire);
+      }
+    }
+    seen = e;
+    if (p.shutdown.load(std::memory_order_acquire)) return;
+    run_shard_window(*shards_[index], p.horizon.load(std::memory_order_relaxed));
+    if (p.remaining.fetch_sub(1, std::memory_order_release) == 1) {
+      p.remaining.notify_all();
+    }
   }
 }
 

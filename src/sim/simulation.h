@@ -1,17 +1,41 @@
 // Discrete-event simulation driver.
 //
 // A Simulation owns the virtual clock and an event queue ordered by
-// (time, insertion sequence). Everything in the simulated cluster —
-// message deliveries, CPU completions, timers — is an event. Runs are
-// fully deterministic for a fixed configuration and RNG seed.
+// (time, class, insertion sequence). Everything in the simulated
+// cluster — message deliveries, CPU completions, timers — is an event.
+// Runs are fully deterministic for a fixed configuration and RNG seed.
 //
 // The engine is a slab-allocated timing wheel (see sim/event_queue.h):
 // scheduling the common small-capture callbacks performs no heap
 // allocation and near-future schedule/pop are O(1).
+//
+// Execution modes (see DESIGN.md §13):
+//
+//   * serial (threads() == 1, the default): one queue, one thread —
+//     the reference engine every other mode is differentially tested
+//     against.
+//
+//   * parallel (set_threads(n > 1)): processes are partitioned into n
+//     shards, each with its own event queue and clock, advancing in
+//     conservative windows bounded by the network's minimum cross-shard
+//     link latency (the lookahead). Cross-shard messages travel through
+//     the network's canonical per-destination channels and are exchanged
+//     at window barriers; events scheduled from outside process context
+//     form a control lane that runs with all shards quiescent. Same-tick
+//     ordering is by event class (deliveries < timers < dispatches <
+//     control), which together with the canonical channels makes the
+//     parallel schedule reproduce the serial one exactly: identical
+//     seed ⇒ identical delivery order and metrics in both modes.
+//     When spans or monitors are armed the windowed schedule still runs
+//     but on the calling thread only (those subsystems are not
+//     shard-confined), so traced runs stay valid — just not faster.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -23,6 +47,23 @@
 
 namespace epx::sim {
 
+/// Barrier-time hooks implemented by cross-shard communication fabrics
+/// (the Network). The windowed runner calls exchange() with every shard
+/// parked, so implementations move staged cross-shard messages into
+/// their canonical channels and flush staged counters without locks.
+class ParallelClient {
+ public:
+  virtual ~ParallelClient() = default;
+  /// Minimum delay of any cross-shard interaction, in ticks; the
+  /// conservative window length. Must be > 0 for parallel execution to
+  /// preserve the serial schedule.
+  virtual Tick lookahead() const = 0;
+  /// Called once per parallel run start with the shard count.
+  virtual void begin_parallel(size_t shards) = 0;
+  /// Runs at every window barrier and after every control drain.
+  virtual void exchange() = 0;
+};
+
 class Simulation {
  public:
   Simulation();
@@ -30,9 +71,41 @@ class Simulation {
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  Tick now() const { return now_; }
+  /// The virtual clock. While a shard executes events, this reads the
+  /// executing shard's clock (events always see their own timestamp),
+  /// otherwise the global (control) clock.
+  Tick now() const {
+    const Shard* s = tls_shard_;
+    return (s != nullptr && s->sim == this) ? s->now : now_;
+  }
 
-  /// Schedules `fn` to run at absolute virtual time `t`.
+  // --- parallel configuration ------------------------------------------
+  /// Partitions the simulation into `n` shards on `n` worker threads.
+  /// Must be called before any Process is constructed (shard assignment
+  /// happens at attach time); n <= 1 selects the serial engine.
+  void set_threads(size_t n);
+  size_t threads() const { return threads_; }
+  bool parallel() const { return threads_ > 1; }
+
+  /// Overrides the NodeId -> shard mapping (defaults to id % threads).
+  /// The mapping affects performance only: delivery order and metrics
+  /// are identical for every assignment (differentially tested).
+  void set_shard_assignment(std::function<size_t(uint32_t)> fn) {
+    assignment_ = std::move(fn);
+  }
+  size_t shard_for(uint32_t node_id) const {
+    if (threads_ <= 1) return 0;
+    return (assignment_ ? assignment_(node_id) : node_id) % threads_;
+  }
+
+  /// Registers a cross-shard fabric (called by Network's constructor).
+  void register_parallel_client(ParallelClient* client) {
+    clients_.push_back(client);
+  }
+
+  /// Schedules `fn` to run at absolute virtual time `t`, in the control
+  /// lane: same-tick control events run after deliveries, timers and
+  /// dispatches, FIFO among themselves.
   ///
   /// Past times clamp to the present: if `t < now()` the event runs at
   /// now(), ordered FIFO after everything already scheduled for now().
@@ -40,16 +113,40 @@ class Simulation {
   /// safe — they can never run before events that were queued first.
   template <typename F>
   void schedule_at(Tick t, F&& fn) {
-    queue_.schedule(t < now_ ? now_ : t, std::forward<F>(fn));
+    queue_.schedule(t < now_ ? now_ : t, EventClass::kControl, std::forward<F>(fn));
   }
 
   /// Schedules `fn` to run `delay` ticks from now.
   template <typename F>
   void schedule_after(Tick delay, F&& fn) {
-    schedule_at(now_ + delay, std::forward<F>(fn));
+    schedule_at(now() + delay, std::forward<F>(fn));
   }
 
-  /// Runs one event; returns false if the queue is empty.
+  /// Schedules into a shard's lane (processes and the network use this;
+  /// the class encodes the same-tick ordering contract). Clamps against
+  /// the owning shard's clock. Callable from the shard's own execution
+  /// context or from barrier/control context — never from another shard.
+  template <typename F>
+  void schedule_shard(size_t shard, EventClass cls, Tick t, F&& fn) {
+    if (threads_ <= 1) {
+      queue_.schedule(t < now_ ? now_ : t, cls, std::forward<F>(fn));
+      return;
+    }
+    Shard& s = *shards_[shard];
+    s.queue.schedule(t < s.now ? s.now : t, cls, std::forward<F>(fn));
+  }
+
+  /// Non-null while this thread is executing events of one of this
+  /// simulation's shards; used by the network to stage cross-shard
+  /// sends. Index is meaningful only when non-null.
+  bool in_shard_context() const {
+    const Shard* s = tls_shard_;
+    return s != nullptr && s->sim == this;
+  }
+  size_t executing_shard_index() const { return tls_shard_->index; }
+
+  /// Runs one event; returns false if the queue is empty. Serial engine
+  /// only (the parallel runner advances through run_until/run_for).
   bool step();
 
   /// Runs all events with time <= t, then advances the clock to t.
@@ -62,8 +159,8 @@ class Simulation {
   /// keep rescheduling themselves).
   void run_to_completion();
 
-  size_t pending_events() const { return queue_.size(); }
-  uint64_t events_processed() const { return processed_; }
+  size_t pending_events() const;
+  uint64_t events_processed() const;
 
   EventQueue& event_queue() { return queue_; }
 
@@ -90,9 +187,47 @@ class Simulation {
   obs::FlightRecorder& flight_recorder() { return recorder_; }
 
  private:
+  /// One shard of the parallel engine: an event queue plus its clock,
+  /// owned by exactly one worker thread during a window. The struct is
+  /// what the thread-local execution context points at, so now() can
+  /// read the shard clock with one load.
+  struct Shard {
+    EventQueue queue;
+    Tick now = 0;
+    uint64_t processed = 0;
+    Simulation* sim = nullptr;
+    size_t index = 0;
+  };
+
+  // Thread-local executing-shard context. A plain pointer: null on the
+  // control thread outside shard drains, set while a worker (or the
+  // control thread, during barrier drains) runs a shard's events.
+  static thread_local Shard* tls_shard_;
+
+  void run_until_windowed(Tick t, bool to_completion);
+  void execute_window(Tick horizon, bool use_workers);
+  void run_shard_window(Shard& s, Tick horizon);
+  void drain_shards_through(Tick t);
+  void exchange_all();
+  void begin_parallel_run();
+  void start_workers();
+  void stop_workers();
+  void worker_loop(size_t index);
+
   Tick now_ = 0;
   uint64_t processed_ = 0;
-  EventQueue queue_;
+  EventQueue queue_;  // serial engine; control lane when parallel
+
+  // --- parallel state (empty/idle in serial mode) ----------------------
+  size_t threads_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::function<size_t(uint32_t)> assignment_;
+  std::vector<ParallelClient*> clients_;
+  Tick lookahead_ = 0;
+  bool parallel_started_ = false;
+  struct WorkerPool;  // threads + barrier state (defined in .cc)
+  std::unique_ptr<WorkerPool> pool_;
+
   obs::MetricsRegistry metrics_;
   obs::Trace trace_;
   obs::SpanCollector spans_;

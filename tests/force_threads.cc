@@ -1,0 +1,24 @@
+// Linked into every test binary (see tests/CMakeLists.txt).
+//
+// EPX_FORCE_THREADS=N forces every Cluster built with the default
+// thread count (ClusterOptions.threads == 0) onto the N-shard parallel
+// engine — the CI parallel/TSan job runs the whole suite this way, so
+// each cluster-driven test doubles as a serial-vs-parallel differential
+// check. Lives outside src/ because getenv is banned there (epx-lint
+// R1): the environment is read once at static init, never from
+// simulation code.
+#include <cstdlib>
+
+#include "harness/cluster.h"
+
+namespace {
+
+const bool g_force_threads_applied = [] {
+  if (const char* v = std::getenv("EPX_FORCE_THREADS")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 1) epx::harness::set_default_threads(static_cast<size_t>(n));
+  }
+  return true;
+}();
+
+}  // namespace

@@ -1,0 +1,37 @@
+// Fixture: shared mutable state in the parallel simulation core — every
+// planted site must trip epx-lint R7. In src/sim/ shards run handlers on
+// worker threads concurrently, so any static-duration mutable variable
+// (namespace-scope global, file-static, function-local static, class
+// static) is a cross-shard data race waiting to happen. The path
+// override below scopes this fixture into src/sim/; the twin
+// r7_clean.cc holds the synchronized/confined equivalents.
+// epx-lint: path(src/sim/shard_fixture.cc)
+#include <cstdint>
+#include <vector>
+
+namespace epx_fixture {
+
+struct Shard {
+  uint64_t local_events = 0;            // fine in real code: shard-owned
+  static uint64_t live_instances;       // R7: class static, shared
+};
+
+uint64_t g_events_drained = 0;          // R7: namespace-scope mutable
+
+std::vector<int> g_backlog{};           // R7: namespace-scope container
+
+namespace {
+Shard* g_current_shard = nullptr;       // R7: file-static pointer
+}  // namespace
+
+uint64_t next_window_id() {
+  static uint64_t counter = 0;          // R7: function-local static
+  return ++counter;
+}
+
+void drain(Shard* s) {
+  g_events_drained += s->local_events;  // the write the rule exists for
+  s->local_events = 0;
+}
+
+}  // namespace epx_fixture

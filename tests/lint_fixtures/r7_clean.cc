@@ -1,0 +1,49 @@
+// Fixture: the legitimate spellings of static-duration state in the
+// parallel simulation core — none may trip epx-lint R7. Immutable
+// constants, thread_local (shard-confined) state, atomics, locked
+// primitives, and the engine-owned cross-shard channel types are all
+// safe to share; instance members and plain locals follow their owner's
+// shard and are out of scope for the rule entirely.
+// epx-lint: path(src/sim/shard_fixture.cc)
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace epx_fixture {
+
+// Immutable: fixed at load time, read-only forever after.
+constexpr uint64_t kWindowTicks = 256;
+const uint64_t kMaxShards = 64;
+
+// Shard-confined: one instance per worker thread, never shared.
+thread_local uint64_t tls_events_drained = 0;
+
+// Synchronized: atomics and locked primitives carry their own fence.
+std::atomic<uint64_t> g_total_drained{0};
+std::mutex g_trace_mutex;
+
+// Cross-shard conduit type: synchronization is the engine's
+// responsibility, reviewed once at the type (sim/network.h idiom).
+struct Channel {
+  std::mutex mu;
+  uint64_t staged = 0;
+};
+Channel g_cross_links;
+
+struct Shard {
+  uint64_t local_events = 0;      // instance member: owned by its shard
+  static constexpr uint64_t kLaneCount = 4;
+  static void reset_all();        // static function, not state
+};
+
+void pump_all();                  // namespace-scope declaration, not state
+
+uint64_t drain(Shard* s) {
+  uint64_t drained = s->local_events;  // plain local: frame-owned
+  tls_events_drained += drained;
+  g_total_drained.fetch_add(drained, std::memory_order_relaxed);
+  s->local_events = 0;
+  return drained;
+}
+
+}  // namespace epx_fixture

@@ -1,0 +1,170 @@
+// Serial-vs-parallel differential test: the parallel conservative
+// engine must reproduce the serial engine's results EXACTLY — same
+// per-replica delivery order, same event counts, same metrics totals,
+// same per-second counter series — for every seed, shard count and
+// elastic subscription timeline, and for any shard assignment.
+//
+// This is the enforcement half of DESIGN.md §13's determinism claim.
+// What is deliberately NOT compared: the wall-clock interleaving of
+// different shards' handlers (meaningless in a DES) and the trace
+// ring's record order / drop pattern (the ring is a shared debugging
+// aid fed concurrently; its totals still must match, and do, via the
+// metrics snapshot).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace epx {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterOptions;
+using harness::LoadClient;
+
+enum class Timeline {
+  kSubscribeOnly,         // group 1 picks up s3 mid-run
+  kSubscribeUnsubscribe,  // ... then drops s2 (full scan/align/retire)
+};
+
+struct RunResult {
+  /// Order-sensitive per-replica delivery hash; index = node id. Each
+  /// element is written only from its replica's shard.
+  std::array<uint64_t, 64> node_hash{};
+  uint64_t events = 0;
+  uint64_t delivered = 0;
+  uint64_t completed = 0;
+  std::string metrics_json;  ///< full registry snapshot, totals only
+  /// Per-second window counts of the staged network counters and each
+  /// replica's delivery series (exercises cross-shard counter staging).
+  std::vector<std::vector<uint64_t>> series;
+};
+
+uint64_t mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::vector<uint64_t> windows(const WindowedCounter& c) {
+  std::vector<uint64_t> out(c.size());
+  for (size_t i = 0; i < c.size(); ++i) out[i] = c.count_at(i);
+  return out;
+}
+
+RunResult run_cluster(uint64_t seed, size_t threads, Timeline timeline,
+                      bool scatter_assignment) {
+  ClusterOptions options;
+  options.seed = seed;
+  options.threads = threads;  // explicit: EPX_FORCE_THREADS must not apply
+  Cluster cluster(options);
+  if (scatter_assignment) {
+    // Replace the harness's locality-aware mapping with a hash scatter
+    // that splits every ring across shards: worst case for staging
+    // volume, and the results must not move at all.
+    cluster.sim().set_shard_assignment(
+        [](uint32_t id) -> size_t { return id * 2654435761u; });
+  }
+
+  const auto s1 = cluster.add_stream();
+  const auto s2 = cluster.add_stream();
+  const auto s3 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(/*group=*/1, {s1, s2});
+  auto* r2 = cluster.add_replica(/*group=*/1, {s1, s2});
+  auto* r3 = cluster.add_replica(/*group=*/2, {s3});
+
+  RunResult result;
+  for (auto* r : {r1, r2, r3}) {
+    r->set_delivery_listener([&result](net::NodeId node, const paxos::Command& cmd,
+                                       paxos::StreamId stream) {
+      uint64_t& h = result.node_hash[node];
+      h = mix(mix(h, stream), cmd.id);
+    });
+  }
+
+  LoadClient::Config cfg;
+  cfg.threads = 4;
+  cfg.payload_bytes = 512;
+  cfg.route = [s1] { return s1; };
+  auto* c1 = cluster.spawn<LoadClient>("client1", &cluster.directory(), cfg);
+  cfg.route = [s3] { return s3; };
+  auto* c2 = cluster.spawn<LoadClient>("client2", &cluster.directory(), cfg);
+  c1->start();
+  c2->start();
+
+  cluster.sim().schedule_at(1 * kSecond, [&cluster, s3, s1] {
+    cluster.controller().subscribe(/*group=*/1, s3, /*via_stream=*/s1);
+  });
+  if (timeline == Timeline::kSubscribeUnsubscribe) {
+    cluster.sim().schedule_at(2 * kSecond, [&cluster, s2, s1] {
+      cluster.controller().unsubscribe(/*group=*/1, s2, /*via_stream=*/s1);
+    });
+  }
+
+  cluster.run_for(3 * kSecond);
+  c1->stop();
+  c2->stop();
+  cluster.run_for(1 * kSecond);
+
+  result.events = cluster.sim().events_processed();
+  result.delivered = r1->delivered() + r2->delivered() + r3->delivered();
+  result.completed = c1->completed() + c2->completed();
+  result.metrics_json = cluster.sim().metrics().to_json(/*include_series=*/false);
+  const obs::MetricsRegistry& m = cluster.sim().metrics();
+  for (const char* key : {"net.messages_sent", "net.messages_dropped", "net.bytes_sent"}) {
+    const obs::Counter* c = m.find_counter(key);
+    result.series.push_back(c != nullptr ? windows(c->series())
+                                         : std::vector<uint64_t>{});
+  }
+  for (auto* r : {r1, r2, r3}) result.series.push_back(windows(r->delivery_series()));
+  return result;
+}
+
+void expect_identical(const RunResult& serial, const RunResult& other,
+                      const std::string& label) {
+  EXPECT_EQ(serial.node_hash, other.node_hash)
+      << label << ": per-replica delivery order diverged";
+  EXPECT_EQ(serial.events, other.events) << label;
+  EXPECT_EQ(serial.delivered, other.delivered) << label;
+  EXPECT_EQ(serial.completed, other.completed) << label;
+  EXPECT_EQ(serial.metrics_json, other.metrics_json) << label;
+  ASSERT_EQ(serial.series.size(), other.series.size()) << label;
+  for (size_t i = 0; i < serial.series.size(); ++i) {
+    EXPECT_EQ(serial.series[i], other.series[i])
+        << label << ": per-second series " << i << " diverged";
+  }
+}
+
+class ParallelSimTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override { testing::init_logging(); }
+};
+
+TEST_P(ParallelSimTest, ParallelMatchesSerialAcrossShardCountsAndTimelines) {
+  const uint64_t seed = GetParam();
+  for (Timeline timeline : {Timeline::kSubscribeOnly, Timeline::kSubscribeUnsubscribe}) {
+    const RunResult serial = run_cluster(seed, 1, timeline, false);
+    EXPECT_GT(serial.completed, 100u) << "workload should make real progress";
+    EXPECT_GT(serial.delivered, 0u);
+    for (size_t threads : {size_t{2}, size_t{4}}) {
+      const RunResult parallel = run_cluster(seed, threads, timeline, false);
+      expect_identical(serial, parallel,
+                       "seed " + std::to_string(seed) + " T" + std::to_string(threads) +
+                           " timeline " + std::to_string(static_cast<int>(timeline)));
+    }
+  }
+}
+
+TEST_P(ParallelSimTest, ShardAssignmentDoesNotAffectResults) {
+  const uint64_t seed = GetParam();
+  const RunResult serial = run_cluster(seed, 1, Timeline::kSubscribeOnly, false);
+  const RunResult scattered = run_cluster(seed, 3, Timeline::kSubscribeOnly, true);
+  expect_identical(serial, scattered, "seed " + std::to_string(seed) + " scattered");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelSimTest, ::testing::Values(7, 93));
+
+}  // namespace
+}  // namespace epx

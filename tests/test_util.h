@@ -5,6 +5,7 @@
 
 #include <charconv>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,10 @@ class DeliveryLog {
   void attach(elastic::Replica* replica) {
     replica->set_delivery_listener(
         [this](net::NodeId node, const paxos::Command& cmd, paxos::StreamId stream) {
+          // Listeners fire on shard worker threads under the parallel
+          // engine; the lock protects the map structure (each node's
+          // vectors still fill in that node's own delivery order).
+          std::lock_guard<std::mutex> lock(mu_);
           sequences_[node].push_back(cmd.id);
           streams_[node].push_back(stream);
         });
@@ -56,6 +61,7 @@ class DeliveryLog {
   const std::map<net::NodeId, std::vector<uint64_t>>& all() const { return sequences_; }
 
  private:
+  std::mutex mu_;
   std::map<net::NodeId, std::vector<uint64_t>> sequences_;
   std::map<net::NodeId, std::vector<paxos::StreamId>> streams_;
 };

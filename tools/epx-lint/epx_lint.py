@@ -43,6 +43,9 @@ RULES = {
     "R4": "every field of every struct in */messages.h must be encoded AND decoded",
     "R5": "no raw process/role pointer captured into timers that outlive the owner",
     "R6": "Status/Result stay [[nodiscard]] and Status-returning calls are consumed",
+    "R7": "no unsynchronized static-duration mutable state in src/sim/ (shards run "
+          "handlers concurrently; such state must be const, thread_local, atomic, "
+          "or one of the locked cross-shard channel types)",
 }
 
 # Files (repo-relative, prefix match) exempt per rule: the places that
@@ -657,6 +660,95 @@ class Linter:
                           "consume it or void-cast with a comment")
 
     # ----------------------------------------------------------------------
+    # R7: shared mutable state in the parallel simulation core
+    # ----------------------------------------------------------------------
+    # src/sim/ is the only directory whose code runs on multiple worker
+    # threads at once (one shard per thread inside a window). Any
+    # static-duration mutable variable there is shared across shards and
+    # therefore a data race unless it is immutable, shard-confined
+    # (thread_local), atomic, or one of the cross-shard channel types
+    # whose synchronization the engine owns.
+    R7_SKIP_RE = re.compile(
+        r"\b(?:const|constexpr|constinit|thread_local|using|typedef|extern|friend|"
+        r"namespace|template|operator|return|static_assert|struct|class|enum|union|"
+        r"public|private|protected|goto|throw|delete|case)\b")
+    R7_SYNC_RE = re.compile(
+        r"\b(?:std\s*::\s*)?(?:atomic\w*\s*<|atomic_\w+\b|mutex\b|shared_mutex\b|"
+        r"recursive_mutex\b|once_flag\b|condition_variable\w*\b|counting_semaphore\b|"
+        r"binary_semaphore\b|barrier\b|latch\b)")
+    # Cross-shard conduits whose internal synchronization is the engine's
+    # responsibility (reviewed once, at the type): the staged network
+    # channels and counter staging in sim/network.h and the worker
+    # barrier state in sim/simulation.cc.
+    R7_CHANNEL_TYPES = ("Channel", "ChannelRecord", "CounterStage", "WorkerPool")
+    # A single-line variable declaration: type tokens, then the declared
+    # name, then `;` with an optional `= ...` / `{...}` initializer.
+    # Anything with a paren after the name (function declarations) or a
+    # non-identifier head (assignments like `x.y = z;`) falls through.
+    R7_DECL_RE = re.compile(
+        r"^\s*(static\s+)?[A-Za-z_][\w:]*(?:\s*<[^;=()]*>)?[\s*&]+"
+        r"([A-Za-z_]\w*)\s*(?:=[^;]*|\{[^;]*\})?;\s*$")
+
+    def ns_scope_lines(self, ctx: FileCtx):
+        """1-based line numbers that START at namespace (or file) scope.
+
+        Tracks the brace stack, classifying each `{` by whether the text
+        since the last statement boundary ends in a namespace head. A line
+        is namespace-scoped iff every brace open at its start belongs to a
+        namespace — so class bodies and function bodies drop out, while
+        the line that *opens* them (e.g. `void f() {`) stays in and is
+        filtered by the declaration shape instead.
+        """
+        ns_head = re.compile(r"\bnamespace(?:\s+[\w:]+)?\s*$")
+        lines = {1}
+        stack = []
+        tail = ""
+        lineno = 1
+        for ch in ctx.code:
+            if ch == "{":
+                stack.append(bool(ns_head.search(tail)))
+                tail = ""
+            elif ch == "}":
+                if stack:
+                    stack.pop()
+                tail = ""
+            elif ch == ";":
+                tail = ""
+            elif ch == "\n":
+                lineno += 1
+                if all(stack):
+                    lines.add(lineno)
+                tail += " "
+            else:
+                tail += ch
+        return lines
+
+    def check_r7(self, ctx: FileCtx):
+        rel = self.effective_rel(ctx)
+        if not rel.startswith("src/sim/") or self.exempt("R7", rel):
+            return
+        ns_lines = self.ns_scope_lines(ctx)
+        for lineno, line in enumerate(ctx.code_lines, 1):
+            decl = self.R7_DECL_RE.match(line)
+            if not decl:
+                continue
+            if self.R7_SKIP_RE.search(line) or self.R7_SYNC_RE.search(line):
+                continue
+            if any(re.search(r"\b" + t + r"\b", line) for t in self.R7_CHANNEL_TYPES):
+                continue
+            # Namespace-scope variables are shared however they're spelled;
+            # `static` ones (locals, class members, file-statics) are shared
+            # at any scope. Plain members/locals are instance- or
+            # frame-owned and follow their owner's shard.
+            if lineno not in ns_lines and not decl.group(1):
+                continue
+            self.emit("R7", ctx, lineno,
+                      f"static-duration mutable '{decl.group(2)}' in src/sim/ is "
+                      "shared across concurrently-running shards; make it const, "
+                      "thread_local, atomic, or route it through a locked "
+                      "cross-shard channel")
+
+    # ----------------------------------------------------------------------
     # clang engine (R1/R3 refinement; other rules reuse the token engine)
     # ----------------------------------------------------------------------
     def clang_check(self, files):
@@ -751,6 +843,8 @@ class Linter:
                 self.check_r5(ctx)
             if "R6" in self.rules:
                 self.check_r6(ctx, status_fns)
+            if "R7" in self.rules:
+                self.check_r7(ctx)
         return self.report
 
 

@@ -32,6 +32,7 @@ BAD = [
     ("r5_bad.cc", "R5", 4),
     ("r6_bad.cc", "R6", 3),
     ("r6_bad_status.h", "R6", 2),
+    ("r7_bad.cc", "R7", 5),
 ]
 
 CLEAN = [
@@ -44,6 +45,7 @@ CLEAN = [
     ("r4_clean_messages.h", "R4"),
     ("r5_clean.cc", "R5"),
     ("r6_clean.cc", "R6"),
+    ("r7_clean.cc", "R7"),
 ]
 
 
