@@ -72,6 +72,65 @@ inline harness::ClusterOptions kv_options() {
 
 inline void bench_logging() { log::set_level(log::Level::kWarn); }
 
+/// Sums a counter metric across all label sets (all nodes).
+inline uint64_t sum_counters(const obs::MetricsRegistry& metrics,
+                             const std::string& name) {
+  uint64_t total = 0;
+  const std::string prefix = name + "{";
+  for (const auto& [key, counter] : metrics.counters()) {
+    if (key == name || key.compare(0, prefix.size(), prefix) == 0) {
+      total += counter->total();
+    }
+  }
+  return total;
+}
+
+/// Cluster-wide write-ahead-log cost summary printed by the --durable
+/// figure variants: journal appends, device fsyncs (group-commit
+/// efficiency = appends per fsync), bytes pushed to media, and the
+/// fsync-wait distribution an acceptor pays before it may reply.
+inline void print_durability_summary(const obs::MetricsRegistry& metrics) {
+  harness::print_header("Durability cost (write-ahead acceptors)");
+  const uint64_t appends = sum_counters(metrics, "wal.appends");
+  const uint64_t fsyncs = sum_counters(metrics, "storage.fsync");
+  const uint64_t bytes = sum_counters(metrics, "storage.fsync_bytes");
+  const uint64_t checkpoints = sum_counters(metrics, "wal.checkpoints");
+  const uint64_t compactions = sum_counters(metrics, "wal.compactions");
+  std::printf("wal appends: %llu  fsyncs: %llu (%.1f appends/fsync)  "
+              "flushed: %.1f MB  checkpoints: %llu  compactions: %llu\n",
+              static_cast<unsigned long long>(appends),
+              static_cast<unsigned long long>(fsyncs),
+              fsyncs ? static_cast<double>(appends) / static_cast<double>(fsyncs) : 0.0,
+              static_cast<double>(bytes) / 1e6,
+              static_cast<unsigned long long>(checkpoints),
+              static_cast<unsigned long long>(compactions));
+  Histogram wait;
+  const std::string prefix = "storage.fsync_wait{";
+  for (const auto& [key, timer] : metrics.timers()) {
+    if (key.compare(0, prefix.size(), prefix) == 0) wait.merge(timer->total());
+  }
+  std::printf("fsync wait: %s\n", wait.summary().c_str());
+}
+
+/// Parses --durable (and an optional --fsync-us=N override) into the
+/// cluster options: acceptors journal promises and accepts through a
+/// write-ahead store and withhold replies until the records are
+/// durable. Default stays diskless so the published figure outputs are
+/// untouched. Returns true when durable mode was requested.
+inline bool parse_durable(int argc, char** argv, harness::ClusterOptions& options) {
+  bool durable = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--durable") == 0) {
+      durable = true;
+      options.storage = paxos::StoragePolicy::kDurable;
+    } else if (std::strncmp(argv[i], "--fsync-us=", 11) == 0) {
+      const long us = std::strtol(argv[i] + 11, nullptr, 10);
+      if (us >= 0) options.storage_device.fsync_latency = us * kMicrosecond;
+    }
+  }
+  return durable;
+}
+
 /// Parses --threads=N and installs it as the harness-wide default, so
 /// every cluster the driver builds runs on the N-shard parallel engine
 /// (identical output to serial; see DESIGN.md §13). Returns the count

@@ -24,6 +24,10 @@ int main(int argc, char** argv) {
   const TraceFlags trace_flags = TraceFlags::parse(argc, argv);
   auto options = bench::broadcast_options();
   options.params.admission_rate = 750.0;  // the paper's "30%" per-stream throttle
+  // --durable reruns the figure with write-ahead acceptors so the
+  // durability overhead (EXPERIMENTS.md) is measured on the same
+  // workload; default stays diskless and prints byte-identical output.
+  const bool durable = bench::parse_durable(argc, argv, options);
 
   Cluster cluster(options);
   trace_flags.enable(cluster.sim());
@@ -109,6 +113,7 @@ int main(int argc, char** argv) {
   paper_check("fig3.4-streams", "4 streams ~ 3.6x, replicas saturating (paper 3.62x)",
               p4 / p1 > 3.0 && p4 / p1 < 4.0,
               (std::string("x") + std::to_string(p4 / p1)).c_str());
+  if (durable) bench::print_durability_summary(metrics);
   trace_flags.finish(cluster.sim());
   return 0;
 }

@@ -40,6 +40,8 @@ StreamId Cluster::add_stream_after(Tick provisioning_delay) {
     paxos::Acceptor::Config cfg;
     cfg.stream = stream;
     cfg.params = options_.params;
+    cfg.storage = options_.storage;
+    cfg.device = options_.storage_device;
     auto acceptor = std::make_unique<paxos::Acceptor>(
         &sim_, &net_, allocate_node_on(stream),
         "acc" + std::to_string(stream) + "." + std::to_string(i), cfg);

@@ -44,6 +44,12 @@ struct ClusterOptions {
   double node_bandwidth_bps = 0.0;
   paxos::Params params;
   size_t acceptors_per_stream = 3;  ///< paper §VII: 3 acceptor VMs per stream
+  /// Acceptor persistence policy, applied to every stream's ring
+  /// (per-acceptor overrides via Acceptor::set_storage). Diskless by
+  /// default — durable runs opt in and pay the journal's fsyncs.
+  paxos::StoragePolicy storage = paxos::StoragePolicy::kDiskless;
+  /// Journal device model used when storage == kDurable.
+  sim::DeviceParams storage_device;
   /// Replica state-machine apply costs (used by add_replica and the KV
   /// cluster builder).
   Tick apply_cpu_per_cmd = 50 * kMicrosecond;

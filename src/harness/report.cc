@@ -142,6 +142,7 @@ std::vector<StageRow> default_stage_rows() {
   return {
       {"propose-wait", "span.propose_wait"},
       {"quorum-wait", "span.quorum_wait"},
+      {"durable-wait", "span.durable_wait"},
       {"learn-wait", "span.learn_wait"},
       {"merge-skew-wait", "merge.skew_wait"},
       {"apply", "span.apply"},

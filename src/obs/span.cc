@@ -11,6 +11,7 @@ namespace {
 enum Metric : size_t {
   kProposeWait = 0,
   kQuorumWait,
+  kDurableWait,
   kLearnWait,
   kMergeSkewWait,
   kApply,
@@ -19,11 +20,11 @@ enum Metric : size_t {
 };
 
 constexpr const char* kMetricNames[] = {
-    "span.propose_wait", "span.quorum_wait", "span.learn_wait",
-    "merge.skew_wait",   "span.apply",       "span.e2e",
-    "span.client_rtt",
+    "span.propose_wait", "span.quorum_wait", "span.durable_wait",
+    "span.learn_wait",   "merge.skew_wait",  "span.apply",
+    "span.e2e",          "span.client_rtt",
 };
-static_assert(sizeof(kMetricNames) / sizeof(kMetricNames[0]) == 7);
+static_assert(sizeof(kMetricNames) / sizeof(kMetricNames[0]) == 8);
 
 // printf-append onto a std::string.
 void appendf(std::string& out, const char* fmt, ...) {
@@ -67,6 +68,7 @@ const char* span_stage_name(SpanStage stage) {
     case SpanStage::kClientSend: return "client_send";
     case SpanStage::kPropose: return "propose";
     case SpanStage::kDecide: return "decide";
+    case SpanStage::kDurable: return "durable";
     case SpanStage::kLearn: return "learn";
     case SpanStage::kDeliver: return "deliver";
     case SpanStage::kApply: return "apply";
@@ -135,6 +137,11 @@ void SpanCollector::publish(SpanStage stage, const SpanRecord& rec, const SpanEv
     case SpanStage::kDecide:
       if (const SpanEvent* p = prior(SpanStage::kPropose, 0, false)) {
         emit(kQuorumWait, ev.time - p->time);
+      }
+      break;
+    case SpanStage::kDurable:
+      if (const SpanEvent* p = prior(SpanStage::kDecide, ev.node, true)) {
+        emit(kDurableWait, ev.time - p->time);
       }
       break;
     case SpanStage::kLearn:
@@ -227,6 +234,12 @@ void SpanCollector::append_span_events(std::string& out, uint64_t trace,
       case SpanStage::kDecide:
         if ((p = prior_before(i, SpanStage::kPropose, 0, false)) != nullptr) {
           append_complete(out, "quorum_wait", p->time, ev.time - p->time, ev.node,
+                          ev.stream, trace, count);
+        }
+        break;
+      case SpanStage::kDurable:
+        if ((p = prior_before(i, SpanStage::kDecide, ev.node, true)) != nullptr) {
+          append_complete(out, "durable_wait", p->time, ev.time - p->time, ev.node,
                           ev.stream, trace, count);
         }
         break;

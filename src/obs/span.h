@@ -12,6 +12,8 @@
 //
 //   span.propose_wait   client send -> coordinator proposes the batch
 //   span.quorum_wait    propose     -> acceptor quorum completes
+//   span.durable_wait   quorum      -> acceptor journal record flushed
+//                                      (durable-storage runs only)
 //   span.learn_wait     decide      -> learner hands it to the merger
 //   merge.skew_wait     learner     -> merger releases it (the dMerge
 //                                      hold while sibling streams catch
@@ -49,12 +51,14 @@ enum class SpanStage : uint8_t {
   kClientSend = 0,  ///< client hands the command to the transport
   kPropose,         ///< coordinator batches it into a Paxos proposal
   kDecide,          ///< acceptor quorum completes
+  kDurable,         ///< quorum vote's journal record flushed (durable
+                    ///< acceptors only; diskless runs never record it)
   kLearn,           ///< learner delivers the instance to the merger
   kDeliver,         ///< merger releases it to the replica (hold ends)
   kApply,           ///< replica executes it (duration-carrying)
   kReply,           ///< client receives the reply
 };
-inline constexpr size_t kSpanStageCount = 7;
+inline constexpr size_t kSpanStageCount = 8;
 
 const char* span_stage_name(SpanStage stage);
 
@@ -143,7 +147,7 @@ class SpanCollector {
   uint64_t dropped_spans_ = 0;
 
   // Cached registry handles: [metric][aggregate or per-stream].
-  static constexpr size_t kMetricCount = 7;
+  static constexpr size_t kMetricCount = 8;
   Timer* aggregate_[kMetricCount] = {};
   std::map<uint32_t, Timer*> per_stream_[kMetricCount];
 };

@@ -1,6 +1,7 @@
 #include "paxos/acceptor.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -14,6 +15,27 @@ Acceptor::Acceptor(sim::Simulation* sim, sim::Network* net, NodeId id, std::stri
     : Process(sim, net, id, std::move(name)), config_(std::move(config)) {
   decisions_ = &metrics().counter("acceptor.decisions", {{"node", this->name()}});
   recoveries_ = &metrics().counter("acceptor.recoveries", {{"node", this->name()}});
+  replays_ = &metrics().counter("acceptor.replays", {{"node", this->name()}});
+  store_ = make_store();
+}
+
+std::unique_ptr<AcceptorStore> Acceptor::make_store() {
+  if (config_.storage == StoragePolicy::kDurable) {
+    return std::make_unique<WalAcceptorStore>(this, config_.device, name());
+  }
+  return std::make_unique<NullAcceptorStore>();
+}
+
+void Acceptor::set_storage(StoragePolicy policy, sim::DeviceParams device) {
+  config_.storage = policy;
+  config_.device = device;
+  store_ = make_store();
+}
+
+WalAcceptorStore* Acceptor::wal_store() {
+  return config_.storage == StoragePolicy::kDurable
+             ? static_cast<WalAcceptorStore*>(store_.get())
+             : nullptr;
 }
 
 bool Acceptor::has_decided(InstanceId instance) const {
@@ -56,14 +78,43 @@ void Acceptor::on_message(NodeId from, const MessagePtr& msg) {
 }
 
 void Acceptor::on_crash() {
-  if (!config_.stable_storage) {
-    promised_ = Ballot{};
-    log_.clear();
-    trim_horizon_ = 0;
-    decided_contiguous_ = 0;
-  }
-  // Learner registrations are soft state either way.
+  // A crash always wipes volatile state; what survives is exactly what
+  // the store's durable journal can replay. The null store replays
+  // nothing, so diskless acceptors restart empty — no magic retention.
+  promised_ = Ballot{};
+  log_.clear();
+  trim_horizon_ = 0;
+  decided_contiguous_ = 0;
+  // Learner registrations are soft state under every policy.
   learners_.clear();
+  store_->on_power_loss();
+}
+
+void Acceptor::on_restart() {
+  RecoveredState rs = store_->replay();
+  promised_ = rs.promised;
+  trim_horizon_ = rs.trim_horizon;
+  for (RecoveredState::Entry& e : rs.entries) {
+    Entry& entry = log_[e.instance];
+    entry.value_ballot = e.ballot;
+    entry.value = std::move(e.value);
+    entry.decided = e.decided;
+  }
+  // The watermark is recomputed from the replayed log rather than
+  // trusted from any record: a stale value above a replay hole would
+  // make RecoverReplies claim instances this acceptor no longer holds.
+  decided_contiguous_ = trim_horizon_;
+  advance_decided_contiguous();
+  if (store_->durable()) {
+    replays_->add(now());
+    const Tick cost = store_->replay_cost();
+    if (cost > 0) {
+      // Charged through a task so the replay read occupies the CPU
+      // before any post-restart message is processed (charges inside
+      // on_restart itself would not push busy_until_).
+      after(0, [this, cost] { charge(cost); });
+    }
+  }
 }
 
 void Acceptor::handle_phase1a(NodeId from, const Phase1aMsg& msg) {
@@ -74,7 +125,10 @@ void Acceptor::handle_phase1a(NodeId from, const Phase1aMsg& msg) {
   reply->stream = config_.stream;
   reply->ballot = msg.ballot;
   reply->acceptor = id();
-  if (msg.ballot > promised_) promised_ = msg.ballot;
+  if (msg.ballot > promised_) {
+    promised_ = msg.ballot;
+    store_->append_promise(promised_);
+  }
   reply->promised = promised_;
   reply->ok = (promised_ == msg.ballot);
   if (reply->ok) {
@@ -89,7 +143,12 @@ void Acceptor::handle_phase1a(NodeId from, const Phase1aMsg& msg) {
       reply->accepted.push_back(std::move(e));
     }
   }
-  send(from, std::move(reply));
+  // The promise (and the accepted entries the reply exposes, which may
+  // themselves still be in flight to the journal) must be durable
+  // before the reply leaves — the classic Paxos stable-storage rule.
+  store_->sync([this, from, reply = std::move(reply)]() mutable {
+    send(from, std::move(reply));
+  });
 }
 
 void Acceptor::charge_value_cpu(const Proposal& value) {
@@ -114,20 +173,14 @@ void Acceptor::handle_accept(const AcceptMsg& msg) {
   Entry& entry = log_[msg.instance];
   const bool was_decided = entry.decided;
   if (was_decided) {
-    // Retransmission of an instance we already know is decided: the
-    // leader's decision was lost (e.g. the deciding acceptor crashed
-    // mid-fan-out). Answer with a summary so its pipeline window frees
-    // up, and keep forwarding so the rest of the ring stores the value.
-    Proposal summary;
-    summary.first_slot = entry.value->first_slot;
-    summary.skip_slots = entry.value->slot_count();
-    send(msg.ballot.leader,
-         net::make_message<DecisionMsg>(config_.stream, msg.instance, std::move(summary)));
-    if (successor_ != net::kInvalidNode) {
-      auto fwd = net::make_mutable_message<AcceptMsg>(msg);
-      fwd->accept_count = msg.accept_count + 1;
-      send(successor_, std::move(fwd));
-    }
+    // Retransmission of an instance we already know is decided. The
+    // decided state may still be riding an in-flight flush, so the
+    // summary answer waits behind the same durability barrier as the
+    // original vote did.
+    store_->sync([this, instance = msg.instance, ballot = msg.ballot, value = msg.value,
+                  stored = entry.value, count = msg.accept_count + 1] {
+      finish_accept(instance, ballot, value, stored, count, /*was_decided=*/true);
+    });
     return;
   }
   entry.value_ballot = msg.ballot;
@@ -137,39 +190,92 @@ void Acceptor::handle_accept(const AcceptMsg& msg) {
   if (count >= quorum_) entry.decided = true;
   if (entry.decided && !was_decided) advance_decided_contiguous();
 
-  // The acceptor completing the quorum publishes the decision. The
-  // coordinator (the ballot leader) only needs instance/slot bookkeeping,
-  // so it receives a payload-free summary — commands are collapsed into
-  // an equivalent skip run, preserving first_slot and slot_count()
-  // without shipping the payload bytes again.
-  if (count == quorum_ && !was_decided) {
+  // Durable runs stamp kDecide at the in-memory quorum so durable_wait
+  // (kDurable - kDecide) measures the journal flush; finish_accept's
+  // own kDecide record then dedupes (first wins). Diskless runs keep
+  // the historical single record inside the inline continuation.
+  if (count == quorum_ && !was_decided && store_->durable() && spans().enabled()) {
+    for (const Command& c : msg.value->commands) {
+      spans().record(c.id, obs::SpanStage::kDecide, now(), id(), config_.stream);
+    }
+  }
+
+  // Write-ahead: the in-memory accept above is journaled here, and the
+  // vote only propagates (ring forward, decision fan-out) once the
+  // record is durable. The diskless store runs the continuation inline.
+  store_->append_accept(msg.instance, msg.ballot, msg.value, entry.decided);
+  store_->sync([this, instance = msg.instance, ballot = msg.ballot, value = msg.value,
+                count] {
+    finish_accept(instance, ballot, value, value, count, /*was_decided=*/false);
+  });
+}
+
+void Acceptor::finish_accept(InstanceId instance, Ballot ballot, ProposalPtr value,
+                             ProposalPtr stored, uint32_t count, bool was_decided) {
+  if (was_decided) {
+    // The leader's decision was lost (e.g. the deciding acceptor crashed
+    // mid-fan-out). Answer with a summary so its pipeline window frees
+    // up, and keep forwarding so the rest of the ring stores the value.
+    Proposal summary;
+    summary.first_slot = stored->first_slot;
+    summary.skip_slots = stored->slot_count();
+    send(ballot.leader,
+         net::make_message<DecisionMsg>(config_.stream, instance, std::move(summary)));
+  } else if (count == quorum_) {
+    // The acceptor completing the quorum publishes the decision. The
+    // coordinator (the ballot leader) only needs instance/slot
+    // bookkeeping, so it receives a payload-free summary — commands are
+    // collapsed into an equivalent skip run, preserving first_slot and
+    // slot_count() without shipping the payload bytes again.
     decisions_->add(now());
-    trace().record(now(), obs::TraceKind::kDecide, id(), config_.stream, msg.instance,
-                   msg.value->slot_count());
+    trace().record(now(), obs::TraceKind::kDecide, id(), config_.stream, instance,
+                   value->slot_count());
     if (spans().enabled()) {
-      for (const Command& c : msg.value->commands) {
+      if (store_->durable()) {
+        for (const Command& c : value->commands) {
+          spans().record(c.id, obs::SpanStage::kDurable, now(), id(), config_.stream);
+        }
+      }
+      for (const Command& c : value->commands) {
         spans().record(c.id, obs::SpanStage::kDecide, now(), id(), config_.stream);
       }
     }
+    bool leader_informed = false;
     for (NodeId learner : learners_) {
-      if (learner == msg.ballot.leader) {
+      if (learner == ballot.leader) {
         Proposal summary;
-        summary.first_slot = msg.value->first_slot;
-        summary.skip_slots = msg.value->slot_count();
+        summary.first_slot = value->first_slot;
+        summary.skip_slots = value->slot_count();
         send(learner,
-             net::make_message<DecisionMsg>(config_.stream, msg.instance, std::move(summary)));
+             net::make_message<DecisionMsg>(config_.stream, instance, std::move(summary)));
+        leader_informed = true;
       } else {
         // Fan-out shares the stored proposal: one refcount bump per
         // learner instead of one command-vector copy per learner.
-        send(learner,
-             net::make_message<DecisionMsg>(config_.stream, msg.instance, msg.value));
+        send(learner, net::make_message<DecisionMsg>(config_.stream, instance, value));
       }
+    }
+    if (!leader_informed && ballot.leader != net::kInvalidNode) {
+      // The learner set is soft state and a restarted acceptor loses it;
+      // replicas re-join via gap repair but the leader has no such loop,
+      // and without its summaries the pipeline window only drains at the
+      // retransmission cadence. The leader is owed a summary regardless
+      // of registration.
+      Proposal summary;
+      summary.first_slot = value->first_slot;
+      summary.skip_slots = value->slot_count();
+      send(ballot.leader,
+           net::make_message<DecisionMsg>(config_.stream, instance, std::move(summary)));
     }
   }
 
   // Forward along the ring so every acceptor stores the value.
   if (successor_ != net::kInvalidNode) {
-    auto fwd = net::make_mutable_message<AcceptMsg>(msg);
+    auto fwd = net::make_mutable_message<AcceptMsg>();
+    fwd->stream = config_.stream;
+    fwd->ballot = ballot;
+    fwd->instance = instance;
+    fwd->value = std::move(value);
     fwd->accept_count = count;
     send(successor_, std::move(fwd));
   }
@@ -202,7 +308,11 @@ void Acceptor::handle_recover(NodeId from, const RecoverRequestMsg& msg) {
     for (const auto& c : stored.value->commands) reply_bytes += c.payload_bytes();
   }
   charge(static_cast<Tick>(reply_bytes / kKiB) * config_.params.acceptor_cpu_per_kib);
-  send(from, std::move(reply));
+  // The chunk may expose decided flags whose records are still being
+  // flushed; catch-up replies obey the same durability barrier.
+  store_->sync([this, from, reply = std::move(reply)]() mutable {
+    send(from, std::move(reply));
+  });
 }
 
 void Acceptor::handle_trim(const TrimRequestMsg& msg) {
@@ -211,6 +321,10 @@ void Acceptor::handle_trim(const TrimRequestMsg& msg) {
   log_.trim_below(msg.up_to);
   trim_horizon_ = msg.up_to;
   decided_contiguous_ = std::max(decided_contiguous_, trim_horizon_);
+  // Checkpoint the new horizon; once the record is durable the store
+  // compacts the journal below it, and a restarted acceptor will not
+  // serve RecoverRequests for instances it already trimmed.
+  store_->append_checkpoint(promised_, trim_horizon_);
 }
 
 }  // namespace epx::paxos

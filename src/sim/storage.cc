@@ -1,0 +1,116 @@
+#include "sim/storage.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sim/process.h"
+
+namespace epx::sim {
+
+namespace {
+
+Tick transfer_time(uint64_t bytes, double bits_per_second) {
+  if (bits_per_second <= 0.0) return 0;
+  return static_cast<Tick>(static_cast<double>(bytes) * 8.0 / bits_per_second * kSecond);
+}
+
+}  // namespace
+
+StorageDevice::StorageDevice(Process* host, DeviceParams params, std::string name)
+    : host_(host), params_(params) {
+  if (params_.queue_depth == 0) params_.queue_depth = 1;
+  if (params_.max_batch_writes == 0) params_.max_batch_writes = 1;
+  const obs::Labels labels{{"node", name}};
+  fsyncs_ = &host_->metrics().counter("storage.fsync", labels);
+  bytes_flushed_ = &host_->metrics().counter("storage.fsync_bytes", labels);
+  batch_writes_ = &host_->metrics().counter("storage.batch_writes", labels);
+  fsync_wait_ = &host_->metrics().timer("storage.fsync_wait", labels);
+  queue_gauge_ = &host_->metrics().gauge("storage.queue", labels);
+}
+
+StorageDevice::~StorageDevice() { ++*gen_; }
+
+void StorageDevice::append(uint64_t bytes, std::function<void()> on_durable) {
+  pending_.push_back(Write{bytes, host_->now(), std::move(on_durable)});
+  queue_gauge_->set(static_cast<double>(queued_writes()));
+  if (inflight_ >= params_.queue_depth) return;  // completion path flushes next
+  if (pending_.size() >= params_.max_batch_writes || params_.commit_window == 0) {
+    flush_now();
+  } else if (!flush_armed_) {
+    arm_flush(params_.commit_window);
+  }
+}
+
+void StorageDevice::arm_flush(Tick delay) {
+  flush_armed_ = true;
+  const uint64_t gen = *gen_;
+  host_->after(delay, [this, alive = gen_, gen] {
+    if (*alive != gen) return;
+    flush_armed_ = false;
+    if (!pending_.empty() && inflight_ < params_.queue_depth) flush_now();
+  });
+}
+
+void StorageDevice::flush_now() {
+  if (pending_.empty()) return;
+  const Tick now = host_->now();
+  const size_t take = std::min(pending_.size(), params_.max_batch_writes);
+  std::vector<Write> batch;
+  batch.reserve(take);
+  uint64_t batch_bytes = 0;
+  for (size_t i = 0; i < take; ++i) {
+    batch_bytes += pending_.front().bytes;
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+
+  // The transfer pipe serialises across flushes; the fsync round trip
+  // can overlap up to queue_depth deep. Completions stay FIFO so the
+  // journal's append order is the durability order.
+  media_free_at_ = std::max(media_free_at_, now) + transfer_time(batch_bytes, params_.write_bw_bps);
+  Tick done_at = media_free_at_ + params_.fsync_latency;
+  done_at = std::max(done_at, last_completion_);
+  last_completion_ = done_at;
+  ++inflight_;
+  inflight_writes_ += batch.size();
+
+  const uint64_t gen = *gen_;
+  host_->after(done_at - now,
+               [this, alive = gen_, gen, batch = std::move(batch), batch_bytes]() mutable {
+                 if (*alive != gen) return;
+                 const Tick t = host_->now();
+                 fsyncs_->add(t);
+                 bytes_flushed_->add(t, batch_bytes);
+                 batch_writes_->add(t, batch.size());
+                 --inflight_;
+                 inflight_writes_ -= batch.size();
+                 queue_gauge_->set(static_cast<double>(queued_writes()));
+                 for (Write& w : batch) {
+                   fsync_wait_->record(t, t - w.enqueued);
+                   if (w.on_durable) w.on_durable();
+                 }
+                 // Saturated device: follow-up batches flush back to back,
+                 // which is where group commit's amortisation comes from.
+                 if (!pending_.empty() && inflight_ < params_.queue_depth) flush_now();
+               });
+}
+
+void StorageDevice::on_power_loss() {
+  // The host's epoch bump already killed the flush timers; drop the
+  // un-flushed writes so their callbacks can never fire.
+  ++*gen_;
+  pending_.clear();
+  flush_armed_ = false;
+  inflight_ = 0;
+  inflight_writes_ = 0;
+  media_free_at_ = 0;
+  last_completion_ = 0;
+  queue_gauge_->set(0.0);
+}
+
+Tick StorageDevice::replay_cost(uint64_t bytes) const {
+  return params_.fsync_latency + transfer_time(bytes, params_.read_bw_bps);
+}
+
+}  // namespace epx::sim

@@ -1,0 +1,128 @@
+// Simulated stable-storage device: the fourth resource of the
+// simulation, next to CPU, links and NICs.
+//
+// A StorageDevice models the write path of one journal disk the way
+// Ring Paxos measures it (acceptor fsyncs are the throughput cliff that
+// group commit must amortise):
+//
+//   * fsync latency  — fixed cost per flush (the device round trip),
+//   * bandwidth      — journal bytes transfer time on top of the fsync,
+//   * commit window  — group commit: the first write of an idle batch
+//                      waits up to this long for followers to join the
+//                      same flush,
+//   * queue depth    — concurrent flushes the device sustains (1 =
+//                      classic serialising disk, >1 = NVMe-style), with
+//                      FIFO completion so journal semantics hold.
+//
+// Every event a device schedules is a node-local timer on its host
+// process (Process::after), so the subsystem is parallel-engine-safe by
+// construction: storage never interacts across shards and therefore
+// never constrains the Network's lookahead window — the same contract,
+// satisfied trivially. Completion callbacks run in host CPU context
+// (charges and sends behave like any handler) and are dropped wholesale
+// by a host crash: an un-fsynced write is lost on power loss, which is
+// exactly the property the write-ahead acceptor store builds on.
+//
+// Determinism: flush departure and completion times are pure functions
+// of the append history and the device parameters; no RNG is drawn.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/units.h"
+
+namespace epx::sim {
+
+class Process;
+
+struct DeviceParams {
+  /// Fixed cost of one fsync (flush) round trip to stable media.
+  Tick fsync_latency = 100 * kMicrosecond;
+  /// Journal write bandwidth in bits/second; 0 = unlimited.
+  double write_bw_bps = 4e9;
+  /// Group-commit window: the first write of an idle batch waits this
+  /// long for more writes before flushing. 0 = flush immediately.
+  Tick commit_window = 100 * kMicrosecond;
+  /// Concurrent flushes in flight (completions stay FIFO). Minimum 1.
+  size_t queue_depth = 1;
+  /// Flush early once a batch has accumulated this many writes.
+  size_t max_batch_writes = 256;
+  /// Sequential read bandwidth for journal replay, bits/second;
+  /// 0 = unlimited (replay costs only the fixed fsync latency).
+  double read_bw_bps = 8e9;
+};
+
+/// One simulated journal device owned by a host process. Appends are
+/// buffered into group-commit batches; each batch becomes one flush and
+/// the write's callback fires when its covering flush completes.
+class StorageDevice {
+ public:
+  /// `name` labels the device's metrics ({node=<name>}); hosts with one
+  /// device pass their own name.
+  StorageDevice(Process* host, DeviceParams params, std::string name);
+  ~StorageDevice();
+
+  StorageDevice(const StorageDevice&) = delete;
+  StorageDevice& operator=(const StorageDevice&) = delete;
+
+  /// Queues `bytes` for the journal. `on_durable` runs (in host CPU
+  /// context) when the covering flush completes; completions are FIFO
+  /// in append order. After a power loss the callback of any un-flushed
+  /// write never fires.
+  void append(uint64_t bytes, std::function<void()> on_durable);
+
+  /// Host crash: un-flushed writes (buffered and in flight) are lost.
+  /// Pending completion timers are already dead via the host's epoch
+  /// bump; this resets the queue bookkeeping to match.
+  void on_power_loss();
+
+  /// Virtual time to read `bytes` back sequentially (journal replay).
+  Tick replay_cost(uint64_t bytes) const;
+
+  const DeviceParams& params() const { return params_; }
+  void set_params(DeviceParams params) { params_ = params; }
+
+  // --- introspection (tests, stores) ------------------------------------
+  uint64_t fsyncs() const { return fsyncs_->total(); }
+  uint64_t bytes_flushed() const { return bytes_flushed_->total(); }
+  /// Writes buffered or in flight (not yet durable).
+  size_t queued_writes() const { return pending_.size() + inflight_writes_; }
+  bool idle() const { return pending_.empty() && inflight_ == 0; }
+
+ private:
+  struct Write {
+    uint64_t bytes;
+    Tick enqueued;
+    std::function<void()> on_durable;
+  };
+
+  void arm_flush(Tick delay);
+  void flush_now();
+
+  Process* host_;
+  DeviceParams params_;
+
+  std::deque<Write> pending_;  ///< buffered, waiting for the next flush
+  bool flush_armed_ = false;
+  size_t inflight_ = 0;         ///< flushes in flight (<= queue_depth)
+  size_t inflight_writes_ = 0;  ///< writes covered by in-flight flushes
+  Tick media_free_at_ = 0;      ///< device transfer pipe (bandwidth serialisation)
+  Tick last_completion_ = 0;    ///< FIFO floor for completion times
+  /// Invalidates queued flush/completion lambdas when the device is
+  /// destroyed or loses power while its host lives on (store rebuild).
+  std::shared_ptr<uint64_t> gen_ = std::make_shared<uint64_t>(0);
+
+  // Registry-owned handles, labelled {node=<name>}.
+  obs::Counter* fsyncs_;         // storage.fsync: flushes completed
+  obs::Counter* bytes_flushed_;  // storage.fsync_bytes: journal bytes made durable
+  obs::Counter* batch_writes_;   // storage.batch_writes: writes amortised per flush
+  obs::Timer* fsync_wait_;       // storage.fsync_wait: append -> durable latency
+  obs::Gauge* queue_gauge_;      // storage.queue: un-durable writes (high-water mark)
+};
+
+}  // namespace epx::sim

@@ -143,8 +143,9 @@ TEST_F(FailoverTest, DecidingAcceptorRestartKeepsDelivering) {
   cluster.run_for(2 * kSecond);
 
   // The quorum-completing acceptor (position 1 in a 3-ring) fans out
-  // decisions; restart it. Its log survives (stable storage) but its
-  // learner registrations do not — learners must re-join via gap repair.
+  // decisions; restart it. Under the default diskless policy its log and
+  // learner registrations are both lost — learners re-join via gap
+  // repair and the coordinator re-decides via retransmission.
   auto acceptors = cluster.acceptors(s1);
   acceptors[1]->crash();
   cluster.run_for(200 * kMillisecond);

@@ -1,0 +1,20 @@
+// Fixture: the acceptor_store journal-slab idiom (growable new[] array,
+// delete[] on release) but WITHOUT the path-override directive — it
+// scopes to src/r3_storage_bad.cc and both raw sites must trip R3.
+// Together with r3_storage_clean.cc the pair proves the
+// acceptor_store allowlist entry is path-keyed: there and nowhere else.
+
+namespace epx_fixture {
+
+struct Record {
+  unsigned long bytes = 0;
+};
+
+Record* grow(Record* slab, unsigned long len, unsigned long new_cap) {
+  Record* grown = new Record[new_cap];  // R3: raw slab buy
+  for (unsigned long i = 0; i < len; ++i) grown[i] = slab[i];
+  delete[] slab;  // R3: raw slab release
+  return grown;
+}
+
+}  // namespace epx_fixture

@@ -1,0 +1,22 @@
+// Fixture: the journal-slab storage idiom as written in
+// src/paxos/acceptor_store.cc — must NOT trip epx-lint R3 because the
+// path override below lands it on the acceptor_store allowlist entry.
+// The twin fixture r3_storage_bad.cc holds the identical code WITHOUT
+// the override and must trip, proving the exemption is keyed to the
+// acceptor_store path and nowhere else.
+// epx-lint: path(src/paxos/acceptor_store.cc)
+
+namespace epx_fixture {
+
+struct Record {
+  unsigned long bytes = 0;
+};
+
+Record* grow(Record* slab, unsigned long len, unsigned long new_cap) {
+  Record* grown = new Record[new_cap];  // slab buy
+  for (unsigned long i = 0; i < len; ++i) grown[i] = slab[i];
+  delete[] slab;  // slab release
+  return grown;
+}
+
+}  // namespace epx_fixture

@@ -228,29 +228,55 @@ TEST_F(AcceptorTest, RecoverChunksLargeRanges) {
   EXPECT_EQ(replies[0]->entries.size(), chunk);
 }
 
-TEST_F(AcceptorTest, StableStorageSurvivesCrash) {
-  join_learner();
-  net.send(sender->id(), acc->id(), accept_msg({1, 2}, 0, make_value(42), 1), 0);
-  sim.run_to_completion();
-  acc->crash();
-  acc->restart();
-  EXPECT_TRUE(acc->has_decided(0));
-  EXPECT_EQ(acc->promised(), (Ballot{1, 2}));
-}
-
-TEST_F(AcceptorTest, VolatileStorageLosesStateOnCrash) {
+TEST_F(AcceptorTest, DurableStorageReplaysJournalOnRestart) {
   Acceptor::Config cfg;
   cfg.stream = 2;
-  cfg.stable_storage = false;
-  Acceptor volatile_acc(&sim, &net, 50, "volatile", cfg);
-  volatile_acc.set_quorum(2);
-  net.send(sender->id(), volatile_acc.id(), accept_msg({1, 2}, 0, make_value(42), 1), 0);
+  cfg.storage = paxos::StoragePolicy::kDurable;
+  Acceptor durable_acc(&sim, &net, 50, "durable", cfg);
+  durable_acc.set_quorum(2);
+  net.send(sender->id(), durable_acc.id(), accept_msg({1, 2}, 0, make_value(42), 1), 0);
+  sim.run_to_completion();  // drains the journal flush
+  EXPECT_TRUE(durable_acc.has_decided(0));
+  ASSERT_NE(durable_acc.wal_store(), nullptr);
+  EXPECT_GT(durable_acc.wal_store()->journal_records(), 0u);
+  durable_acc.crash();
+  EXPECT_FALSE(durable_acc.has_decided(0));  // volatile state is gone
+  durable_acc.restart();                     // ... until replay rebuilds it
+  EXPECT_TRUE(durable_acc.has_decided(0));
+  EXPECT_EQ(durable_acc.promised(), (Ballot{1, 2}));
+}
+
+TEST_F(AcceptorTest, DisklessStorageLosesStateOnCrash) {
+  // kDiskless is the default policy: nothing survives a crash.
+  EXPECT_EQ(acc->storage_policy(), paxos::StoragePolicy::kDiskless);
+  net.send(sender->id(), acc->id(), accept_msg({1, 2}, 0, make_value(42), 1), 0);
   sim.run_to_completion();
-  EXPECT_TRUE(volatile_acc.has_decided(0));
-  volatile_acc.crash();
-  volatile_acc.restart();
-  EXPECT_FALSE(volatile_acc.has_decided(0));
-  EXPECT_EQ(volatile_acc.promised(), Ballot{});
+  EXPECT_TRUE(acc->has_decided(0));
+  acc->crash();
+  acc->restart();
+  EXPECT_FALSE(acc->has_decided(0));
+  EXPECT_EQ(acc->promised(), Ballot{});
+}
+
+TEST_F(AcceptorTest, PowerLossBeforeFlushLosesTheTail) {
+  Acceptor::Config cfg;
+  cfg.stream = 2;
+  cfg.storage = paxos::StoragePolicy::kDurable;
+  cfg.device.fsync_latency = 10 * kMillisecond;  // slow disk: flush in flight
+  Acceptor durable_acc(&sim, &net, 51, "durable2", cfg);
+  durable_acc.set_quorum(2);
+  net.send(sender->id(), durable_acc.id(), accept_msg({1, 2}, 0, make_value(42), 1), 0);
+  sim.run_until(1 * kMillisecond);  // accept processed, fsync still pending
+  EXPECT_TRUE(durable_acc.has_decided(0));
+  ASSERT_NE(durable_acc.wal_store(), nullptr);
+  EXPECT_GT(durable_acc.wal_store()->pending_records(), 0u);
+  durable_acc.crash();
+  durable_acc.restart();
+  // The un-flushed record died with the power; no decision survives, and
+  // no Decision/forward ever left the node for it.
+  EXPECT_FALSE(durable_acc.has_decided(0));
+  sim.run_to_completion();
+  EXPECT_TRUE(learner->of_type<DecisionMsg>(net::MsgType::kDecision).empty());
 }
 
 TEST_F(AcceptorTest, CrashClearsLearnerRegistrations) {

@@ -1,0 +1,196 @@
+// StorageDevice unit tests: group-commit batching, queue-depth
+// pipelining behind an in-flight flush, FIFO completion order, power
+// loss dropping un-flushed writes, and replay cost accounting. These pin
+// the device model the write-ahead acceptor store builds on (DESIGN.md
+// §14): durability order equals append order, and nothing survives a
+// power loss that was not covered by a completed flush.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/process.h"
+#include "sim/storage.h"
+#include "tests/test_util.h"
+
+namespace epx {
+namespace {
+
+class StorageHost : public sim::Process {
+ public:
+  StorageHost(sim::Simulation* sim, sim::Network* net, net::NodeId id)
+      : Process(sim, net, id, "host" + std::to_string(id)) {}
+
+ protected:
+  void on_message(net::NodeId, const net::MessagePtr&) override {}
+};
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing::init_logging();
+    host = std::make_unique<StorageHost>(&sim, &net, 1);
+  }
+
+  /// Appends `bytes` and records the write's index when it durably
+  /// completes, so tests can assert both count and order.
+  void append(sim::StorageDevice& dev, int index, uint64_t bytes = 512) {
+    dev.append(bytes, [this, index] { completed.push_back(index); });
+  }
+
+  sim::Simulation sim;
+  sim::Network net{&sim, 1};
+  std::unique_ptr<StorageHost> host;
+  std::vector<int> completed;
+};
+
+TEST_F(StorageTest, GroupCommitAmortisesFsyncs) {
+  sim::DeviceParams params;
+  params.commit_window = 100 * kMicrosecond;
+  params.fsync_latency = 100 * kMicrosecond;
+  sim::StorageDevice dev(host.get(), params, "dev");
+
+  for (int i = 0; i < 10; ++i) append(dev, i);
+  EXPECT_EQ(dev.queued_writes(), 10u);
+  sim.run_to_completion();
+
+  // All ten writes joined the first flush's commit window: one fsync.
+  EXPECT_EQ(dev.fsyncs(), 1u);
+  EXPECT_EQ(dev.bytes_flushed(), 10u * 512u);
+  EXPECT_EQ(completed, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_TRUE(dev.idle());
+}
+
+TEST_F(StorageTest, ZeroWindowBatchesBehindInflightFlush) {
+  // With no commit window the first append flushes immediately; the
+  // writes that arrive while that flush is in flight still amortise,
+  // because a serialising device (queue_depth 1) cannot take a second
+  // flush until the first completes.
+  sim::DeviceParams params;
+  params.commit_window = 0;
+  params.fsync_latency = 1 * kMillisecond;
+  params.queue_depth = 1;
+  sim::StorageDevice dev(host.get(), params, "dev");
+
+  for (int i = 0; i < 6; ++i) append(dev, i);
+  sim.run_to_completion();
+
+  EXPECT_EQ(dev.fsyncs(), 2u);  // write 0 alone, then writes 1-5 together
+  EXPECT_EQ(completed, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST_F(StorageTest, MaxBatchWritesCapsAFlush) {
+  sim::DeviceParams params;
+  params.commit_window = 1 * kMillisecond;
+  params.fsync_latency = 10 * kMicrosecond;
+  params.max_batch_writes = 4;
+  sim::StorageDevice dev(host.get(), params, "dev");
+
+  // The fourth append hits the batch cap and flushes without waiting
+  // out the window; the remaining two go in a second flush.
+  for (int i = 0; i < 6; ++i) append(dev, i);
+  sim.run_to_completion();
+
+  EXPECT_EQ(dev.fsyncs(), 2u);
+  EXPECT_EQ(completed.size(), 6u);
+}
+
+TEST_F(StorageTest, CompletionsStayFifoAcrossQueueDepth) {
+  // An NVMe-style device overlaps flushes, but completions must stay in
+  // append order — the store relies on "durable up to record N" being a
+  // prefix property. A huge first write followed by tiny ones would
+  // invert completion order on a real device without the FIFO floor.
+  sim::DeviceParams params;
+  params.commit_window = 0;
+  params.fsync_latency = 100 * kMicrosecond;
+  params.queue_depth = 4;
+  params.write_bw_bps = 1e9;  // 8 ms for the 1 MB write
+  sim::StorageDevice dev(host.get(), params, "dev");
+
+  append(dev, 0, 1024 * 1024);
+  append(dev, 1, 16);
+  append(dev, 2, 16);
+  sim.run_to_completion();
+
+  EXPECT_EQ(completed, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(dev.fsyncs(), 3u);
+}
+
+TEST_F(StorageTest, PowerLossDropsUnflushedWrites) {
+  sim::DeviceParams params;
+  params.commit_window = 0;
+  params.fsync_latency = 10 * kMillisecond;
+  sim::StorageDevice dev(host.get(), params, "dev");
+
+  append(dev, 0);
+  append(dev, 1);
+  sim.run_until(1 * kMillisecond);  // flush of write 0 still in flight
+  EXPECT_TRUE(completed.empty());
+  EXPECT_EQ(dev.queued_writes(), 2u);
+
+  // Power loss: the host's epoch bump kills the completion timer and
+  // the device forgets everything not yet durable.
+  host->crash();
+  dev.on_power_loss();
+  EXPECT_EQ(dev.queued_writes(), 0u);
+  EXPECT_TRUE(dev.idle());
+  host->restart();
+
+  // The device keeps working after the restart; only the new write's
+  // callback ever fires.
+  append(dev, 2);
+  sim.run_to_completion();
+  EXPECT_EQ(completed, (std::vector<int>{2}));
+}
+
+TEST_F(StorageTest, ReplayCostScalesWithJournalSize) {
+  sim::DeviceParams params;
+  params.fsync_latency = 100 * kMicrosecond;
+  params.read_bw_bps = 8e9;
+  sim::StorageDevice dev(host.get(), params, "dev");
+
+  const Tick empty = dev.replay_cost(0);
+  const Tick small = dev.replay_cost(1024);
+  const Tick large = dev.replay_cost(1024 * 1024);
+  EXPECT_EQ(empty, params.fsync_latency);  // fixed open/seek cost
+  EXPECT_GT(small, empty);
+  EXPECT_GT(large, small);
+
+  // Unlimited read bandwidth degenerates to the fixed cost alone.
+  params.read_bw_bps = 0;
+  dev.set_params(params);
+  EXPECT_EQ(dev.replay_cost(1024 * 1024), params.fsync_latency);
+}
+
+TEST_F(StorageTest, DeterministicCompletionTimes) {
+  // Flush departure and completion times are pure functions of the
+  // append history: two identical devices fed the same schedule complete
+  // at identical ticks. This is the parallel-engine safety contract.
+  sim::DeviceParams params;
+  params.commit_window = 50 * kMicrosecond;
+  params.fsync_latency = 200 * kMicrosecond;
+
+  std::vector<Tick> first_run;
+  for (int run = 0; run < 2; ++run) {
+    sim::Simulation local_sim;
+    sim::Network local_net{&local_sim, 1};
+    StorageHost local_host(&local_sim, &local_net, 1);
+    sim::StorageDevice dev(&local_host, params, "dev");
+    std::vector<Tick> times;
+    for (int i = 0; i < 8; ++i) {
+      local_sim.schedule_at(i * 30 * kMicrosecond, [&dev, &times, &local_host] {
+        dev.append(256, [&times, &local_host] { times.push_back(local_host.now()); });
+      });
+    }
+    local_sim.run_to_completion();
+    ASSERT_EQ(times.size(), 8u);
+    if (run == 0) {
+      first_run = times;
+    } else {
+      EXPECT_EQ(times, first_run);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace epx

@@ -53,7 +53,8 @@ RULES = {
 ALLOWED = {
     "R1": ("src/util/logging.", "src/util/rng."),
     "R2": ("src/util/sorted.h",),
-    "R3": ("src/net/pool.", "src/sim/event_queue.", "src/paxos/slot_log."),
+    "R3": ("src/net/pool.", "src/sim/event_queue.", "src/paxos/slot_log.",
+           "src/paxos/acceptor_store."),
     "R5": ("src/sim/",),
 }
 

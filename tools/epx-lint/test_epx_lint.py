@@ -28,6 +28,8 @@ BAD = [
     # Same raw slab storage as slot_log but scoped to a non-allowlisted
     # path: the R3 exemption must not travel with the code.
     ("r3_slotlog_bad.cc", "R3", 2),
+    # The acceptor_store journal slab, likewise scoped off-allowlist.
+    ("r3_storage_bad.cc", "R3", 2),
     ("r4_bad_messages.h", "R4", 3),
     ("r5_bad.cc", "R5", 4),
     ("r6_bad.cc", "R6", 3),
@@ -42,6 +44,8 @@ CLEAN = [
     # Pins itself to src/paxos/slot_log.cc via the path-override
     # directive, so its raw slab storage rides the allowlist entry.
     ("r3_slotlog_clean.cc", "R3"),
+    # Pins itself to src/paxos/acceptor_store.cc the same way.
+    ("r3_storage_clean.cc", "R3"),
     ("r4_clean_messages.h", "R4"),
     ("r5_clean.cc", "R5"),
     ("r6_clean.cc", "R6"),

@@ -32,6 +32,7 @@ VALID_PHASES = {"b", "e", "X", "i", "M"}
 STAGE_EVENTS = {
     "propose_wait",
     "quorum_wait",
+    "durable_wait",
     "learn_wait",
     "merge_skew_wait",
     "apply",

@@ -4,10 +4,11 @@ committed baseline (BENCH_micro.json at the repo root).
 
 Only a small set of end-to-end-ish keys is gated -- individual
 micro-benchmarks are too noisy on shared CI runners to gate tightly,
-so we pick the four that summarise the protocol hot path (one Paxos
-round trip, the merger pump, and a simulated cluster-second on both
-the serial and the 4-shard parallel engine) and allow a generous
-regression threshold (default 30%). Improvements never fail.
+so we pick the handful that summarise the protocol hot path (one Paxos
+round trip, the merger pump, a simulated cluster-second on both the
+serial and the 4-shard parallel engine, and a group-committed WAL
+append) and allow a generous regression threshold (default 30%).
+Improvements never fail.
 
 Usage:
   compare.py --baseline BENCH_micro.json --current fresh.json \
@@ -27,6 +28,7 @@ DEFAULT_KEYS = [
     "BM_MergerPump/4",
     "BM_SimulatedClusterSecond",
     "BM_SimulatedClusterSecond/T:4",
+    "BM_AcceptorWalAppend/100",
 ]
 
 
