@@ -9,7 +9,6 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kPhase1a: return "Phase1a";
     case MsgType::kPhase1b: return "Phase1b";
     case MsgType::kAccept: return "Accept";
-    case MsgType::kAccepted: return "Accepted";
     case MsgType::kDecision: return "Decision";
     case MsgType::kLearnerJoin: return "LearnerJoin";
     case MsgType::kLearnerLeave: return "LearnerLeave";
@@ -23,7 +22,6 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kRegistryReply: return "RegistryReply";
     case MsgType::kRegistryWatch: return "RegistryWatch";
     case MsgType::kRegistryEvent: return "RegistryEvent";
-    case MsgType::kKvRequest: return "KvRequest";
     case MsgType::kKvReply: return "KvReply";
     case MsgType::kKvSignal: return "KvSignal";
     case MsgType::kSnapshotRequest: return "SnapshotRequest";

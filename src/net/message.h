@@ -32,9 +32,9 @@ enum class MsgType : uint16_t {
   kProposeReject,
   kPhase1a,
   kPhase1b,
-  kAccept,       // phase 2a travelling along the acceptor ring
-  kAccepted,     // phase 2b back to the coordinator (non-ring fallback)
-  kDecision,     // decided instance fanned out to learners
+  kAccept,        // phase 2a travelling along the acceptor ring
+  kDecision = 7,  // decided instance fanned out to learners (tag 6 retired:
+                  // kAccepted, the non-ring phase-2b fallback, was never built)
   kLearnerJoin,  // learner (un)registers with a stream's acceptors
   kLearnerLeave,
   kRecoverRequest,  // learner catch-up
@@ -50,9 +50,9 @@ enum class MsgType : uint16_t {
   kRegistryWatch,
   kRegistryEvent,
 
-  // Key/value store
-  kKvRequest = 200,
-  kKvReply,
+  // Key/value store (tag 200 retired: kKvRequest — clients propose through
+  // the multicast path via kClientPropose, a direct-request path never existed)
+  kKvReply = 201,
   kKvSignal,  // multi-partition execution signals
   kSnapshotRequest,
   kSnapshotReply,

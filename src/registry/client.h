@@ -36,8 +36,35 @@ class RegistryClient {
     host_->send(server_, net::make_message<RegistryWatchMsg>(prefix, host_->id()));
   }
 
+  using GetCallback = std::function<void(bool found, const std::string& value,
+                                         uint64_t version)>;
+
+  /// Point read: fetches the current value of `key` from the server
+  /// without installing a watch. `cb` fires once with (found, value,
+  /// version); a successful read also refreshes the local cache so later
+  /// cached_value() calls see at least the fetched version.
+  void get(const std::string& key, GetCallback cb) {
+    const uint64_t id = next_request_++;
+    pending_gets_.emplace_back(id, std::move(cb));
+    host_->send(server_, net::make_message<RegistryGetMsg>(id, key));
+  }
+
   /// Dispatch entry point; returns true if the message was consumed.
   bool on_message(const net::MessagePtr& msg) {
+    if (msg->type() == net::MsgType::kRegistryReply) {
+      const auto& rep = static_cast<const RegistryReplyMsg&>(*msg);
+      for (auto it = pending_gets_.begin(); it != pending_gets_.end(); ++it) {
+        if (it->first != rep.request_id) continue;
+        GetCallback cb = std::move(it->second);
+        pending_gets_.erase(it);
+        if (rep.found && rep.version > cached_version(rep.key)) {
+          cache_[rep.key] = {rep.value, rep.version};
+        }
+        cb(rep.found, rep.value, rep.version);
+        return true;
+      }
+      return false;  // not ours: the host issued the request itself
+    }
     if (msg->type() != net::MsgType::kRegistryEvent) return false;
     const auto& ev = static_cast<const RegistryEventMsg&>(*msg);
     auto& cached = cache_[ev.key];
@@ -69,7 +96,9 @@ class RegistryClient {
 
   sim::Process* host_;
   NodeId server_;
+  uint64_t next_request_ = 1;
   std::vector<std::pair<std::string, WatchCallback>> callbacks_;
+  std::vector<std::pair<uint64_t, GetCallback>> pending_gets_;
   std::map<std::string, CacheEntry> cache_;
 };
 

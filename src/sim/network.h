@@ -146,8 +146,15 @@ class Network : public ParallelClient {
     return id < endpoints_.size() ? endpoints_[id] : nullptr;
   }
 
+  // Members below marked `epx-lint: cross-shard(...)` are visible to more
+  // than one shard; R11 freezes each to its reviewed owner functions so
+  // worker-context code cannot grow a new unsynchronized touch point —
+  // everything else must route through the staged-channel paths
+  // (send -> staged_/staged_counts_, spliced in exchange() at barriers).
+
   Simulation* sim_;
   uint64_t seed_;
+  // epx-lint: cross-shard(attach, detach, endpoint)
   std::vector<Process*> endpoints_;                 // indexed by NodeId
   std::unordered_map<uint64_t, LinkParams> links_;  // key = from<<32|to
   LinkParams default_link_;
@@ -161,21 +168,32 @@ class Network : public ParallelClient {
   // Per-sender state, indexed by NodeId and touched only by the sender's
   // owning shard (or the coordinator): RNG stream for loss/jitter, send
   // sequence for the channel key, NIC egress cursor.
+  // epx-lint: cross-shard(attach, send)
   std::vector<Rng> sender_rng_;
+  // epx-lint: cross-shard(attach, send)
   std::vector<uint64_t> sender_seq_;
+  // epx-lint: cross-shard(attach, send)
   std::vector<Tick> egress_free_at_;
 
+  // epx-lint: cross-shard(attach, channel_push, pump, send)
   std::vector<Channel> channels_;  // indexed by destination NodeId
 
   // Parallel staging, indexed by source shard; single-producer during
   // windows, drained by the coordinator in exchange().
+  // epx-lint: cross-shard(begin_parallel, send, exchange)
   std::vector<std::vector<ChannelRecord>> staged_;
+  // epx-lint: cross-shard(begin_parallel, stage_for, exchange)
   std::vector<std::vector<CounterStage>> staged_counts_;
+  // epx-lint: cross-shard(exchange)
   std::vector<ChannelRecord> exchange_scratch_;
 
+  // epx-lint: cross-shard(Network, count_sent, exchange, messages_sent)
   obs::Counter* messages_sent_;
+  // epx-lint: cross-shard(Network, count_dropped, exchange, messages_dropped)
   obs::Counter* messages_dropped_;
+  // epx-lint: cross-shard(Network, count_sent, exchange, bytes_sent)
   obs::Counter* bytes_sent_;
+  // epx-lint: cross-shard(attach, send)
   std::vector<obs::Counter*> egress_bytes_;  // indexed by sender NodeId
 };
 

@@ -1,0 +1,16 @@
+// R10 fixture: observability-name registry violations.
+//   1. publish through a runtime-computed name (not a string literal)
+//   2. published name missing from the NAME_DOCS registry
+//   3. harness-side lookup of a name nothing publishes (typo)
+void publish(MetricsRegistry& metrics, const std::string& dynamic_name) {
+  metrics.counter(dynamic_name);             // planted: non-literal name
+  metrics.counter("acceptor.decisions");     // fine: documented name
+  metrics.counter("mystery.counter");        // planted: undocumented name
+}
+
+void consume(const MetricsRegistry& metrics) {
+  // fine: published above in this scan
+  (void)metrics.find_counter(obs::metric_key("acceptor.decisions"));
+  // planted: consumed but no publisher anywhere (typoed suffix)
+  (void)metrics.find_counter(obs::metric_key("acceptor.decisionz"));
+}

@@ -1,0 +1,12 @@
+// R10 fixture (clean): literal, documented names on the publish side and
+// lookups that refer to names this file actually publishes.
+void publish(MetricsRegistry& metrics) {
+  metrics.counter("acceptor.decisions");
+  metrics.gauge("inbox.depth");
+  metrics.timer("client.latency");
+}
+
+void consume(const MetricsRegistry& metrics) {
+  (void)metrics.find_counter(obs::metric_key("acceptor.decisions"));
+  (void)metrics.find_timer(obs::metric_key("client.latency"));
+}

@@ -1,0 +1,31 @@
+// R11 fixture: cross-shard member freeze violations. pump() is not in
+// either member's reviewed owner set, so its touches are worker-context
+// hazards:
+//   1. channels_ mutated in pump()
+//   2. total_sent_ mutated in pump()
+// epx-lint: path(src/sim/r11_fixture.cc)
+class MiniFabric {
+ public:
+  void send(NodeId to);
+  void exchange();
+  void pump(NodeId to);
+
+ private:
+  // epx-lint: cross-shard(send, exchange)
+  std::vector<int> channels_;
+  // epx-lint: cross-shard(exchange)
+  uint64_t total_sent_ = 0;
+};
+
+void MiniFabric::send(NodeId to) {
+  channels_.push_back(static_cast<int>(to));  // fine: send is an owner
+}
+
+void MiniFabric::exchange() {
+  total_sent_ += channels_.size();  // fine: exchange owns both
+}
+
+void MiniFabric::pump(NodeId to) {
+  channels_.pop_back();  // planted: pump is not an owner of channels_
+  total_sent_ += to;     // planted: pump is not an owner of total_sent_
+}

@@ -1,0 +1,27 @@
+// R11 fixture (clean): every touch of an annotated cross-shard member
+// happens inside its reviewed owner set.
+// epx-lint: path(src/sim/r11_fixture.cc)
+class MiniFabric {
+ public:
+  void send(NodeId to);
+  void exchange();
+  void pump(NodeId to);
+
+ private:
+  // epx-lint: cross-shard(send, exchange)
+  std::vector<int> channels_;
+  // epx-lint: cross-shard(exchange, total_sent)
+  uint64_t total_sent_ = 0;
+};
+
+void MiniFabric::send(NodeId to) {
+  channels_.push_back(static_cast<int>(to));
+}
+
+void MiniFabric::exchange() {
+  total_sent_ += channels_.size();
+}
+
+void MiniFabric::pump(NodeId) {
+  // pump only schedules work; it never touches the cross-shard members.
+}

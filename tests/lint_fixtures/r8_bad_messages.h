@@ -1,0 +1,46 @@
+// R8 fixture: message-flow exhaustiveness violations. A self-contained
+// mini protocol (enum + wire structs + codec registration + one role's
+// dispatch) with deliberate holes:
+//   1. kOrphan: enum kind with no wire struct anywhere (dead kind)
+//   2. PongMsg: never sent
+//   3. PongMsg: never handled by any role
+//   4. PongMsg: no decode()
+//   5. PongMsg: never registered with the codec
+#pragma once
+
+enum class MsgType : uint16_t {
+  kPing = 1,
+  kPong,
+  kOrphan,  // planted: no struct ever implements this kind
+};
+
+struct PingMsg final : Message {
+  MsgType type() const override { return MsgType::kPing; }
+  size_t body_size() const override { return 4; }
+  void encode(Writer& w) const override { w.u32(x); }
+  static std::shared_ptr<Message> decode(Reader& r);
+  uint32_t x = 0;
+};
+
+// Planted: complete wire struct, but nothing sends, handles, decodes or
+// registers it.
+struct PongMsg final : Message {
+  MsgType type() const override { return MsgType::kPong; }
+  size_t body_size() const override { return 4; }
+  void encode(Writer& w) const override { w.u32(y); }
+  uint32_t y = 0;
+};
+
+inline void register_mini_messages(MessageCodec& codec) {
+  codec.register_type(MsgType::kPing, PingMsg::decode);
+}
+
+inline void on_message(Role& role, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case MsgType::kPing:
+      role.send(0, make_message<PingMsg>());
+      break;
+    default:
+      break;
+  }
+}

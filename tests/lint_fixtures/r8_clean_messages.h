@@ -1,0 +1,43 @@
+// R8 fixture (clean): the same mini protocol with every kind fully
+// wired — each enum kind has a struct, every struct is sent, decoded,
+// registered and handled by the role's dispatch.
+#pragma once
+
+enum class MsgType : uint16_t {
+  kPing = 1,
+  kPong,
+};
+
+struct PingMsg final : Message {
+  MsgType type() const override { return MsgType::kPing; }
+  size_t body_size() const override { return 4; }
+  void encode(Writer& w) const override { w.u32(x); }
+  static std::shared_ptr<Message> decode(Reader& r);
+  uint32_t x = 0;
+};
+
+struct PongMsg final : Message {
+  MsgType type() const override { return MsgType::kPong; }
+  size_t body_size() const override { return 4; }
+  void encode(Writer& w) const override { w.u32(y); }
+  static std::shared_ptr<Message> decode(Reader& r);
+  uint32_t y = 0;
+};
+
+inline void register_mini_messages(MessageCodec& codec) {
+  codec.register_type(MsgType::kPing, PingMsg::decode);
+  codec.register_type(MsgType::kPong, PongMsg::decode);
+}
+
+inline void on_message(Role& role, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case MsgType::kPing:
+      role.send(0, make_message<PongMsg>());
+      break;
+    case MsgType::kPong:
+      role.send(0, make_message<PingMsg>());
+      break;
+    default:
+      break;
+  }
+}

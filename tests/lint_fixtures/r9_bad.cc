@@ -1,0 +1,43 @@
+// R9 fixture: durability-barrier violations. A mini acceptor that owns
+// an AcceptorStore but lets state escape to the wire before the journal
+// barrier:
+//   1. handle_vote: reply sent directly after append, outside sync()
+//   2. finish: bare send in a helper reachable from the handler path
+//      through a bare call (handle_read -> finish)
+class MiniAcceptor {
+ public:
+  void on_message(NodeId from, const MessagePtr& msg);
+
+ private:
+  void handle_vote(NodeId from);
+  void handle_read(NodeId from);
+  void finish(NodeId from);
+  std::unique_ptr<AcceptorStore> store_;
+};
+
+void MiniAcceptor::on_message(NodeId from, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case MsgType::kPing:
+      handle_vote(from);
+      break;
+    default:
+      handle_read(from);
+      break;
+  }
+}
+
+void MiniAcceptor::handle_vote(NodeId from) {
+  store_->append_accept(from);
+  send(from, make_message<PongMsg>());  // planted: hoisted above the barrier
+  store_->sync([this, from] {
+    send(from, make_message<PongMsg>());  // fine: behind sync()
+  });
+}
+
+void MiniAcceptor::handle_read(NodeId from) {
+  finish(from);  // bare call: reachability propagates into finish()
+}
+
+void MiniAcceptor::finish(NodeId from) {
+  send(from, make_message<PongMsg>());  // planted: bare-reachable send
+}

@@ -1,0 +1,41 @@
+// R9 fixture (clean): the same mini acceptor with every externally
+// visible send behind the store's sync() barrier — either lexically, or
+// in a helper that is only ever invoked from inside a sync() callback.
+class MiniAcceptor {
+ public:
+  void on_message(NodeId from, const MessagePtr& msg);
+
+ private:
+  void handle_vote(NodeId from);
+  void handle_read(NodeId from);
+  void finish(NodeId from);
+  std::unique_ptr<AcceptorStore> store_;
+};
+
+void MiniAcceptor::on_message(NodeId from, const MessagePtr& msg) {
+  switch (msg->type()) {
+    case MsgType::kPing:
+      handle_vote(from);
+      break;
+    default:
+      handle_read(from);
+      break;
+  }
+}
+
+void MiniAcceptor::handle_vote(NodeId from) {
+  store_->append_accept(from);
+  store_->sync([this, from] {
+    send(from, make_message<PongMsg>());  // behind the barrier
+  });
+}
+
+void MiniAcceptor::handle_read(NodeId from) {
+  store_->sync([this, from] {
+    finish(from);  // barriered call: finish() inherits the flush
+  });
+}
+
+void MiniAcceptor::finish(NodeId from) {
+  send(from, make_message<PongMsg>());  // only reachable via sync()
+}

@@ -84,6 +84,47 @@ TEST_F(RegistryTest, GetMissingKeyReportsNotFound) {
   EXPECT_FALSE(watcher->replies[0].found);
 }
 
+TEST_F(RegistryTest, ClientGetFetchesValueAndRefreshesCache) {
+  server->put("cfg", "abc");
+  bool fired = false;
+  watcher->client.get("cfg", [&](bool found, const std::string& value, uint64_t version) {
+    fired = true;
+    EXPECT_TRUE(found);
+    EXPECT_EQ(value, "abc");
+    EXPECT_EQ(version, 1u);
+  });
+  sim.run_to_completion();
+  EXPECT_TRUE(fired);
+  // The point read landed in the cache without a watch.
+  EXPECT_EQ(watcher->client.cached_value("cfg"), "abc");
+  EXPECT_EQ(watcher->client.cached_version("cfg"), 1u);
+  // The reply was consumed by the client, not leaked to the host.
+  EXPECT_TRUE(watcher->replies.empty());
+}
+
+TEST_F(RegistryTest, ClientGetMissingKeyReportsNotFound) {
+  bool fired = false;
+  watcher->client.get("nope", [&](bool found, const std::string&, uint64_t) {
+    fired = true;
+    EXPECT_FALSE(found);
+  });
+  sim.run_to_completion();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(watcher->client.cached_version("nope"), 0u);
+}
+
+TEST_F(RegistryTest, ClientGetsWithDistinctIdsResolveIndependently) {
+  server->put("a", "1");
+  server->put("b", "2");
+  std::vector<std::string> got;
+  watcher->client.get("a", [&](bool, const std::string& v, uint64_t) { got.push_back(v); });
+  watcher->client.get("b", [&](bool, const std::string& v, uint64_t) { got.push_back(v); });
+  sim.run_to_completion();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "1");
+  EXPECT_EQ(got[1], "2");
+}
+
 TEST_F(RegistryTest, WatchDeliversSubsequentChanges) {
   watcher->watch_all("kv/");
   sim.run_to_completion();

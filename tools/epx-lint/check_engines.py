@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Cross-check the two epx-lint engines against each other.
+
+Runs the token engine and the libclang engine over the same paths and
+fails if:
+
+  * the clang run silently fell back to tokens (report.engine != "clang"),
+    which would make the comparison vacuous, or
+  * the two engines disagree on the violation set (same rule/file/line
+    triples required on both sides).
+
+CI runs this on src/ after installing python3-clang; locally it is only
+useful where libclang bindings exist. Exit codes: 0 agreement, 1
+disagreement or silent fallback, 2 internal error.
+
+    python3 tools/epx-lint/check_engines.py [--root R] [paths...]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "epx_lint.py")
+
+
+def run_engine(engine, root, paths):
+    cmd = [sys.executable, LINT, "--root", root, "--engine", engine, "--json"]
+    cmd += paths
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode == 2 or not proc.stdout:
+        print(f"check-engines: {engine} run failed internally:\n{proc.stderr}",
+              file=sys.stderr)
+        sys.exit(2)
+    return json.loads(proc.stdout)
+
+
+def keyset(report):
+    return {(v["rule"], v["file"], v["line"]) for v in report["violations"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--root", default=os.path.dirname(os.path.dirname(HERE)))
+    ap.add_argument("paths", nargs="*", default=[],
+                    help="paths to scan (default: the tool's default set)")
+    args = ap.parse_args()
+    root = os.path.abspath(args.root)
+
+    tok = run_engine("tokens", root, args.paths)
+    cla = run_engine("clang", root, args.paths)
+
+    if cla["engine"] != "clang":
+        print("check-engines: FAIL — the clang run fell back to "
+              f"'{cla['engine']}' (libclang bindings or compile_commands.json "
+              "missing); install python3-clang and build with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 1
+
+    t, c = keyset(tok), keyset(cla)
+    if t == c:
+        print(f"check-engines: OK — {len(t)} violation(s), engines agree "
+              f"({tok['files_scanned']} files)")
+        return 0
+    print("check-engines: FAIL — engines disagree", file=sys.stderr)
+    for rule, path, line in sorted(t - c):
+        print(f"  tokens-only: {path}:{line} [{rule}]", file=sys.stderr)
+    for rule, path, line in sorted(c - t):
+        print(f"  clang-only:  {path}:{line} [{rule}]", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

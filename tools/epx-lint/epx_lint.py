@@ -46,6 +46,20 @@ RULES = {
     "R7": "no unsynchronized static-duration mutable state in src/sim/ (shards run "
           "handlers concurrently; such state must be const, thread_local, atomic, "
           "or one of the locked cross-shard channel types)",
+    "R8": "message-flow exhaustiveness: every MsgType kind has a wire struct, a "
+          "send site, a registered decode, and a handler case in some role "
+          "(dead or unhandled message kinds are protocol rot)",
+    "R9": "durability-barrier coverage: in any class owning an AcceptorStore, "
+          "every send reachable from an on_* handler must sit behind a "
+          "store->sync() barrier (acceptor state must hit the journal before "
+          "it escapes to the wire)",
+    "R10": "observability-name registry: metric/span/monitor names are published "
+           "as string literals, documented in NAME_DOCS, and never consumed "
+           "without a publisher (names.json is the generated registry)",
+    "R11": "cross-shard member freeze: members annotated "
+           "`epx-lint: cross-shard(owners...)` in src/sim/ are touched only by "
+           "their reviewed owner functions (worker-context code must go through "
+           "the staged-channel paths)",
 }
 
 # Files (repo-relative, prefix match) exempt per rule: the places that
@@ -56,6 +70,72 @@ ALLOWED = {
     "R3": ("src/net/pool.", "src/sim/event_queue.", "src/paxos/slot_log.",
            "src/paxos/acceptor_store."),
     "R5": ("src/sim/",),
+    # metrics.* is the registry implementation itself; span.cc publishes
+    # through its kMetricNames table (the table's literals ARE collected
+    # as the published span-stage names, see flow-model collection).
+    "R10": ("src/obs/metrics.", "src/obs/span."),
+}
+
+# ---------------------------------------------------------------------------
+# R10 name registry: every published observability name must appear here
+# with a one-line doc. `--emit-registry` renders this (plus the discovered
+# publish/consume sites) into names.json + NAMES.md; the lint-names-drift
+# check fails CI when those artifacts go stale. Keep the dict sorted.
+# ---------------------------------------------------------------------------
+NAME_DOCS = {
+    "acceptor.decisions": "decisions learned/forwarded by the acceptor ring",
+    "acceptor.recoveries": "recovery round-trips served for lagging learners",
+    "acceptor.replays": "journal entries replayed on acceptor restart",
+    "client.completions": "client commands completed end-to-end",
+    "client.latency": "client-observed request latency",
+    "client.retries": "client commands re-submitted after timeout",
+    "coord.commands": "commands sequenced by the ring coordinator",
+    "coord.retries": "phase-2 retries issued by the coordinator",
+    "coord.skips": "skip instances issued to keep lambda pacing",
+    "coord.takeovers": "coordinator failovers (phase-1 takeovers)",
+    "coord.trim": "low-water-mark instance the ring has trimmed to",
+    "cpu.busy": "simulated CPU busy time per process",
+    "inbox.depth": "pending messages in a process inbox",
+    "kv.discarded": "KV commands discarded by non-owning partitions",
+    "kv.executed": "KV commands applied to the store",
+    "kv.signals": "repartition signals exchanged between KV replicas",
+    "kv.snapshot_bytes": "bytes shipped in KV partition snapshots",
+    "learner.delivered": "decisions delivered by stream learners",
+    "learner.gap_repairs": "gap-triggered recovery requests from learners",
+    "merge.discarded": "decisions dropped by deterministic merge dedup",
+    "merge.scan_slots": "slot-log slots scanned by the merger pump",
+    "merge.skew_wait": "time a merger waited on its slowest stream",
+    "merge.subscribe_latency": "elastic subscribe completion latency",
+    "monitor.violations": "invariant-monitor violations observed online",
+    "net.bytes_sent": "payload bytes accepted by the network",
+    "net.egress_bytes": "per-link egress bytes after bandwidth shaping",
+    "net.messages_dropped": "messages dropped by loss/partition injection",
+    "net.messages_sent": "messages accepted by the network",
+    "registry.notifications": "watch events pushed by the registry server",
+    "registry.puts": "configuration writes accepted by the registry",
+    "replica.bytes": "decision payload bytes applied by replicas",
+    "replica.delivered": "decisions applied by replicas",
+    "span.apply": "span stage: replica apply time",
+    "span.client_rtt": "span stage: client-observed round trip",
+    "span.durable_wait": "span stage: journal barrier wait",
+    "span.e2e": "span stage: propose-to-delivery end to end",
+    "span.learn_wait": "span stage: decision to learner delivery",
+    "span.propose_wait": "span stage: client propose to coordinator",
+    "span.quorum_wait": "span stage: phase-2 quorum wait",
+    "storage.batch_writes": "journal writes coalesced by group commit",
+    "storage.fsync": "journal fsync operations completed",
+    "storage.fsync_bytes": "bytes made durable per fsync",
+    "storage.fsync_wait": "time appends waited on the journal device",
+    "storage.queue": "journal device queue depth",
+    "trace.dropped": "trace events dropped by the bounded ring",
+    "wal.appends": "write-ahead journal appends",
+    "wal.bytes": "live bytes in the write-ahead journal",
+    "wal.checkpoints": "acceptor checkpoints written",
+    "wal.compactions": "journal compactions triggered by trim",
+    # Invariant monitor names (MonitorViolation::monitor).
+    "align": "monitor: alignment-point consistency across subscribers",
+    "gap": "monitor: no instance gaps at delivery",
+    "order": "monitor: per-stream delivery order matches decisions",
 }
 
 SRC_EXTS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
@@ -231,13 +311,46 @@ class FileCtx:
         self.code_lines = self.code.splitlines()
 
 
+@dataclass
+class FlowModel:
+    """Repo-wide protocol-flow model extracted by the epx-flow pass.
+
+    Built incrementally while files are scanned; consumed by the
+    whole-model rules R8/R10 and by the registry/graph emitters.
+    """
+    # kind -> (ctx, line, tag value) from the `enum class MsgType` body.
+    enum_kinds: dict = field(default_factory=dict)
+    # struct name -> {"kind", "ctx", "line", "decode"} from */messages.h.
+    structs: dict = field(default_factory=dict)
+    kind_struct: dict = field(default_factory=dict)    # kind -> struct name
+    sends: dict = field(default_factory=dict)          # kind -> set of rels
+    handlers: dict = field(default_factory=dict)       # kind -> set of rels
+    registrations: dict = field(default_factory=dict)  # kind -> set of rels
+    # name -> {"kind", "publishers": set of rels}
+    published: dict = field(default_factory=dict)
+    publish_nonliteral: list = field(default_factory=list)  # (ctx, line, what)
+    consumed: dict = field(default_factory=dict)       # name -> set of rels
+    consume_sites: list = field(default_factory=list)  # (name, ctx, line)
+
+    def add_publish(self, name: str, kind: str, rel: str):
+        ent = self.published.setdefault(name, {"kind": kind, "publishers": set()})
+        ent["publishers"].add(rel)
+
+    def add_consume(self, name: str, ctx, line: int):
+        self.consumed.setdefault(name, set()).add(ctx.rel)
+        self.consume_sites.append((name, ctx, line))
+
+
 class Linter:
-    def __init__(self, root: str, rules, assume_src: bool, engine: str):
+    def __init__(self, root: str, rules, assume_src: bool, engine: str,
+                 full_src: bool = False):
         self.root = os.path.abspath(root)
         self.rules = rules
         self.assume_src = assume_src
+        self.full_src = full_src
         self.report = Report()
         self.ctx_cache = {}
+        self.flow = FlowModel()
         self.engine = self._pick_engine(engine)
         self.report.engine = self.engine
 
@@ -750,6 +863,435 @@ class Linter:
                       "cross-shard channel")
 
     # ----------------------------------------------------------------------
+    # epx-flow: cross-TU protocol-flow model (shared by R8-R11 and the
+    # registry emitters). Collection runs for every scanned src/ file; the
+    # whole-model checks run once after the per-file loop.
+    # ----------------------------------------------------------------------
+    MSGTYPE_ENUM_RE = re.compile(r"\benum\s+class\s+MsgType\b[^{;]*\{")
+    KIND_REF_RE = re.compile(r"\bMsgType\s*::\s*k(\w+)")
+    REGISTER_RE = re.compile(
+        r"\bregister_type\s*\(\s*(?:net\s*::\s*)?MsgType\s*::\s*k(\w+)")
+    MAKE_MSG_RE = re.compile(r"\bmake_(?:mutable_)?message\s*<\s*([\w:\s]+?)\s*>")
+    CASE_RE = re.compile(r"\bcase\s+(?:net\s*::\s*)?MsgType\s*::\s*k(\w+)")
+    TYPE_CMP_RE = re.compile(
+        r"\btype\s*\(\s*\)\s*[!=]=\s*(?:net\s*::\s*)?MsgType\s*::\s*k(\w+)")
+    # Sentinel enum entries that deliberately have no wire struct.
+    SENTINEL_KINDS = {"Invalid", "None", "Unknown", "Max", "Count"}
+    PUBLISH_RE = re.compile(r"(?:\.|->)\s*(counter|gauge|timer)\s*\(")
+    CONSUME_RE = re.compile(r"\b(?:find_(?:counter|gauge|timer)|metric_key)\s*\(")
+    MONITOR_ASSIGN_RE = re.compile(r"\bmonitor\s*=\s*")
+    NAME_SHAPE_RE = re.compile(r'"([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)"')
+    # Dotted literals in src/harness that are clearly paths/artifacts, not
+    # observability names.
+    NON_NAME_EXTS = {"json", "jsonl", "txt", "csv", "md", "dot", "svg", "log",
+                     "html", "bin", "gz", "cc", "h"}
+
+    def skip_ws(self, text: str, i: int) -> int:
+        while i < len(text) and text[i] in " \t\n\r":
+            i += 1
+        return i
+
+    def read_literal(self, ctx: FileCtx, idx: int):
+        """Content of the string literal whose opening quote sits at
+        code[idx], read from the raw text (the stripped text blanks literal
+        contents but is position-preserving)."""
+        raw = ctx.raw
+        if idx >= len(raw) or raw[idx] != '"':
+            return None
+        j = idx + 1
+        out = []
+        while j < len(raw):
+            c = raw[j]
+            if c == "\\":
+                out.append("?")
+                j += 2
+                continue
+            if c == '"':
+                return "".join(out)
+            out.append(c)
+            j += 1
+        return None
+
+    def collect_flow(self, ctx: FileCtx):
+        rel = self.effective_rel(ctx)
+        fl = self.flow
+        code = ctx.code
+        # Consume sites (find_counter/find_gauge/find_timer/metric_key with a
+        # literal first argument) count from bench/ tooling as well.
+        if rel.startswith(("src/", "bench/")):
+            for m in self.CONSUME_RE.finditer(code):
+                i = self.skip_ws(code, m.end())
+                name = self.read_literal(ctx, i)
+                if name is not None:
+                    fl.consume_sites.append((name, ctx, line_of(code, m.start()), True))
+                    fl.consumed.setdefault(name, set()).add(rel)
+        if not rel.startswith("src/"):
+            return
+        # -- message kinds -------------------------------------------------
+        em = self.MSGTYPE_ENUM_RE.search(code)
+        if em:
+            end = matching_brace(code, em.end() - 1)
+            body = code[em.end():end - 1] if end > 0 else ""
+            off, tag = 0, 0
+            for seg in body.split(","):
+                km = re.search(r"\bk(\w+)\s*(?:=\s*(\d+))?", seg)
+                if km:
+                    tag = int(km.group(2)) if km.group(2) else tag + 1
+                    pos = em.end() + off + km.start(1)
+                    fl.enum_kinds[km.group(1)] = (ctx, line_of(code, pos), tag)
+                off += len(seg) + 1
+        # -- wire structs (any */messages.h) -------------------------------
+        if rel.endswith("messages.h"):
+            cc_path = ctx.path[:-2] + ".cc"
+            cc_ctx = self.ctx(cc_path) if os.path.exists(cc_path) else None
+            for name, body_start, body in self.struct_bodies(ctx):
+                km = self.KIND_REF_RE.search(body)
+                if not km:
+                    continue  # helper struct, not a wire message
+                has_decode = bool(re.search(r"\bdecode\s*\(", body))
+                if not has_decode and cc_ctx is not None:
+                    has_decode = bool(re.search(
+                        r"\b" + re.escape(name) + r"\s*::\s*decode\s*\(", cc_ctx.code))
+                fl.structs[name] = {"kind": km.group(1), "ctx": ctx,
+                                    "line": line_of(code, body_start),
+                                    "decode": has_decode}
+                fl.kind_struct[km.group(1)] = name
+        # -- registrations (any src/ file) ---------------------------------
+        for m in self.REGISTER_RE.finditer(code):
+            fl.registrations.setdefault(m.group(1), set()).add(rel)
+        # -- handler cases / send sites: roles only, not the codec layer ---
+        # (decode() impls in *messages.cc build messages but don't send, and
+        # net/message.cc's msg_type_name debug table is not a dispatcher).
+        if not rel.endswith(("messages.cc", "net/message.h", "net/message.cc")):
+            for pat in (self.CASE_RE, self.TYPE_CMP_RE):
+                for m in pat.finditer(code):
+                    fl.handlers.setdefault(m.group(1), set()).add(rel)
+            for m in self.MAKE_MSG_RE.finditer(code):
+                tname = m.group(1).split("::")[-1].strip()
+                fl.sends.setdefault(tname, set()).add(rel)
+        # -- observability names -------------------------------------------
+        if rel.startswith("src/obs/span."):
+            # span.cc publishes through its kMetricNames table: the table's
+            # literals are the published span-stage names.
+            for m in self.NAME_SHAPE_RE.finditer(ctx.raw):
+                if m.start() < len(code) and code[m.start()] == '"':
+                    fl.add_publish(m.group(1), "span", rel)
+                    fl.published[m.group(1)].setdefault(
+                        "site", (ctx, line_of(code, m.start())))
+        elif not rel.startswith("src/obs/metrics."):
+            for m in self.PUBLISH_RE.finditer(code):
+                i = self.skip_ws(code, m.end())
+                name = self.read_literal(ctx, i)
+                lineno = line_of(code, m.start())
+                if name is None:
+                    fl.publish_nonliteral.append((ctx, lineno, m.group(1)))
+                else:
+                    fl.add_publish(name, m.group(1), rel)
+                    fl.published[name].setdefault("site", (ctx, lineno))
+            for m in self.MONITOR_ASSIGN_RE.finditer(code):
+                i = self.skip_ws(code, m.end())
+                name = self.read_literal(ctx, i)
+                if name is not None:
+                    fl.add_publish(name, "monitor", rel)
+                    fl.published[name].setdefault("site", (ctx, line_of(code, m.start())))
+        # Name-shaped literals in the harness/report layer are consumers:
+        # they must refer to names something actually publishes.
+        if rel.startswith("src/harness/"):
+            for m in self.NAME_SHAPE_RE.finditer(ctx.raw):
+                if m.start() < len(code) and code[m.start()] != '"':
+                    continue
+                name = m.group(1)
+                if name.rsplit(".", 1)[-1] in self.NON_NAME_EXTS:
+                    continue
+                fl.consume_sites.append((name, ctx, line_of(code, m.start()), False))
+                fl.consumed.setdefault(name, set()).add(rel)
+
+    # ----------------------------------------------------------------------
+    # shared function-span parser (R9 call graph, R11 owner attribution)
+    # ----------------------------------------------------------------------
+    FN_KEYWORDS = {"if", "for", "while", "switch", "catch", "return", "sizeof",
+                   "new", "delete", "else", "do", "alignof", "decltype",
+                   "static_assert", "assert", "defined", "throw"}
+
+    def function_spans(self, ctx: FileCtx):
+        """(simple_name, body_start, body_end) for every function definition
+        found lexically: `name(params) [qualifiers] { body }`. Out-of-line
+        `Class::name` definitions report the simple name; lambda bodies are
+        not spans of their own and so attribute to the enclosing function."""
+        spans = []
+        code = ctx.code
+        n = len(code)
+        for m in re.finditer(r"([A-Za-z_~]\w*)\s*\(", code):
+            name = m.group(1)
+            if name in self.FN_KEYWORDS:
+                continue
+            # Member calls (`x.begin()`, `p->send()`) are never definitions.
+            p = m.start(1) - 1
+            while p >= 0 and code[p] in " \t\n":
+                p -= 1
+            if p >= 0 and (code[p] == "." and (p < 1 or code[p - 1] != ".")
+                           or code[p] == ">" and p >= 1 and code[p - 1] == "-"):
+                continue
+            i, depth = m.end() - 1, 0
+            while i < n:
+                if code[i] == "(":
+                    depth += 1
+                elif code[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            if i >= n:
+                continue
+            # A definition's parameter close paren is followed by `{`, a
+            # qualifier word, a ctor init list `:` or a trailing return
+            # `->`; a `,`/`)`/`]`/`;`/`=` means this was a call or decl.
+            k = self.skip_ws(code, i + 1)
+            if k >= n or code[k] in ",)];=":
+                continue
+            # Scan to the body '{' through qualifiers/ctor-init-lists; a
+            # ';', '=' or '}' first (or leaving the enclosing parens) means
+            # declaration/call/assignment, not a def.
+            j, pdepth, body = i + 1, 0, -1
+            while j < n:
+                c = code[j]
+                if c == "(":
+                    pdepth += 1
+                elif c == ")":
+                    pdepth -= 1
+                    if pdepth < 0:
+                        break
+                elif pdepth == 0:
+                    if c == "{":
+                        body = j
+                        break
+                    if c in ";=}":
+                        break
+                j += 1
+            if body < 0:
+                continue
+            end = matching_brace(code, body)
+            if end > 0:
+                spans.append((name, body, end))
+        return spans
+
+    def innermost_span(self, spans, pos):
+        best = None
+        for nm, a, b in spans:
+            if a <= pos < b and (best is None or b - a < best[2] - best[1]):
+                best = (nm, a, b)
+        return best[0] if best else None
+
+    # ----------------------------------------------------------------------
+    # R8: message-flow exhaustiveness (whole-model)
+    # ----------------------------------------------------------------------
+    def check_r8(self):
+        fl = self.flow
+        for kind in sorted(fl.enum_kinds):
+            ctx, line, _tag = fl.enum_kinds[kind]
+            if kind in self.SENTINEL_KINDS:
+                continue
+            if kind not in fl.kind_struct:
+                self.emit("R8", ctx, line,
+                          f"message kind k{kind} has no wire struct in any "
+                          "*/messages.h: dead kind — delete it (pin the successor's "
+                          "tag) or implement the message")
+        for name in sorted(fl.structs):
+            info = fl.structs[name]
+            kind, sctx, line = info["kind"], info["ctx"], info["line"]
+            if name not in fl.sends:
+                self.emit("R8", sctx, line,
+                          f"message {name} (k{kind}) is never sent: no "
+                          f"make_message<{name}> site outside the codec layer")
+            if kind not in fl.handlers:
+                self.emit("R8", sctx, line,
+                          f"message {name} (k{kind}) is never handled: no "
+                          f"`case MsgType::k{kind}` or type() comparison in any role")
+            if not info["decode"]:
+                self.emit("R8", sctx, line,
+                          f"message {name} (k{kind}) has no decode() in the header "
+                          "or its paired messages.cc")
+            if kind not in fl.registrations:
+                self.emit("R8", sctx, line,
+                          f"message {name} (k{kind}) is never registered with the "
+                          "codec (register_type): it cannot be decoded off the wire")
+
+    # ----------------------------------------------------------------------
+    # R9: durability-barrier coverage (per file with an AcceptorStore)
+    # ----------------------------------------------------------------------
+    R9_STORE_RE = re.compile(r"\bAcceptorStore\s*>?\s*[*&]?\s*([A-Za-z_]\w*)\s*[;=,){]")
+
+    def r9_store_members(self, ctx: FileCtx):
+        members = set()
+        texts = [ctx.code]
+        hdr = os.path.splitext(ctx.path)[0] + ".h"
+        if hdr != ctx.path and os.path.exists(hdr):
+            texts.append(self.ctx(hdr).code)
+        for t in texts:
+            for m in self.R9_STORE_RE.finditer(t):
+                members.add(m.group(1))
+        return members
+
+    def check_r9(self, ctx: FileCtx):
+        rel = self.effective_rel(ctx)
+        if not rel.startswith("src/") or self.exempt("R9", rel):
+            return
+        if not ctx.path.endswith((".cc", ".cpp", ".cxx")):
+            return
+        members = self.r9_store_members(ctx)
+        if not members:
+            return
+        code = ctx.code
+        spans = self.function_spans(ctx)
+        if not spans:
+            return
+        # Barrier regions: the full argument span of every member->sync(...)
+        # call — sends and calls lexically inside run after the journal flush.
+        regions = []
+        for mem in sorted(members):
+            for m in re.finditer(
+                    r"\b" + re.escape(mem) + r"\s*(?:->|\.)\s*sync\s*\(", code):
+                i, depth = m.end() - 1, 0
+                while i < len(code):
+                    if code[i] == "(":
+                        depth += 1
+                    elif code[i] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    i += 1
+                regions.append((m.start(), i))
+
+        def barriered(pos):
+            return any(a <= pos <= b for a, b in regions)
+
+        fn_names = {nm for nm, _a, _b in spans}
+        bare_calls = {nm: set() for nm in fn_names}
+        bare_sends = {nm: [] for nm in fn_names}
+        for nm, a, b in spans:
+            for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", code[a:b]):
+                pos = a + m.start()
+                if barriered(pos):
+                    continue
+                callee = m.group(1)
+                if callee == "send":
+                    bare_sends[nm].append(pos)
+                elif callee in fn_names and callee != nm:
+                    bare_calls[nm].add(callee)
+        # Handlers (on_*) are the roots; bare calls propagate reachability,
+        # barriered calls don't (they already paid for the flush).
+        reach = {nm for nm in fn_names if nm.startswith("on_")}
+        work = list(reach)
+        while work:
+            f = work.pop()
+            for g in bare_calls.get(f, ()):
+                if g not in reach:
+                    reach.add(g)
+                    work.append(g)
+        mem = sorted(members)[0]
+        for f in sorted(reach):
+            for pos in bare_sends.get(f, ()):
+                self.emit("R9", ctx, line_of(code, pos),
+                          f"send on the handler path ('{f}') is not behind "
+                          f"{mem}->sync(): acceptor state escapes to the wire "
+                          "before the journal barrier (PR 7 invariant)")
+
+    # ----------------------------------------------------------------------
+    # R10: observability-name registry (whole-model)
+    # ----------------------------------------------------------------------
+    def name_docs_line(self, name: str) -> int:
+        try:
+            with open(os.path.abspath(__file__), "r", encoding="utf-8") as f:
+                for i, line in enumerate(f, 1):
+                    if f'"{name}":' in line:
+                        return i
+        except OSError:
+            pass
+        return 1
+
+    def check_r10(self):
+        fl = self.flow
+        for ctx, lineno, what in fl.publish_nonliteral:
+            self.emit("R10", ctx, lineno,
+                      f"{what}() name is not a string literal: observability names "
+                      "must be literal so the registry (names.json) stays generable")
+        for name in sorted(fl.published):
+            if name not in NAME_DOCS:
+                sctx, sline = fl.published[name]["site"]
+                self.emit("R10", sctx, sline,
+                          f"published name '{name}' is undocumented: add it to "
+                          "NAME_DOCS in tools/epx-lint/epx_lint.py and regenerate "
+                          "the registry (--emit-registry)")
+        known_ns = {n.split(".", 1)[0] for n in list(fl.published) + list(NAME_DOCS)}
+        for name, ctx, lineno, strict in fl.consume_sites:
+            if name in fl.published or name in NAME_DOCS:
+                continue
+            if not strict and name.split(".", 1)[0] not in known_ns:
+                continue  # harness literal outside every metric namespace
+            self.emit("R10", ctx, lineno,
+                      f"name '{name}' is consumed but never published by any src/ "
+                      "component (stale or typoed)")
+        if self.full_src:
+            for name in sorted(NAME_DOCS):
+                if name not in fl.published:
+                    self.report.violations.append(Violation(
+                        "R10", "tools/epx-lint/epx_lint.py",
+                        self.name_docs_line(name),
+                        f"NAME_DOCS entry '{name}' is never published — prune it "
+                        "or restore the publisher"))
+
+    # ----------------------------------------------------------------------
+    # R11: cross-shard member freeze in src/sim/
+    # ----------------------------------------------------------------------
+    CROSS_SHARD_RE = re.compile(r"epx-lint:\s*cross-shard\(([^)]*)\)")
+
+    def r11_annotations(self, ctx: FileCtx):
+        """member name -> reviewed owner set, from `epx-lint:
+        cross-shard(fn, ...)` directives on (or directly above) the member
+        declaration, in this file and — for a .cc — its paired header."""
+        out = {}
+        ctxs = [ctx]
+        hdr = os.path.splitext(ctx.path)[0] + ".h"
+        if hdr != ctx.path and os.path.exists(hdr):
+            ctxs.append(self.ctx(hdr))
+        for c in ctxs:
+            for idx, rawline in enumerate(c.raw_lines):
+                m = self.CROSS_SHARD_RE.search(rawline)
+                if not m:
+                    continue
+                owners = {o.strip() for o in m.group(1).split(",") if o.strip()}
+                for ln in (idx, idx + 1):
+                    if ln >= len(c.code_lines):
+                        break
+                    dm = re.search(r"([A-Za-z_]\w*)\s*(?:=[^;]*|\{[^;]*\})?;",
+                                   c.code_lines[ln])
+                    if dm:
+                        out[dm.group(1)] = owners
+                        break
+        return out
+
+    def check_r11(self, ctx: FileCtx):
+        rel = self.effective_rel(ctx)
+        if not rel.startswith("src/sim/") or self.exempt("R11", rel):
+            return
+        ann = self.r11_annotations(ctx)
+        if not ann:
+            return
+        spans = self.function_spans(ctx)
+        for member in sorted(ann):
+            owners = ann[member]
+            for m in re.finditer(r"\b" + re.escape(member) + r"\b", ctx.code):
+                fn = self.innermost_span(spans, m.start())
+                if fn is None:
+                    continue  # the declaration / an initializer list
+                if fn not in owners:
+                    self.emit("R11", ctx, line_of(ctx.code, m.start()),
+                              f"cross-shard member '{member}' touched in '{fn}' "
+                              f"outside its reviewed owner set "
+                              f"({', '.join(sorted(owners))}); worker-context code "
+                              "must go through the staged-channel paths")
+
+    # ----------------------------------------------------------------------
     # clang engine (R1/R3 refinement; other rules reuse the token engine)
     # ----------------------------------------------------------------------
     def clang_check(self, files):
@@ -832,6 +1374,7 @@ class Linter:
             # lints them one at a time with --assume-src.
             if not self.assume_src and "tests/lint_fixtures/" in ctx.rel:
                 continue
+            self.collect_flow(ctx)
             if "R1" in self.rules and path not in ast_covered:
                 self.check_r1(ctx)
             if "R2" in self.rules:
@@ -846,7 +1389,108 @@ class Linter:
                 self.check_r6(ctx, status_fns)
             if "R7" in self.rules:
                 self.check_r7(ctx)
+            if "R9" in self.rules:
+                self.check_r9(ctx)
+            if "R11" in self.rules:
+                self.check_r11(ctx)
+        # Whole-model rules run once over the collected flow model.
+        if "R8" in self.rules:
+            self.check_r8()
+        if "R10" in self.rules:
+            self.check_r10()
         return self.report
+
+
+# ---------------------------------------------------------------------------
+# Generated registry artifacts (names.json / NAMES.md / message_flow.*)
+# ---------------------------------------------------------------------------
+
+REGISTRY_FILES = ("names.json", "NAMES.md", "message_flow.json", "message_flow.dot")
+
+
+def registry_artifacts(linter: Linter) -> dict:
+    """Render the flow model into the four generated registry files.
+
+    Deterministic (everything sorted) so `--check-registry` can diff the
+    checked-in copies byte-for-byte against a fresh scan.
+    """
+    fl = linter.flow
+    names = {}
+    for name in sorted(fl.published):
+        ent = fl.published[name]
+        names[name] = {
+            "kind": ent["kind"],
+            "doc": NAME_DOCS.get(name, ""),
+            "publishers": sorted(ent["publishers"]),
+            "consumers": sorted(fl.consumed.get(name, ())),
+        }
+    names_json = json.dumps({
+        "_generated": "epx-lint --emit-registry; verify with --check-registry",
+        "names": names,
+    }, indent=2) + "\n"
+
+    md = ["# Observability name registry",
+          "",
+          "Generated by `epx_lint.py --emit-registry` from the publish/consume",
+          "sites in `src/` — do not edit by hand; the `lint_names_drift` check",
+          "fails when this file is stale.",
+          "",
+          "| name | kind | doc | published in | consumed in |",
+          "|---|---|---|---|---|"]
+    for name, e in names.items():
+        md.append(f"| `{name}` | {e['kind']} | {e['doc']} | "
+                  f"{', '.join(e['publishers'])} | {', '.join(e['consumers']) or '—'} |")
+    names_md = "\n".join(md) + "\n"
+
+    send_by_kind = {}
+    for sname, rels in fl.sends.items():
+        info = fl.structs.get(sname)
+        if info:
+            send_by_kind.setdefault(info["kind"], set()).update(rels)
+    kinds = {}
+    for kind in sorted(fl.enum_kinds):
+        _ctx, _line, tag = fl.enum_kinds[kind]
+        sname = fl.kind_struct.get(kind)
+        kinds["k" + kind] = {
+            "tag": tag,
+            "struct": sname,
+            "defined_in": fl.structs[sname]["ctx"].rel if sname else None,
+            "senders": sorted(send_by_kind.get(kind, ())),
+            "handlers": sorted(fl.handlers.get(kind, ())),
+            "registered_in": sorted(fl.registrations.get(kind, ())),
+        }
+    flow_json = json.dumps({
+        "_generated": "epx-lint --emit-registry; verify with --check-registry",
+        "kinds": kinds,
+    }, indent=2) + "\n"
+
+    def role(rel: str) -> str:
+        r = rel[4:] if rel.startswith("src/") else rel
+        return r.rsplit(".", 1)[0]
+
+    dot = ["// Generated by epx-lint --emit-registry. Render with:",
+           "//   dot -Tsvg message_flow.dot -o message_flow.svg",
+           "digraph message_flow {",
+           "  rankdir=LR;",
+           "  node [fontsize=10];"]
+    roles, edges = set(), set()
+    for k, e in kinds.items():
+        dot.append(f'  "{k}" [shape=box, style=filled, fillcolor="#eef3ff", '
+                   f'label="{k}\\ntag {e["tag"]}"];')
+        for s in e["senders"]:
+            roles.add(role(s))
+            edges.add(f'  "{role(s)}" -> "{k}";')
+        for h in e["handlers"]:
+            roles.add(role(h))
+            edges.add(f'  "{k}" -> "{role(h)}";')
+    for r in sorted(roles):
+        dot.append(f'  "{r}" [shape=ellipse];')
+    dot.extend(sorted(edges))
+    dot.append("}")
+    flow_dot = "\n".join(dot) + "\n"
+
+    return {"names.json": names_json, "NAMES.md": names_md,
+            "message_flow.json": flow_json, "message_flow.dot": flow_dot}
 
 
 def collect_files(root: str, paths):
@@ -880,6 +1524,15 @@ def main(argv=None):
                          "(used by the fixture tests)")
     ap.add_argument("--json", action="store_true", help="machine-readable report")
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--emit-registry", metavar="DIR", nargs="?",
+                    const="tools/epx-lint", default=None,
+                    help="write the generated registry artifacts "
+                         f"({', '.join(REGISTRY_FILES)}) to DIR "
+                         "(default: tools/epx-lint)")
+    ap.add_argument("--check-registry", metavar="DIR", nargs="?",
+                    const="tools/epx-lint", default=None,
+                    help="regenerate the registry in memory and fail (exit 1) if "
+                         "the copies in DIR are stale")
     args = ap.parse_args(argv)
 
     if args.list_rules:
@@ -898,8 +1551,40 @@ def main(argv=None):
                            os.path.isdir(os.path.join(root, p))]
     files = collect_files(root, paths)
 
-    linter = Linter(root, rules, args.assume_src, args.engine)
+    # Whole-of-src scans unlock the R10 stale-docs direction (a partial scan
+    # can't tell "never published" from "publisher not scanned").
+    src_dir = os.path.join(root, "src")
+    full_src = any(os.path.abspath(p if os.path.isabs(p) else os.path.join(root, p))
+                   == src_dir for p in paths)
+
+    linter = Linter(root, rules, args.assume_src, args.engine, full_src=full_src)
     report = linter.run(files)
+
+    drift = []
+    arts = None
+    if args.emit_registry or args.check_registry:
+        arts = registry_artifacts(linter)
+    if args.emit_registry:
+        outdir = args.emit_registry if os.path.isabs(args.emit_registry) \
+            else os.path.join(root, args.emit_registry)
+        os.makedirs(outdir, exist_ok=True)
+        for fn, content in arts.items():
+            with open(os.path.join(outdir, fn), "w", encoding="utf-8") as f:
+                f.write(content)
+        print(f"epx-lint: wrote {', '.join(sorted(arts))} to {outdir}",
+              file=sys.stderr)
+    if args.check_registry:
+        cdir = args.check_registry if os.path.isabs(args.check_registry) \
+            else os.path.join(root, args.check_registry)
+        for fn, content in arts.items():
+            p = os.path.join(cdir, fn)
+            try:
+                with open(p, "r", encoding="utf-8") as f:
+                    on_disk = f.read()
+            except OSError:
+                on_disk = None
+            if on_disk != content:
+                drift.append(fn)
 
     if args.json:
         print(json.dumps({
@@ -907,16 +1592,20 @@ def main(argv=None):
             "files_scanned": report.files_scanned,
             "violations": [vars(v) for v in report.violations],
             "suppressed": [vars(v) for v in report.suppressed],
+            "registry_drift": drift,
         }, indent=2))
     else:
         for v in report.violations:
             print(v.render())
         for v in report.suppressed:
             print(f"note: {v.render()}")
+        for fn in drift:
+            print(f"epx-lint: registry file {fn} is stale — regenerate with "
+                  "`epx_lint.py --emit-registry`")
         print(f"epx-lint[{report.engine}]: {report.files_scanned} files, "
               f"{len(report.violations)} violation(s), "
               f"{len(report.suppressed)} suppressed")
-    return 1 if report.violations else 0
+    return 1 if report.violations or drift else 0
 
 
 if __name__ == "__main__":

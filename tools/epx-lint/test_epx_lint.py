@@ -12,8 +12,10 @@ while reporting its waivers. Run via ctest (`lint_fixtures`) or directly:
 import argparse
 import json
 import os
+import shutil
 import subprocess
 import sys
+import tempfile
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 LINT = os.path.join(HERE, "epx_lint.py")
@@ -35,6 +37,10 @@ BAD = [
     ("r6_bad.cc", "R6", 3),
     ("r6_bad_status.h", "R6", 2),
     ("r7_bad.cc", "R7", 5),
+    ("r8_bad_messages.h", "R8", 5),
+    ("r9_bad.cc", "R9", 2),
+    ("r10_bad.cc", "R10", 3),
+    ("r11_bad.cc", "R11", 2),
 ]
 
 CLEAN = [
@@ -50,6 +56,40 @@ CLEAN = [
     ("r5_clean.cc", "R5"),
     ("r6_clean.cc", "R6"),
     ("r7_clean.cc", "R7"),
+    ("r8_clean_messages.h", "R8"),
+    ("r9_clean.cc", "R9"),
+    ("r10_clean.cc", "R10"),
+    ("r11_clean.cc", "R11"),
+]
+
+# Seeded mutations: (label, file under src/, old text, new text, rule,
+# expected message fragment). Each one plants a realistic protocol bug in
+# a copy of src/ and asserts the rule catches exactly that bug — the
+# "would the analyzer have caught this refactor?" proof.
+MUTATIONS = [
+    ("R8 catches a deleted handler case",
+     "paxos/acceptor.cc",
+     "    case MsgType::kTrimRequest:\n"
+     "      handle_trim(static_cast<const TrimRequestMsg&>(*msg));\n"
+     "      break;\n",
+     "",
+     "R8", "kTrimRequest"),
+    ("R9 catches a send hoisted above sync()",
+     "paxos/acceptor.cc",
+     "  store_->sync([this, from, reply = std::move(reply)]() mutable {",
+     "  send(from, reply);\n"
+     "  store_->sync([this, from, reply = std::move(reply)]() mutable {",
+     "R9", "not behind store_->sync()"),
+    ("R10 catches a typoed metric name",
+     "paxos/acceptor.cc",
+     'counter("acceptor.decisions"',
+     'counter("acceptor.decisionz"',
+     "R10", "acceptor.decisionz"),
+    ("R11 catches a worker-context touch outside the owner set",
+     "sim/network.cc",
+     "void Network::pump(NodeId to) {",
+     "void Network::pump(NodeId to) {\n  exchange_scratch_.clear();",
+     "R11", "exchange_scratch_"),
 ]
 
 
@@ -102,6 +142,86 @@ def main():
     waived = sorted(v["rule"] for v in rep["suppressed"])
     check(waived == ["R1", "R3"], "suppressed.cc reports exactly the R1+R3 waivers",
           str(waived))
+
+    # Exit codes and the JSON schema are part of the tool's contract (CI
+    # scripts branch on them); pin all three codes and the top-level keys.
+    print("exit codes / JSON schema:")
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", root, "--engine", "tokens",
+         "--rules", "R99", os.path.join(root, "src")],
+        capture_output=True, text=True)
+    check(proc.returncode == 2, "unknown rule exits 2", f"exit={proc.returncode}")
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", root, "--engine", "tokens",
+         os.path.join(root, "no_such_dir_xyz")],
+        capture_output=True, text=True)
+    check(proc.returncode == 2, "nonexistent path exits 2", f"exit={proc.returncode}")
+    rc, rep = run_lint(root, "r8_clean_messages.h", "R8")
+    check(rc == 0, "clean scan exits 0", f"exit={rc}")
+    want_keys = {"engine", "files_scanned", "violations", "suppressed",
+                 "registry_drift"}
+    check(want_keys <= set(rep), "JSON report carries the pinned top-level keys",
+          f"missing {sorted(want_keys - set(rep))}")
+    rc, _ = run_lint(root, "r8_bad_messages.h", "R8")
+    check(rc == 1, "violating scan exits 1", f"exit={rc}")
+
+    # Seeded mutations: prove the flow rules catch injected protocol bugs
+    # in the real tree, not just in fixtures.
+    with tempfile.TemporaryDirectory() as tmp:
+        shutil.copytree(os.path.join(root, "src"), os.path.join(tmp, "src"))
+        for label, rel, old, new, rule, fragment in MUTATIONS:
+            path = os.path.join(tmp, "src", rel)
+            with open(path, encoding="utf-8") as f:
+                original = f.read()
+            print(f"mutation [{rule}] {label}:")
+            check(old in original, f"{rule} mutation anchor present in src/{rel}",
+                  f"anchor not found: {old[:60]!r}")
+            if old not in original:
+                continue
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(original.replace(old, new, 1))
+            proc = subprocess.run(
+                [sys.executable, LINT, "--root", tmp, "--engine", "tokens",
+                 "--json", "--rules", rule, os.path.join(tmp, "src")],
+                capture_output=True, text=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(original)
+            rep = json.loads(proc.stdout) if proc.stdout else {}
+            hits = [v for v in rep.get("violations", [])
+                    if fragment in v["message"]]
+            check(proc.returncode == 1 and hits, label,
+                  f"exit={proc.returncode}, violations=" +
+                  "; ".join(v["message"] for v in rep.get("violations", [])))
+
+    # Registry drift: the committed names.json/NAMES.md/message_flow.* must
+    # match what the tool would emit today (positive), and a corrupted copy
+    # must be flagged with exit 1 (negative).
+    print("registry drift:")
+    # No explicit paths: artifacts are canonically emitted from the default
+    # scan set (src tests bench), so drift must be checked against the same.
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", root, "--engine", "tokens",
+         "--rules", "R8", "--json", "--check-registry"],
+        capture_output=True, text=True)
+    rep = json.loads(proc.stdout) if proc.stdout else {}
+    check(proc.returncode == 0 and not rep.get("registry_drift"),
+          "committed registry artifacts are current",
+          f"exit={proc.returncode}, drift={rep.get('registry_drift')}")
+    with tempfile.TemporaryDirectory() as tmp:
+        subprocess.run(
+            [sys.executable, LINT, "--root", root, "--engine", "tokens",
+             "--rules", "R8", "--emit-registry", tmp],
+            capture_output=True, text=True, check=True)
+        with open(os.path.join(tmp, "names.json"), "a", encoding="utf-8") as f:
+            f.write("\n")
+        proc = subprocess.run(
+            [sys.executable, LINT, "--root", root, "--engine", "tokens",
+             "--rules", "R8", "--json", "--check-registry", tmp],
+            capture_output=True, text=True)
+        rep = json.loads(proc.stdout) if proc.stdout else {}
+        check(proc.returncode == 1 and "names.json" in rep.get("registry_drift", []),
+              "stale registry artifact is flagged with exit 1",
+              f"exit={proc.returncode}, drift={rep.get('registry_drift')}")
 
     # The real tree must be violation-free under every rule — this is the
     # same gate CI runs, kept here so `ctest` alone catches regressions.
