@@ -13,6 +13,7 @@
 #include <string>
 
 #include "bench/bench_common.h"
+#include "harness/telemetry_flags.h"
 #include "harness/trace_flags.h"
 
 using namespace epx;            // NOLINT(google-build-using-namespace)
@@ -65,9 +66,11 @@ void latency_quantiles(const obs::MetricsRegistry& metrics, const std::string& n
   out->p99_ms = to_millis(t->total().p99());
 }
 
-ScenarioResult run_broadcast(Tick duration, const TraceFlags& trace_flags) {
+ScenarioResult run_broadcast(Tick duration, const TraceFlags& trace_flags,
+                             const TelemetryFlags& telemetry_flags) {
   auto options = bench::broadcast_options();
   options.params.admission_rate = 0.0;  // unthrottled
+  telemetry_flags.apply(options);
   Cluster cluster(options);
   trace_flags.enable(cluster.sim());
   const StreamId s1 = cluster.add_stream();
@@ -101,11 +104,14 @@ ScenarioResult run_broadcast(Tick duration, const TraceFlags& trace_flags) {
                                cpu_pct(metrics, "replica2", duration));
   r.metrics_json = metrics.to_json(/*include_series=*/false);
   trace_flags.finish(cluster.sim());
+  telemetry_flags.finish(cluster);
   return r;
 }
 
-ScenarioResult run_kv(Tick duration, const TraceFlags& trace_flags) {
+ScenarioResult run_kv(Tick duration, const TraceFlags& trace_flags,
+                      const TelemetryFlags& telemetry_flags) {
   auto options = bench::kv_options();
+  telemetry_flags.apply(options);
   KvCluster kvc(options);
   trace_flags.enable(kvc.cluster().sim());
   const uint32_t p1 = kvc.add_partition(2);
@@ -137,7 +143,85 @@ ScenarioResult run_kv(Tick duration, const TraceFlags& trace_flags) {
   }
   r.metrics_json = metrics.to_json(/*include_series=*/false);
   trace_flags.finish(cluster.sim());
+  telemetry_flags.finish(cluster);
   return r;
+}
+
+/// Telemetry overhead A/B: the broadcast scenario with the telemetry
+/// plane off, then on at a sweep of scrape intervals. Scrapes are part
+/// of the workload (agent CPU, NIC bytes, monitor CPU), so the honest
+/// cost signal is the in-sim throughput delta — deterministic, unlike
+/// wall time — plus the sample/point volume that bought it.
+struct TelemetryOverheadPoint {
+  uint64_t interval_ms = 0;  // 0 = telemetry disabled (the baseline)
+  double throughput = 0.0;   // client ops/s, virtual time
+  uint64_t samples = 0;      // scrape messages ingested by the monitor
+  uint64_t points = 0;
+};
+
+TelemetryOverheadPoint run_overhead_point(Tick duration, uint64_t interval_ms) {
+  auto options = bench::broadcast_options();
+  options.params.admission_rate = 0.0;
+  if (interval_ms > 0) {
+    options.telemetry.enabled = true;
+    options.telemetry.interval = static_cast<Tick>(interval_ms) * kMillisecond;
+  }
+  Cluster cluster(options);
+  const StreamId s1 = cluster.add_stream();
+  elastic::Replica::Config rcfg;
+  rcfg.group = 1;
+  rcfg.initial_streams = {s1};
+  rcfg.params = options.params;
+  bench::tune_broadcast_replica(rcfg);
+  cluster.add_replica(rcfg);
+  cluster.add_replica(rcfg);
+  LoadClient::Config cfg;
+  cfg.threads = 8;
+  cfg.payload_bytes = 1024;
+  cfg.route = [s1] { return s1; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  cluster.run_until(duration);
+
+  TelemetryOverheadPoint p;
+  p.interval_ms = interval_ms;
+  const obs::Counter* completions = cluster.sim().metrics().find_counter(
+      obs::metric_key("client.completions", {{"node", client->name()}}));
+  if (completions != nullptr) {
+    p.throughput = static_cast<double>(completions->total()) / to_seconds(duration);
+  }
+  if (auto* monitor = cluster.monitor_service()) {
+    p.samples = monitor->store().samples_ingested();
+    p.points = monitor->store().points_ingested();
+  }
+  return p;
+}
+
+std::vector<TelemetryOverheadPoint> run_telemetry_overhead(Tick duration) {
+  std::vector<TelemetryOverheadPoint> out;
+  for (uint64_t interval_ms : {0, 10, 100, 1000}) {
+    out.push_back(run_overhead_point(duration, interval_ms));
+  }
+  return out;
+}
+
+void append_telemetry_overhead(std::string* out,
+                               const std::vector<TelemetryOverheadPoint>& sweep) {
+  const double baseline = sweep.empty() ? 0.0 : sweep.front().throughput;
+  for (const TelemetryOverheadPoint& p : sweep) {
+    if (p.interval_ms == 0) continue;
+    const double overhead_pct =
+        baseline > 0 ? (baseline - p.throughput) / baseline * 100.0 : 0.0;
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"BM_TelemetryOverhead/interval_ms:%llu\": "
+                  "{\"ops_per_second\": %.1f, \"baseline_ops_per_second\": %.1f, "
+                  "\"overhead_pct\": %.2f, \"samples\": %llu, \"points\": %llu},\n",
+                  static_cast<unsigned long long>(p.interval_ms), p.throughput,
+                  baseline, overhead_pct, static_cast<unsigned long long>(p.samples),
+                  static_cast<unsigned long long>(p.points));
+    *out += buf;
+  }
 }
 
 /// Thread-scaling series over the same eight-ring topology as
@@ -228,6 +312,7 @@ int main(int argc, char** argv) {
   bench::bench_logging();
   bench::parse_threads(argc, argv);
   const TraceFlags trace_flags = TraceFlags::parse(argc, argv);
+  const TelemetryFlags telemetry_flags = TelemetryFlags::parse(argc, argv);
   std::string json_path = "BENCH_cluster.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
@@ -235,9 +320,12 @@ int main(int argc, char** argv) {
 
   const Tick duration = 5 * kSecond;
   const ScenarioResult broadcast =
-      run_broadcast(duration, scenario_trace(trace_flags, "broadcast"));
-  const ScenarioResult kv = run_kv(duration, scenario_trace(trace_flags, "kv"));
+      run_broadcast(duration, scenario_trace(trace_flags, "broadcast"),
+                    telemetry_flags.with_tag("broadcast"));
+  const ScenarioResult kv = run_kv(duration, scenario_trace(trace_flags, "kv"),
+                                   telemetry_flags.with_tag("kv"));
   const std::vector<ScalingPoint> scaling = run_thread_scaling(duration);
+  const std::vector<TelemetryOverheadPoint> overhead = run_telemetry_overhead(duration);
 
   print_header("Cluster bench (5 virtual seconds per scenario)");
   for (const ScenarioResult* r : {&broadcast, &kv}) {
@@ -251,9 +339,18 @@ int main(int argc, char** argv) {
                 "speedup %.2fx\n",
                 p.threads, p.events_per_wall_sec, p.speedup);
   }
+  for (const TelemetryOverheadPoint& p : overhead) {
+    if (p.interval_ms == 0) continue;
+    std::printf("telemetry overhead  interval=%4llums  %10.1f ops/s  "
+                "(baseline %.1f)  %llu samples\n",
+                static_cast<unsigned long long>(p.interval_ms), p.throughput,
+                overhead.front().throughput,
+                static_cast<unsigned long long>(p.samples));
+  }
 
   std::string json = "{\n";
   append_scaling(&json, scaling);
+  append_telemetry_overhead(&json, overhead);
   append_scenario(&json, broadcast, /*last=*/false);
   append_scenario(&json, kv, /*last=*/true);
   json += "}\n";

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "harness/telemetry_flags.h"
 #include "harness/trace_flags.h"
 
 using namespace epx;            // NOLINT(google-build-using-namespace)
@@ -22,12 +23,14 @@ int main(int argc, char** argv) {
   bench::bench_logging();
   bench::parse_threads(argc, argv);
   const TraceFlags trace_flags = TraceFlags::parse(argc, argv);
+  const TelemetryFlags telemetry_flags = TelemetryFlags::parse(argc, argv);
   auto options = bench::broadcast_options();
   options.params.admission_rate = 750.0;  // the paper's "30%" per-stream throttle
   // --durable reruns the figure with write-ahead acceptors so the
   // durability overhead (EXPERIMENTS.md) is measured on the same
   // workload; default stays diskless and prints byte-identical output.
   const bool durable = bench::parse_durable(argc, argv, options);
+  telemetry_flags.apply(options);
 
   Cluster cluster(options);
   trace_flags.enable(cluster.sim());
@@ -115,5 +118,6 @@ int main(int argc, char** argv) {
               (std::string("x") + std::to_string(p4 / p1)).c_str());
   if (durable) bench::print_durability_summary(metrics);
   trace_flags.finish(cluster.sim());
+  telemetry_flags.finish(cluster);
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "harness/telemetry_flags.h"
 #include "harness/trace_flags.h"
 
 using namespace epx;            // NOLINT(google-build-using-namespace)
@@ -24,7 +25,9 @@ int main(int argc, char** argv) {
   bench::bench_logging();
   bench::parse_threads(argc, argv);
   const TraceFlags trace_flags = TraceFlags::parse(argc, argv);
+  const TelemetryFlags telemetry_flags = TelemetryFlags::parse(argc, argv);
   auto options = bench::kv_options();
+  telemetry_flags.apply(options);
   KvCluster kvc(options);
   trace_flags.enable(kvc.cluster().sim());
   const uint32_t p1 = kvc.add_partition(2);
@@ -138,5 +141,6 @@ int main(int argc, char** argv) {
   paper_check("fig4.latency", "95th percentile latency 8.3 ms",
               p95_ms > 1.0 && p95_ms < 20.0, (std::to_string(p95_ms) + " ms").c_str());
   trace_flags.finish(cluster.sim());
+  telemetry_flags.finish(cluster);
   return 0;
 }

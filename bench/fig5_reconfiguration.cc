@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "harness/telemetry_flags.h"
 #include "harness/trace_flags.h"
 
 using namespace epx;            // NOLINT(google-build-using-namespace)
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   bench::bench_logging();
   bench::parse_threads(argc, argv);
   const TraceFlags trace_flags = TraceFlags::parse(argc, argv);
+  const TelemetryFlags telemetry_flags = TelemetryFlags::parse(argc, argv);
   auto options = bench::broadcast_options();
   // --durable reruns the figure with write-ahead acceptors;
   // --durable-restart additionally power-fails the active ring at t=60s
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
     durable = true;
     options.storage = paxos::StoragePolicy::kDurable;
   }
+  telemetry_flags.apply(options);
   Cluster cluster(options);
   trace_flags.enable(cluster.sim());
 
@@ -193,5 +196,6 @@ int main(int argc, char** argv) {
   }
   if (durable) bench::print_durability_summary(metrics);
   trace_flags.finish(cluster.sim());
+  telemetry_flags.finish(cluster);
   return 0;
 }

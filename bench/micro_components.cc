@@ -494,6 +494,32 @@ void BM_SimulatedClusterSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedClusterSecond);
 
+/// The telemetry A/B twin of BM_SimulatedClusterSecond: identical
+/// topology and load, scrape plane on at the default 100 ms interval.
+/// perf-smoke gates the pair — telemetry must cost at most a few percent
+/// of real time over the disabled run (compare.py --ab).
+void BM_SimulatedClusterSecondTelemetry(benchmark::State& state) {
+  log::set_level(log::Level::kOff);
+  harness::ClusterOptions options;
+  options.telemetry.enabled = true;
+  harness::Cluster cluster(options);
+  const auto s1 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1});
+  harness::LoadClient::Config cfg;
+  cfg.threads = 8;
+  cfg.payload_bytes = 1024;
+  cfg.route = [s1] { return s1; };
+  auto* client =
+      cluster.spawn<harness::LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  for (auto _ : state) {
+    cluster.run_for(kSecond);
+    benchmark::DoNotOptimize(r1->delivered());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(r1->delivered()));
+}
+BENCHMARK(BM_SimulatedClusterSecondTelemetry);
+
 /// Thread-scaling series: one virtual second of a loaded EIGHT-ring
 /// cluster per iteration, executed on T shards. The topology is fixed
 /// across T so items/sec compares directly; T:1 is the serial engine
@@ -540,6 +566,15 @@ BENCHMARK(BM_SimulatedClusterSecondThreads)
 ///   {"name": ..., "ns_per_op": ..., "events_per_second": ...}
 /// keyed for scripts (EXPERIMENTS.md, CI regression tracking) that do
 /// not want to parse Google Benchmark's full console/JSON formats.
+///
+/// With --benchmark_repetitions the individual repetition runs are
+/// folded into one extra "<name>_min" entry per benchmark (the fastest
+/// repetition) alongside the library's "<name>_median"/"<name>_mean"
+/// aggregates. Minimum-over-repetitions is the statistic the A/B
+/// overhead gate reads: on a shared runner the distribution of run
+/// times is noise stacked on top of a stable floor, so the minima of
+/// two interleaved benchmarks compare the floors and shrug off the
+/// noise that medians still carry.
 class JsonDumpReporter : public benchmark::ConsoleReporter {
  public:
   explicit JsonDumpReporter(std::string path) : path_(std::move(path)) {}
@@ -548,12 +583,25 @@ class JsonDumpReporter : public benchmark::ConsoleReporter {
     benchmark::ConsoleReporter::ReportRuns(runs);
     for (const Run& run : runs) {
       if (run.error_occurred) continue;
+      const double ns = run.iterations == 0
+                            ? 0.0
+                            : run.real_accumulated_time * 1e9 /
+                                  static_cast<double>(run.iterations);
+      if (run.run_type == Run::RT_Iteration && run.repetitions > 1) {
+        // One repetition of a repeated benchmark: fold into the _min
+        // entry instead of emitting a duplicate per-rep key.
+        const std::string name = run.benchmark_name() + "_min";
+        auto [it, fresh] = min_index_.try_emplace(name, entries_.size());
+        if (fresh) {
+          entries_.push_back({name, ns, 0.0});
+        } else if (ns < entries_[it->second].ns_per_op) {
+          entries_[it->second].ns_per_op = ns;
+        }
+        continue;
+      }
       Entry e;
       e.name = run.benchmark_name();
-      e.ns_per_op = run.iterations == 0
-                        ? 0.0
-                        : run.real_accumulated_time * 1e9 /
-                              static_cast<double>(run.iterations);
+      e.ns_per_op = ns;
       auto it = run.counters.find("items_per_second");
       if (it != run.counters.end()) e.events_per_second = it->second.value;
       entries_.push_back(std::move(e));
@@ -583,6 +631,7 @@ class JsonDumpReporter : public benchmark::ConsoleReporter {
   };
   std::string path_;
   std::vector<Entry> entries_;
+  std::map<std::string, size_t> min_index_;  // _min name -> entries_ slot
 };
 
 }  // namespace epx

@@ -21,11 +21,18 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "harness/telemetry_flags.h"
 
 using namespace epx;            // NOLINT(google-build-using-namespace)
 using namespace epx::harness;   // NOLINT(google-build-using-namespace)
 
 namespace {
+
+/// --telemetry-out wires the restart scenarios (1 & 2) to the in-sim
+/// telemetry plane: their timelines carry the crash/restart annotations
+/// and the post-restart scrape windows, `x.json` -> `x.durable.json` /
+/// `x.diskless.json`. The other scenarios run untouched.
+TelemetryFlags g_telemetry;
 
 struct Rig {
   Cluster cluster;
@@ -66,7 +73,10 @@ const char* policy_name(paxos::StoragePolicy policy) {
 // --- 1 & 2: restart one ring member under load ---------------------------
 
 void run_single_restart(paxos::StoragePolicy policy) {
-  Rig rig(matrix_options(policy));
+  const TelemetryFlags telemetry = g_telemetry.with_tag(policy_name(policy));
+  ClusterOptions options = matrix_options(policy);
+  telemetry.apply(options);
+  Rig rig(options);
   rig.cluster.run_until(2 * kSecond);
 
   auto* victim = rig.acceptors()[1];  // the quorum-completing acceptor
@@ -102,6 +112,7 @@ void run_single_restart(paxos::StoragePolicy policy) {
                 !remembers && log_after < log_before && resumed > 100,
                 "see row above");
   }
+  telemetry.finish(rig.cluster);
 }
 
 // --- 3: slow journal device on vs off the decision path ------------------
@@ -206,6 +217,7 @@ TotalLossResult run_total_loss(paxos::StoragePolicy policy) {
 int main(int argc, char** argv) {
   bench::bench_logging();
   bench::parse_threads(argc, argv);
+  g_telemetry = TelemetryFlags::parse(argc, argv);
 
   std::printf("Recovery scenario matrix — write-ahead acceptor durability under "
               "crash/restart/power-loss faults (1 stream, 3 acceptors, 2 replicas, "

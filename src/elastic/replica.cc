@@ -21,15 +21,22 @@ Replica::Replica(sim::Simulation* sim, sim::Network* net, NodeId id, std::string
   const obs::Labels labels{{"node", this->name()}};
   delivered_total_ = &metrics().counter("replica.delivered", labels);
   delivered_bytes_ = &metrics().counter("replica.bytes", labels);
+  obs::Timer& subscribe_latency = metrics().timer("merge.subscribe_latency", labels);
   merger_.bind_instruments(ElasticMerger::Instruments{
       &metrics().counter("merge.discarded", labels),
       &metrics().counter("merge.scan_slots", labels),
-      &metrics().timer("merge.subscribe_latency", labels),
+      &subscribe_latency,
       &trace(),
       [this] { return now(); },
       this->id(),
       &monitors(),
   });
+  if (obs::ScrapeSet* ts = scrape_set()) {
+    ts->watch_counter(obs::metric_key("replica.delivered", labels), delivered_total_);
+    ts->watch_counter(obs::metric_key("replica.bytes", labels), delivered_bytes_);
+    ts->watch_timer(obs::metric_key("merge.subscribe_latency", labels),
+                    &subscribe_latency);
+  }
   // Decisions from independent streams pump the merger once per dispatch
   // batch (see on_batch_end) instead of once per message.
   set_batch_dispatch(true);
@@ -40,9 +47,15 @@ obs::Counter& Replica::per_stream_counter(StreamId stream) {
     per_stream_delivered_.resize(stream + 1, nullptr);
   }
   if (per_stream_delivered_[stream] == nullptr) {
-    per_stream_delivered_[stream] = &metrics().counter(
-        "replica.delivered",
-        {{"node", name()}, {"stream", std::to_string(stream)}});
+    const obs::Labels labels{{"node", name()}, {"stream", std::to_string(stream)}};
+    per_stream_delivered_[stream] = &metrics().counter("replica.delivered", labels);
+    // Per-stream series appear mid-run as streams are subscribed; the
+    // counter is registry-owned, so the watch stays valid across
+    // unsubscribe/resubscribe (watch_counter is idempotent by key).
+    if (obs::ScrapeSet* ts = scrape_set()) {
+      ts->watch_counter(obs::metric_key("replica.delivered", labels),
+                        per_stream_delivered_[stream]);
+    }
   }
   return *per_stream_delivered_[stream];
 }

@@ -24,9 +24,39 @@ Cluster::Cluster(ClusterOptions options)
   if (options_.node_bandwidth_bps > 0.0) {
     net_.set_default_bandwidth(options_.node_bandwidth_bps);
   }
+  if (options_.telemetry.enabled) {
+    // Flip the master switch before any process exists so every role
+    // constructor sees an active scrape set; capture annotation events
+    // so the timeline can mark subscribes/splits/crashes.
+    sim_.set_telemetry_enabled(true);
+    sim_.trace().set_annotation_capture(true);
+    registry::MonitorService::Options mopts;
+    mopts.retention = options_.telemetry.retention;
+    monitor_ = std::make_unique<registry::MonitorService>(&sim_, &net_,
+                                                          allocate_node_id(), "monitor",
+                                                          mopts);
+    // The monitor itself is not scraped: its counters describe the
+    // telemetry plane and would double every sample into more samples.
+  }
 }
 
 Cluster::~Cluster() = default;
+
+void Cluster::attach_telemetry(sim::Process* p) {
+  if (!options_.telemetry.enabled || p == nullptr) return;
+  registry::TelemetryAgent::Options aopts;
+  aopts.interval = options_.telemetry.interval;
+  aopts.collector = monitor_->id();
+  auto agent = std::make_unique<registry::TelemetryAgent>(p, aopts);
+  registry::TelemetryAgent* raw = agent.get();
+  // Restarts re-arm the agent with a fresh window baseline (the crash
+  // epoch-cancelled the pending tick). agents_ outlives no process —
+  // it is declared last in the Cluster — so `raw` stays valid for the
+  // host's whole life.
+  p->set_restart_listener([raw] { raw->start(); });
+  raw->start();
+  agents_.push_back(std::move(agent));
+}
 
 StreamId Cluster::add_stream() { return add_stream_after(0); }
 
@@ -46,6 +76,7 @@ StreamId Cluster::add_stream_after(Tick provisioning_delay) {
         &sim_, &net_, allocate_node_on(stream),
         "acc" + std::to_string(stream) + "." + std::to_string(i), cfg);
     acceptor_ids.push_back(acceptor->id());
+    attach_telemetry(acceptor.get());
     procs.acceptors.push_back(std::move(acceptor));
   }
   // Ring wiring: coordinator -> acc0 -> acc1 -> ... (tail does not forward).
@@ -67,6 +98,7 @@ StreamId Cluster::add_stream_after(Tick provisioning_delay) {
   directory_.add(paxos::StreamInfo{stream, procs.coordinator->id(), acceptor_ids});
 
   paxos::Coordinator* coord = procs.coordinator.get();
+  attach_telemetry(coord);
   if (provisioning_delay <= 0) {
     coord->start();
   } else {
@@ -94,6 +126,7 @@ paxos::Coordinator* Cluster::add_standby_coordinator(StreamId stream) {
         &sim_, &net_, allocate_node_on(stream), "standby" + std::to_string(stream), cfg);
     standby->start();
     s.coordinator->add_standby(standby->id());
+    attach_telemetry(standby.get());
     paxos::Coordinator* raw = standby.get();
     standbys_.push_back(std::move(standby));
     return raw;
@@ -117,6 +150,7 @@ elastic::Replica* Cluster::add_replica(elastic::Replica::Config config) {
       &directory_, std::move(config));
   replica->start();
   elastic::Replica* raw = replica.get();
+  attach_telemetry(raw);
   replicas_.push_back(std::move(replica));
   replica_ptrs_.push_back(raw);
   return raw;
@@ -126,6 +160,7 @@ elastic::Controller& Cluster::controller() {
   if (!controller_) {
     controller_ = std::make_unique<elastic::Controller>(&sim_, &net_, allocate_node_id(),
                                                         "controller", &directory_);
+    attach_telemetry(controller_.get());
   }
   return *controller_;
 }

@@ -18,6 +18,7 @@
 #include "paxos/acceptor.h"
 #include "paxos/coordinator.h"
 #include "paxos/stream_directory.h"
+#include "registry/monitor_service.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
 
@@ -54,6 +55,18 @@ struct ClusterOptions {
   /// cluster builder).
   Tick apply_cpu_per_cmd = 50 * kMicrosecond;
   Tick apply_cpu_per_kib = 1 * kMicrosecond;
+
+  /// In-sim telemetry plane (DESIGN.md §16). When enabled the cluster
+  /// creates a MonitorService node and attaches a TelemetryAgent to
+  /// every process it builds; scrapes travel through the simulated
+  /// network and cost CPU/bandwidth like any other traffic, so the
+  /// default (disabled) run is byte-identical to pre-telemetry builds.
+  struct TelemetryOptions {
+    bool enabled = false;
+    Tick interval = 100 * kMillisecond;  ///< virtual-time scrape period
+    size_t retention = 512;              ///< ring points kept per series
+  };
+  TelemetryOptions telemetry;
 };
 
 class Cluster {
@@ -95,6 +108,7 @@ class Cluster {
                                      std::forward<Args>(args)...);
     T* raw = owned.get();
     extra_processes_.push_back(std::move(owned));
+    attach_telemetry(raw);
     return raw;
   }
 
@@ -104,6 +118,11 @@ class Cluster {
   paxos::Coordinator* coordinator(StreamId stream);
   std::vector<paxos::Acceptor*> acceptors(StreamId stream);
   const std::vector<elastic::Replica*>& replicas() const { return replica_ptrs_; }
+
+  /// The telemetry collector, or nullptr when telemetry is disabled.
+  /// Its store() is the query surface for reports and (eventually) the
+  /// elasticity controller; its slo() takes breach rules.
+  registry::MonitorService* monitor_service() { return monitor_.get(); }
 
   /// Crashes a stream's coordinator and promotes a standby (tests).
   NodeId allocate_node_id() { return allocate_node_on(next_rr_shard_++); }
@@ -125,6 +144,11 @@ class Cluster {
     return id;
   }
 
+  /// Attaches (and starts) a TelemetryAgent scraping `p` into the
+  /// monitor, plus a restart listener that re-arms it after a crash.
+  /// No-op when telemetry is disabled.
+  void attach_telemetry(sim::Process* p);
+
   ClusterOptions options_;
   sim::Simulation sim_;
   sim::Network net_;
@@ -145,6 +169,10 @@ class Cluster {
   std::vector<elastic::Replica*> replica_ptrs_;
   std::unique_ptr<elastic::Controller> controller_;
   std::vector<std::unique_ptr<sim::Process>> extra_processes_;
+  std::unique_ptr<registry::MonitorService> monitor_;
+  /// Declared last: agents hold raw host pointers, so they must be
+  /// destroyed before any of the processes above.
+  std::vector<std::unique_ptr<registry::TelemetryAgent>> agents_;
 };
 
 }  // namespace epx::harness

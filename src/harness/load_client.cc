@@ -14,6 +14,11 @@ LoadClient::LoadClient(sim::Simulation* sim, sim::Network* net, NodeId id,
   latency_ = &metrics().timer("client.latency", labels);
   completions_ = &metrics().counter("client.completions", labels);
   retries_ = &metrics().counter("client.retries", labels);
+  if (obs::ScrapeSet* ts = scrape_set()) {
+    ts->watch_timer(obs::metric_key("client.latency", labels), latency_);
+    ts->watch_counter(obs::metric_key("client.completions", labels), completions_);
+    ts->watch_counter(obs::metric_key("client.retries", labels), retries_);
+  }
 }
 
 void LoadClient::start() {

@@ -18,6 +18,11 @@ KvClient::KvClient(sim::Simulation* sim, sim::Network* net, NodeId id, std::stri
   latency_ = &metrics().timer("client.latency", labels);
   completions_ = &metrics().counter("client.completions", labels);
   retries_ = &metrics().counter("client.retries", labels);
+  if (obs::ScrapeSet* ts = scrape_set()) {
+    ts->watch_timer(obs::metric_key("client.latency", labels), latency_);
+    ts->watch_counter(obs::metric_key("client.completions", labels), completions_);
+    ts->watch_counter(obs::metric_key("client.retries", labels), retries_);
+  }
 }
 
 std::string KvClient::key_name(size_t index) {

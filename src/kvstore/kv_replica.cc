@@ -18,6 +18,10 @@ KvReplica::KvReplica(sim::Simulation* sim, sim::Network* net, NodeId id, std::st
   discarded_ = &metrics().counter("kv.discarded", labels);
   signals_sent_ = &metrics().counter("kv.signals", labels);
   snapshot_bytes_ = &metrics().counter("kv.snapshot_bytes", labels);
+  if (obs::ScrapeSet* ts = scrape_set()) {
+    ts->watch_counter(obs::metric_key("kv.executed", labels), executed_);
+    ts->watch_counter(obs::metric_key("kv.snapshot_bytes", labels), snapshot_bytes_);
+  }
   set_app_handler([this](const Command& cmd, StreamId) { on_kv_deliver(cmd); });
 }
 

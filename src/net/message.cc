@@ -26,6 +26,7 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kKvSignal: return "KvSignal";
     case MsgType::kSnapshotRequest: return "SnapshotRequest";
     case MsgType::kSnapshotReply: return "SnapshotReply";
+    case MsgType::kTelemetrySample: return "TelemetrySample";
   }
   return "Unknown";
 }

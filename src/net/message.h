@@ -56,6 +56,9 @@ enum class MsgType : uint16_t {
   kKvSignal,  // multi-partition execution signals
   kSnapshotRequest,
   kSnapshotReply,
+
+  // Telemetry plane (DESIGN.md §16)
+  kTelemetrySample = 300,  // one node's scrape window, agent -> monitor
 };
 
 const char* msg_type_name(MsgType type);

@@ -70,6 +70,34 @@ std::string FlightRecorder::dump(const std::string& reason, Tick now) {
   }
   out += "\n},\n";
 
+  // Windowed history: what the point-in-time metrics snapshot below
+  // cannot show — how each signal moved through the last N scrape
+  // windows leading up to the dump.
+  out += "\"telemetry\": {\"series\": [";
+  if (telemetry_ != nullptr) {
+    bool first_series = true;
+    for (const auto& [key, by_node] : telemetry_->all()) {
+      for (const auto& [node, s] : by_node) {
+        appendf(out, "%s\n{\"key\": \"", first_series ? "" : ",");
+        first_series = false;
+        append_escaped(out, key);
+        appendf(out, "\", \"node\": %u, \"kind\": \"%s\", \"points\": [", node,
+                point_kind_name(s.kind));
+        const size_t start = s.points.size() > max_telemetry_windows_
+                                 ? s.points.size() - max_telemetry_windows_
+                                 : 0;
+        for (size_t i = start; i < s.points.size(); ++i) {
+          const TsPoint& p = s.points[i];
+          appendf(out, "%s[%lld,%.12g,%.12g,%.12g,%.12g]", i == start ? "" : ",",
+                  static_cast<long long>(p.t), p.v0, p.v1, p.v2, p.v3);
+        }
+        out += "]}";
+      }
+    }
+    if (!first_series) out += "\n";
+  }
+  out += "]},\n";
+
   out += "\"metrics\": ";
   out += metrics_ != nullptr ? metrics_->to_json(false) : "{}";
   out += "\n}\n";

@@ -14,6 +14,9 @@
 //     "trace":       the last-N protocol trace-ring events,
 //     "queue_depths": per-node inbox depth + high-water mark
 //                     (from the `inbox.depth{node=...}` gauges),
+//     "telemetry":   the last-N scraped windows of every stored series
+//                    (when a TimeSeriesStore is bound — the windowed
+//                    history a point-in-time metrics snapshot lacks),
 //     "metrics":     the full MetricsRegistry snapshot (no series)
 //   }
 //
@@ -27,6 +30,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/units.h"
 
@@ -41,6 +45,14 @@ class FlightRecorder {
   void bind(const MetricsRegistry* metrics, const Trace* trace) {
     metrics_ = metrics;
     trace_ = trace;
+  }
+
+  /// Optional: the telemetry store whose windowed history dumps should
+  /// carry (the MonitorService binds its TimeSeriesStore here). `windows`
+  /// caps the trailing points emitted per series.
+  void bind_telemetry(const TimeSeriesStore* store, size_t windows = 32) {
+    telemetry_ = store;
+    max_telemetry_windows_ = windows;
   }
 
   /// Path prefix for dump files; `<prefix><seq>.json`. Empty (the
@@ -62,6 +74,8 @@ class FlightRecorder {
  private:
   const MetricsRegistry* metrics_ = nullptr;
   const Trace* trace_ = nullptr;
+  const TimeSeriesStore* telemetry_ = nullptr;
+  size_t max_telemetry_windows_ = 32;
   std::string path_prefix_;
   size_t max_trace_events_ = 512;
   uint64_t dumps_ = 0;

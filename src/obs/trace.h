@@ -75,6 +75,35 @@ class Trace {
   /// `trace.dropped` instead of only via dropped().
   void bind_drop_counter(Counter* counter) { drop_counter_ = counter; }
 
+  /// Annotation capture (off by default): cluster-shaping control events
+  /// — subscribe/unsubscribe, merge points, takeovers, crash/restart —
+  /// are additionally copied into a side log that the ring cannot
+  /// overwrite, so a run timeline can annotate its full duration however
+  /// long the run. Bounded by kMaxAnnotations (drops counted).
+  void set_annotation_capture(bool on) { annotate_ = on; }
+  bool annotation_capture() const { return annotate_; }
+  std::vector<TraceEvent> annotations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return annotations_;
+  }
+  uint64_t annotations_dropped() const { return annotation_drops_; }
+
+  static bool is_annotation(TraceKind kind) {
+    switch (kind) {
+      case TraceKind::kSubscribeBegin:
+      case TraceKind::kMergePoint:
+      case TraceKind::kSubscribeComplete:
+      case TraceKind::kUnsubscribe:
+      case TraceKind::kTakeoverBegin:
+      case TraceKind::kTakeoverComplete:
+      case TraceKind::kCrash:
+      case TraceKind::kRestart:
+        return true;
+      default:
+        return false;
+    }
+  }
+
   /// Thread-safe: control-plane events can originate on shard workers in
   /// parallel runs (skip-runs, trims, crash timers), so the ring append
   /// takes a mutex. Steady state records only control-plane events, so
@@ -99,6 +128,13 @@ class Trace {
     const size_t n = detail.size() < sizeof(ev.detail) - 1 ? detail.size() : sizeof(ev.detail) - 1;
     if (n > 0) std::memcpy(ev.detail, detail.data(), n);
     ev.detail[n] = '\0';
+    if (annotate_ && is_annotation(kind)) {
+      if (annotations_.size() < kMaxAnnotations) {
+        annotations_.push_back(ev);
+      } else {
+        ++annotation_drops_;
+      }
+    }
   }
 
   /// Events still held in the ring, oldest first.
@@ -117,6 +153,8 @@ class Trace {
     ring_.clear();
     head_ = 0;
     recorded_ = 0;
+    annotations_.clear();
+    annotation_drops_ = 0;
   }
 
   static bool is_hot(TraceKind kind) {
@@ -135,12 +173,17 @@ class Trace {
     return ev;
   }
 
+  static constexpr size_t kMaxAnnotations = 65536;
+
   mutable std::mutex mu_;
   size_t capacity_;
   std::vector<TraceEvent> ring_;
   size_t head_ = 0;  ///< index of the oldest event once the ring is full.
   uint64_t recorded_ = 0;
   bool verbose_ = false;
+  bool annotate_ = false;
+  std::vector<TraceEvent> annotations_;  ///< overwrite-proof control events
+  uint64_t annotation_drops_ = 0;
   Counter* drop_counter_ = nullptr;  ///< registry-owned `trace.dropped`
 };
 

@@ -13,9 +13,14 @@ using net::MsgType;
 Acceptor::Acceptor(sim::Simulation* sim, sim::Network* net, NodeId id, std::string name,
                    Config config)
     : Process(sim, net, id, std::move(name)), config_(std::move(config)) {
-  decisions_ = &metrics().counter("acceptor.decisions", {{"node", this->name()}});
-  recoveries_ = &metrics().counter("acceptor.recoveries", {{"node", this->name()}});
-  replays_ = &metrics().counter("acceptor.replays", {{"node", this->name()}});
+  const obs::Labels labels{{"node", this->name()}};
+  decisions_ = &metrics().counter("acceptor.decisions", labels);
+  recoveries_ = &metrics().counter("acceptor.recoveries", labels);
+  replays_ = &metrics().counter("acceptor.replays", labels);
+  if (obs::ScrapeSet* ts = scrape_set()) {
+    ts->watch_counter(obs::metric_key("acceptor.decisions", labels), decisions_);
+    ts->watch_counter(obs::metric_key("acceptor.recoveries", labels), recoveries_);
+  }
   store_ = make_store();
 }
 

@@ -29,6 +29,12 @@ Coordinator::Coordinator(sim::Simulation* sim, sim::Network* net, NodeId id,
   retries_ = &metrics().counter("coord.retries", labels);
   takeovers_ = &metrics().counter("coord.takeovers", labels);
   trim_pos_ = &metrics().gauge("coord.trim", labels);
+  if (obs::ScrapeSet* ts = scrape_set()) {
+    ts->watch_counter(obs::metric_key("coord.commands", labels), commands_);
+    ts->watch_counter(obs::metric_key("coord.skips", labels), skips_);
+    ts->watch_counter(obs::metric_key("coord.retries", labels), retries_);
+    ts->watch_gauge(obs::metric_key("coord.trim", labels), trim_pos_);
+  }
 }
 
 void Coordinator::start() {

@@ -12,6 +12,13 @@ Learner::Learner(sim::Process* host, Config config, ProposalSink sink)
                            {"stream", std::to_string(config_.stream)}};
   delivered_ = &host_->metrics().counter("learner.delivered", labels);
   gap_repairs_ = &host_->metrics().counter("learner.gap_repairs", labels);
+  // Learners come and go with subscriptions, but the instruments are
+  // registry-owned and the watch is idempotent by key, so churn never
+  // leaves the host's scrape set dangling.
+  if (obs::ScrapeSet* ts = host_->scrape_set()) {
+    ts->watch_counter(obs::metric_key("learner.delivered", labels), delivered_);
+    ts->watch_counter(obs::metric_key("learner.gap_repairs", labels), gap_repairs_);
+  }
 }
 
 Learner::~Learner() { ++*gen_; }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "net/message.h"
+#include "obs/telemetry.h"
 
 namespace epx::registry {
 
@@ -111,6 +112,61 @@ struct RegistryEventMsg final : Message {
     w.varint(version);
   }
   static std::shared_ptr<Message> decode(Reader& r);
+};
+
+/// One node's telemetry scrape window, shipped by a TelemetryAgent to
+/// the MonitorService through the simulated network — scraping costs
+/// real sim bandwidth and CPU (DESIGN.md §16). The body is the
+/// TelemetrySample verbatim: per point a length-prefixed canonical key,
+/// the point kind, and the four value slots bit-cast to u64.
+struct TelemetrySampleMsg final : Message {
+  uint32_t node = 0;
+  uint64_t seq = 0;
+  int64_t window_start = 0;
+  int64_t window_end = 0;
+  std::vector<obs::TelemetryPoint> points;
+
+  // Recycle the point buffer: together with acquire in scrape() this
+  // keeps the steady-state scrape -> send -> ingest cycle free of heap
+  // allocation (one sample per node per window, forever).
+  ~TelemetrySampleMsg() override { obs::release_point_buffer(std::move(points)); }
+
+  MsgType type() const override { return MsgType::kTelemetrySample; }
+  size_t body_size() const override {
+    size_t n = sizeof(uint32_t) + Writer::varint_size(seq) + 2 * sizeof(int64_t) +
+               Writer::varint_size(points.size());
+    for (const auto& p : points) {
+      n += Writer::bytes_size(p.key->size()) + 1 + 4 * sizeof(double);
+    }
+    return n;
+  }
+  void encode(Writer& w) const override {
+    w.u32(node);
+    w.varint(seq);
+    w.i64(window_start);
+    w.i64(window_end);
+    w.varint(points.size());
+    for (const auto& p : points) {
+      w.bytes(*p.key);
+      w.u8(static_cast<uint8_t>(p.kind));
+      w.f64(p.v0);
+      w.f64(p.v1);
+      w.f64(p.v2);
+      w.f64(p.v3);
+    }
+  }
+  static std::shared_ptr<Message> decode(Reader& r);
+
+  /// The sample view the store/SLO layers consume.
+  obs::TelemetrySample to_sample() const {
+    obs::TelemetrySample s;
+    s.node = node;
+    s.seq = seq;
+    s.window_start = window_start;
+    s.window_end = window_end;
+    s.points = points;
+    return s;
+  }
 };
 
 void register_registry_messages();

@@ -11,8 +11,13 @@ constexpr Tick kHandleCost = 5 * kMicrosecond;
 RegistryServer::RegistryServer(sim::Simulation* sim, sim::Network* net, NodeId id,
                                std::string name)
     : Process(sim, net, id, std::move(name)) {
-  puts_ = &metrics().counter("registry.puts", {{"node", this->name()}});
-  notifications_ = &metrics().counter("registry.notifications", {{"node", this->name()}});
+  const obs::Labels labels{{"node", this->name()}};
+  puts_ = &metrics().counter("registry.puts", labels);
+  notifications_ = &metrics().counter("registry.notifications", labels);
+  if (obs::ScrapeSet* ts = scrape_set()) {
+    ts->watch_counter(obs::metric_key("registry.puts", labels), puts_);
+    ts->watch_counter(obs::metric_key("registry.notifications", labels), notifications_);
+  }
 }
 
 void RegistryServer::put(const std::string& key, const std::string& value) {

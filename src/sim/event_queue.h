@@ -126,7 +126,6 @@ class EventQueue {
   size_t slab_chunks() const { return chunks_.size(); }
   /// Events that missed the wheel window and went to the overflow heap.
   uint64_t far_inserts() const { return far_inserts_; }
-
   /// Callback captures up to this size are stored inline (no allocation).
   static constexpr size_t kInlineBytes = 80;
   /// Bit position of the EventClass within the ordering seq; the low 62

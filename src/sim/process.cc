@@ -39,6 +39,18 @@ void Process::restart() {
   ++epoch_;
   busy_until_ = now();
   on_restart();
+  if (restart_listener_) restart_listener_();
+}
+
+obs::ScrapeSet* Process::scrape_set() {
+  if (!sim_->telemetry_enabled()) return nullptr;
+  if (!scrape_set_) {
+    scrape_set_ = std::make_unique<obs::ScrapeSet>();
+    scrape_set_->watch_counter(obs::metric_key("cpu.busy", {{"node", name_}}), cpu_busy_);
+    scrape_set_->watch_gauge(obs::metric_key("inbox.depth", {{"node", name_}}),
+                             inbox_depth_);
+  }
+  return scrape_set_.get();
 }
 
 void Process::enqueue_message(NodeId from, MessagePtr msg) {

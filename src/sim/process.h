@@ -11,11 +11,13 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <variant>
 
 #include "net/message.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
@@ -43,6 +45,24 @@ class Process {
   obs::Trace& trace() { return sim_->trace(); }
   obs::SpanCollector& spans() { return sim_->spans(); }
   obs::MonitorHub& monitors() { return sim_->monitors(); }
+
+  /// This process's telemetry scrape set — the instruments its
+  /// TelemetryAgent snapshots every interval. Lazily created on first
+  /// use, pre-watching `cpu.busy` and `inbox.depth`; roles add their own
+  /// instruments in their constructors:
+  ///
+  ///   if (auto* ts = scrape_set()) ts->watch_counter(key, handle);
+  ///
+  /// Returns nullptr when the simulation's telemetry plane is disabled,
+  /// so the default path costs one branch and no memory.
+  obs::ScrapeSet* scrape_set();
+
+  /// Invoked after on_restart() completes, every time the process
+  /// restarts. The harness uses it to re-arm the telemetry agent (the
+  /// crash epoch-cancelled the pending scrape tick).
+  void set_restart_listener(std::function<void()> fn) {
+    restart_listener_ = std::move(fn);
+  }
 
   /// Crashes the process: pending inbox and timers are discarded and
   /// incoming messages are dropped until restart(). Subclasses override
@@ -140,6 +160,8 @@ class Process {
 
   obs::Counter* cpu_busy_;    // registry-owned `cpu.busy{node=<name>}`
   obs::Gauge* inbox_depth_;   // registry-owned `inbox.depth{node=<name>}`
+  std::unique_ptr<obs::ScrapeSet> scrape_set_;  // lazily created; see scrape_set()
+  std::function<void()> restart_listener_;
 };
 
 }  // namespace epx::sim

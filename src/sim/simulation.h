@@ -186,6 +186,16 @@ class Simulation {
   /// trace ring; dumped automatically on the first monitor violation.
   obs::FlightRecorder& flight_recorder() { return recorder_; }
 
+  /// Telemetry plane master switch (off by default). When on, every
+  /// Process lazily creates a ScrapeSet (Process::scrape_set()) that
+  /// roles register their instruments into, and the harness attaches a
+  /// TelemetryAgent per process. Purely message-passing — unlike spans
+  /// and monitors it does NOT force the parallel engine onto the serial
+  /// fallback. Set before processes register scrape watches (the harness
+  /// sets it in the Cluster constructor).
+  void set_telemetry_enabled(bool on) { telemetry_enabled_ = on; }
+  bool telemetry_enabled() const { return telemetry_enabled_; }
+
  private:
   /// One shard of the parallel engine: an event queue plus its clock,
   /// owned by exactly one worker thread during a window. The struct is
@@ -227,6 +237,8 @@ class Simulation {
   bool parallel_started_ = false;
   struct WorkerPool;  // threads + barrier state (defined in .cc)
   std::unique_ptr<WorkerPool> pool_;
+
+  bool telemetry_enabled_ = false;
 
   obs::MetricsRegistry metrics_;
   obs::Trace trace_;

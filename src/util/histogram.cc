@@ -35,6 +35,8 @@ void Histogram::record_n(Tick value, uint64_t n) {
   if (value < 0) value = 0;
   const int idx = std::min<int>(bucket_index(value), static_cast<int>(buckets_.size()) - 1);
   buckets_[idx] += n;
+  if (static_cast<uint32_t>(idx) < win_lo_) win_lo_ = static_cast<uint32_t>(idx);
+  if (static_cast<uint32_t>(idx) > win_hi_) win_hi_ = static_cast<uint32_t>(idx);
   if (count_ == 0 || value < min_) min_ = value;
   if (value > max_) max_ = value;
   count_ += n;
@@ -44,11 +46,72 @@ void Histogram::record_n(Tick value, uint64_t n) {
 void Histogram::merge(const Histogram& other) {
   for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
   if (other.count_ > 0) {
+    // Every bucket the merge touched lies within other's populated span.
+    const auto last = static_cast<uint32_t>(buckets_.size() - 1);
+    const auto olo = std::min(static_cast<uint32_t>(bucket_index(other.min_)), last);
+    const auto ohi = std::min(static_cast<uint32_t>(bucket_index(other.max_)), last);
+    if (olo < win_lo_) win_lo_ = olo;
+    if (ohi > win_hi_) win_hi_ = ohi;
     if (count_ == 0 || other.min_ < min_) min_ = other.min_;
     if (other.max_ > max_) max_ = other.max_;
     count_ += other.count_;
     sum_ += other.sum_;
   }
+}
+
+Histogram Histogram::delta_since(const Histogram& prev) const {
+  Histogram out;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t before = i < prev.buckets_.size() ? prev.buckets_[i] : 0;
+    const uint64_t diff = buckets_[i] > before ? buckets_[i] - before : 0;
+    if (diff == 0) continue;
+    const Tick bound = bucket_upper_bound(static_cast<int>(i));
+    out.buckets_[i] += diff;
+    if (out.count_ == 0 || bound < out.min_) out.min_ = bound;
+    if (bound > out.max_) out.max_ = bound;
+    out.count_ += diff;
+  }
+  // Window sum from the cumulative sums: exact, unlike the bucket bounds.
+  if (out.count_ > 0) out.sum_ = sum_ - prev.sum_;
+  return out;
+}
+
+uint64_t Histogram::advance_window(Histogram& prev, const double* qs,
+                                   size_t nq, Tick* out) const {
+  for (size_t k = 0; k < nq; ++k) out[k] = 0;
+  // Bucket counts are monotone between snapshots, so the window count is
+  // just the cumulative-count difference — no bucket pass needed.
+  const uint64_t total = count_ - prev.count_;
+  prev.count_ = count_;
+  prev.min_ = min_;
+  prev.max_ = max_;
+  prev.sum_ = sum_;
+  if (total == 0) return 0;
+  // total > 0 means record() ran since the last reset, so the hint span
+  // is non-empty and covers every bucket that can differ from prev.
+  const size_t lo = win_lo_;
+  const size_t hi = win_hi_;
+  win_lo_ = UINT32_MAX;
+  win_hi_ = 0;
+  uint64_t seen = 0;
+  size_t k = 0;
+  for (size_t i = lo; i <= hi; ++i) {
+    const uint64_t cur = buckets_[i];
+    const uint64_t before = prev.buckets_[i];
+    if (cur == before) continue;
+    prev.buckets_[i] = cur;
+    seen += cur - before;
+    // Same target arithmetic as quantile(); the delta histogram's max is
+    // the last nonzero diff bucket's bound, so quantile()'s max-clamp
+    // could never bind and the bucket bound alone reproduces its result.
+    while (k < nq &&
+           seen >= static_cast<uint64_t>(std::clamp(qs[k], 0.0, 1.0) *
+                                         static_cast<double>(total - 1)) +
+                       1) {
+      out[k++] = bucket_upper_bound(static_cast<int>(i));
+    }
+  }
+  return total;
 }
 
 double Histogram::mean() const {
@@ -72,6 +135,8 @@ void Histogram::clear() {
   count_ = 0;
   min_ = max_ = 0;
   sum_ = 0.0;
+  win_lo_ = UINT32_MAX;
+  win_hi_ = 0;
 }
 
 std::string Histogram::summary() const {

@@ -27,6 +27,29 @@ class Histogram {
   /// Adds all samples of another histogram into this one.
   void merge(const Histogram& other);
 
+  /// Samples recorded since `prev`, where `prev` is an earlier snapshot
+  /// of this same histogram (bucket counts monotonically non-decreasing).
+  /// The result's min/max are bucket bounds, so quantiles of the window
+  /// keep the sketch's ~4.2% precision; exact min/max of the window are
+  /// not recoverable from two cumulative snapshots.
+  Histogram delta_since(const Histogram& prev) const;
+
+  /// Quantiles of the window since `prev`, then advances `prev` to this
+  /// snapshot — all in one pass over the buckets recorded into since the
+  /// previous advance_window call (record() keeps a dirty-span hint, so
+  /// a quiet 100 ms window scans a handful of buckets, not the array).
+  /// Writes the same values `delta_since(prev).quantile(qs[k])` would to
+  /// `out[k]` (`qs` must be ascending) and returns the window's sample
+  /// count. The telemetry scrape path runs this every window: it
+  /// allocates nothing and never touches the full bucket array, unlike
+  /// a delta_since() materialisation followed by a snapshot copy.
+  ///
+  /// Resetting the hint makes this a single-consumer API: one snapshot
+  /// chain per histogram (the per-process ScrapeSet watch). A second
+  /// independent `prev` would see scans narrower than its diff.
+  uint64_t advance_window(Histogram& prev, const double* qs, size_t nq,
+                          Tick* out) const;
+
   uint64_t count() const { return count_; }
   Tick min() const { return count_ == 0 ? 0 : min_; }
   Tick max() const { return max_; }
@@ -57,6 +80,11 @@ class Histogram {
   Tick min_ = 0;
   Tick max_ = 0;
   double sum_ = 0.0;
+  // Dirty bucket span since the last advance_window reset (empty when
+  // lo > hi). A scan hint, not part of the histogram's value — mutable
+  // so the const scrape path can reset it.
+  mutable uint32_t win_lo_ = UINT32_MAX;
+  mutable uint32_t win_hi_ = 0;
 };
 
 }  // namespace epx

@@ -233,6 +233,36 @@ TEST_F(CodecTest, RegistryMessagesRoundTrip) {
   round_trip(registry::RegistryEventMsg("kv/partitions", "blob2", 4));
 }
 
+TEST_F(CodecTest, TelemetrySampleRoundTrip) {
+  registry::TelemetrySampleMsg msg;
+  msg.node = 9;
+  msg.seq = 41;
+  msg.window_start = 100 * kMillisecond;
+  msg.window_end = 200 * kMillisecond;
+  obs::TelemetryPoint counter;
+  counter.key = obs::intern_key("replica.delivered{node=replica1}");
+  counter.kind = obs::PointKind::kCounter;
+  counter.v0 = 12;
+  counter.v1 = 99;
+  msg.points.push_back(counter);
+  obs::TelemetryPoint gauge;
+  gauge.key = obs::intern_key("inbox.depth{node=replica1}");
+  gauge.kind = obs::PointKind::kGauge;
+  gauge.v0 = 3;
+  gauge.v1 = 17;
+  msg.points.push_back(gauge);
+  obs::TelemetryPoint timer;
+  timer.key = obs::intern_key("client.latency{node=client}");
+  timer.kind = obs::PointKind::kTimer;
+  timer.v0 = 250;
+  timer.v1 = 1.5e6;
+  timer.v2 = 2.5e6;
+  timer.v3 = 4.5e6;
+  msg.points.push_back(timer);
+  round_trip(msg);
+  round_trip(registry::TelemetrySampleMsg());  // empty scrape window
+}
+
 TEST_F(CodecTest, KvMessagesRoundTrip) {
   round_trip(kv::KvSignalMsg(42, 3));
   round_trip(kv::SnapshotRequestMsg(9));

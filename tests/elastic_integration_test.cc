@@ -239,5 +239,78 @@ TEST_F(ElasticIntegrationTest, ReconfigurationSwitchesStreams) {
   EXPECT_EQ(r1->merger().subscriptions(), (std::vector<paxos::StreamId>{s2}));
 }
 
+TEST_F(ElasticIntegrationTest, TelemetryScrapesSurviveSubscriptionChurn) {
+  // The full elastic scenario with the telemetry plane on: the scrape
+  // agents ride through subscribe, unsubscribe and a replica crash
+  // without dangling instruments or partial samples, and the protocol's
+  // own guarantees are untouched by the extra scrape traffic.
+  ClusterOptions options;
+  options.telemetry.enabled = true;
+  Cluster cluster(options);
+  const auto s1 = cluster.add_stream();
+  const auto s2 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1});
+  auto* r2 = cluster.add_replica(1, {s1});
+
+  checker::OrderChecker order;
+  for (auto* r : {r1, r2}) {
+    r->set_delivery_listener([&order](net::NodeId n, const paxos::Command& c,
+                                      paxos::StreamId) { order.record(n, c.id); });
+  }
+
+  LoadClient::Config cfg;
+  cfg.threads = 2;
+  cfg.payload_bytes = 256;
+  cfg.route = [s1] { return s1; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  cluster.run_for(2 * kSecond);
+
+  cluster.controller().subscribe(1, s2, s1);
+  ASSERT_TRUE(run_until(
+      cluster,
+      [&] { return r1->merger().subscribed_to(s2) && r2->merger().subscribed_to(s2); },
+      10 * kSecond));
+  cluster.run_for(1 * kSecond);
+  // Unsubscribe destroys both replicas' S2 learners between two scrapes.
+  cluster.controller().unsubscribe(1, s2, s1);
+  ASSERT_TRUE(run_until(cluster, [&] { return !r1->merger().subscribed_to(s2); },
+                        10 * kSecond));
+  r2->crash();
+  cluster.run_for(500 * kMillisecond);
+  r2->restart();
+  cluster.run_for(2 * kSecond);
+  client->stop();
+  cluster.run_for(1 * kSecond);
+
+  // Ordering still holds with scrape traffic sharing the network.
+  EXPECT_EQ(order.check_all(), "");
+
+  // Every sample in the store is complete: windows are well-formed and
+  // each series carries the per-process baseline instruments alongside
+  // the role ones that churned.
+  const obs::TimeSeriesStore& store = cluster.monitor_service()->store();
+  EXPECT_GT(store.samples_ingested(), 0u);
+  for (const auto& [key, by_node] : store.all()) {
+    for (const auto& [node, series] : by_node) {
+      for (size_t i = 1; i < series.points.size(); ++i) {
+        EXPECT_GT(series.points[i].t, series.points[i - 1].t)
+            << key << " node " << node;
+      }
+    }
+  }
+  // The destroyed S2 learners' series survive, frozen after the churn.
+  const std::string dead_key = obs::metric_key(
+      "learner.delivered", {{"node", r1->name()}, {"stream", std::to_string(s2)}});
+  const obs::TsSeries* dead = store.series(r1->id(), dead_key);
+  ASSERT_NE(dead, nullptr);
+  EXPECT_DOUBLE_EQ(dead->points.back().v0, 0.0);
+  // And the crashed replica resumed scraping after restart.
+  const obs::TsSeries* crashed = store.series(
+      r2->id(), obs::metric_key("cpu.busy", {{"node", r2->name()}}));
+  ASSERT_NE(crashed, nullptr);
+  EXPECT_GT(crashed->points.back().t, cluster.now() - kSecond);
+}
+
 }  // namespace
 }  // namespace epx

@@ -1,0 +1,16 @@
+// R10 fixture: telemetry-plane observability-name violations.
+//   1. agent publishes an undocumented telemetry meta-counter
+//   2. scrape watch consumes a name nothing publishes (typo)
+void build_monitor(MetricsRegistry& metrics) {
+  metrics.counter("telemetry.samples");  // fine: documented name
+  metrics.counter("telemetry.lag");      // planted: undocumented name
+}
+
+void build_scrapes(sim::Process& host, const obs::Counter* delivered) {
+  if (obs::ScrapeSet* ts = host.scrape_set()) {
+    // fine: published by every replica (documented, published in src/)
+    ts->watch_counter(obs::metric_key("telemetry.samples"), delivered);
+    // planted: consumed but no publisher anywhere (typoed suffix)
+    ts->watch_counter(obs::metric_key("telemetry.samplez"), delivered);
+  }
+}

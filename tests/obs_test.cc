@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
@@ -322,6 +323,236 @@ TEST(SimulationObsTest, SimulationRoutesTraceLogsIntoRing) {
   // stderr (or nowhere), not into freed trace memory.
   EPX_TRACE << "after simulation death";
   log::set_level(saved);
+}
+
+// --- telemetry: ScrapeSet ------------------------------------------------
+
+TEST(ScrapeSetTest, CounterWindowsAreDeltasPlusTotals) {
+  obs::Counter counter;
+  counter.add(1 * kSecond, 10);
+  obs::ScrapeSet set;
+  // The watch baselines at the current total: pre-watch history is not
+  // replayed into the first window.
+  set.watch_counter("x{node=n1}", &counter);
+  counter.add(2 * kSecond, 5);
+  auto points = set.scrape();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].kind, obs::PointKind::kCounter);
+  EXPECT_DOUBLE_EQ(points[0].v0, 5.0);   // window delta
+  EXPECT_DOUBLE_EQ(points[0].v1, 15.0);  // cumulative
+  // An idle window scrapes a zero delta, and the baseline advances.
+  points = set.scrape();
+  EXPECT_DOUBLE_EQ(points[0].v0, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].v1, 15.0);
+}
+
+TEST(ScrapeSetTest, WatchIsIdempotentByKey) {
+  obs::Counter counter;
+  obs::ScrapeSet set;
+  set.watch_counter("x{node=n1}", &counter);
+  counter.add(1 * kSecond, 7);
+  // A role restart re-registers the same key; the existing baseline (and
+  // its pending delta) must survive, not reset.
+  set.watch_counter("x{node=n1}", &counter);
+  EXPECT_EQ(set.size(), 1u);
+  const auto points = set.scrape();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].v0, 7.0);
+}
+
+TEST(ScrapeSetTest, RebaseSwallowsTheOutage) {
+  obs::Counter counter;
+  obs::ScrapeSet set;
+  set.watch_counter("x{node=n1}", &counter);
+  counter.add(1 * kSecond, 100);  // "before the crash"
+  // The restart path rebases instead of scraping: the first post-restart
+  // window must not fold the whole outage into one giant delta.
+  set.rebase();
+  counter.add(2 * kSecond, 3);
+  const auto points = set.scrape();
+  EXPECT_DOUBLE_EQ(points[0].v0, 3.0);
+  EXPECT_DOUBLE_EQ(points[0].v1, 103.0);
+}
+
+TEST(ScrapeSetTest, TimerWindowsCarryWindowedQuantiles) {
+  obs::Timer timer;
+  timer.record(1 * kSecond, 1 * kMillisecond);
+  obs::ScrapeSet set;
+  set.watch_timer("lat{node=n1}", &timer);
+  // Only the post-baseline recordings shape this window's quantiles.
+  for (int i = 0; i < 100; ++i) timer.record(2 * kSecond, 10 * kMillisecond);
+  auto points = set.scrape();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].kind, obs::PointKind::kTimer);
+  EXPECT_DOUBLE_EQ(points[0].v0, 100.0);
+  EXPECT_GT(points[0].v1, static_cast<double>(5 * kMillisecond));  // p50
+  EXPECT_GE(points[0].v2, points[0].v1);                           // p95
+  EXPECT_GE(points[0].v3, points[0].v2);                           // p99
+  // An empty window has no quantiles at all.
+  points = set.scrape();
+  EXPECT_DOUBLE_EQ(points[0].v0, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].v3, 0.0);
+}
+
+TEST(ScrapeSetTest, GaugeScrapesValueAndHighWaterMark) {
+  obs::Gauge gauge;
+  gauge.set(8);
+  gauge.set(3);
+  obs::ScrapeSet set;
+  set.watch_gauge("depth{node=n1}", &gauge);
+  const auto points = set.scrape();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].kind, obs::PointKind::kGauge);
+  EXPECT_DOUBLE_EQ(points[0].v0, 3.0);  // value at scrape
+  EXPECT_DOUBLE_EQ(points[0].v1, 8.0);  // high-water mark
+}
+
+// --- telemetry: TimeSeriesStore ------------------------------------------
+
+obs::TelemetrySample one_point_sample(uint32_t node, uint64_t seq, Tick end,
+                                      std::string key, obs::PointKind kind,
+                                      double v0, double v1 = 0) {
+  obs::TelemetrySample sample;
+  sample.node = node;
+  sample.seq = seq;
+  sample.window_start = end - 100 * kMillisecond;
+  sample.window_end = end;
+  obs::TelemetryPoint p;
+  p.key = obs::intern_key(std::move(key));
+  p.kind = kind;
+  p.v0 = v0;
+  p.v1 = v1;
+  sample.points.push_back(std::move(p));
+  return sample;
+}
+
+TEST(TimeSeriesStoreTest, IngestBuildsPerNodeSeries) {
+  obs::TimeSeriesStore store;
+  store.ingest(one_point_sample(1, 1, 1 * kSecond, "x{node=a}",
+                                obs::PointKind::kCounter, 5, 5));
+  store.ingest(one_point_sample(2, 1, 1 * kSecond, "x{node=b}",
+                                obs::PointKind::kCounter, 7, 7));
+  store.ingest(one_point_sample(1, 2, 2 * kSecond, "x{node=a}",
+                                obs::PointKind::kCounter, 3, 8));
+  EXPECT_EQ(store.samples_ingested(), 3u);
+  EXPECT_EQ(store.points_ingested(), 3u);
+  EXPECT_EQ(store.nodes(), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(store.keys(), (std::vector<std::string>{"x{node=a}", "x{node=b}"}));
+  const obs::TsSeries* s = store.series(1, "x{node=a}");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->points.size(), 2u);
+  EXPECT_EQ(s->points[1].t, 2 * kSecond);
+  EXPECT_DOUBLE_EQ(s->points[1].v1, 8.0);
+  EXPECT_EQ(store.series(2, "x{node=a}"), nullptr);
+}
+
+TEST(TimeSeriesStoreTest, QueryRangeLatestAndAggregate) {
+  obs::TimeSeriesStore store;
+  for (int i = 1; i <= 4; ++i) {
+    store.ingest(one_point_sample(1, i, i * kSecond, "x{node=a}",
+                                  obs::PointKind::kCounter, 1, i));
+    store.ingest(one_point_sample(2, i, i * kSecond, "x{node=b}",
+                                  obs::PointKind::kCounter, 2, 2 * i));
+  }
+  // range() is per-key; [2s, 3s] spans two windows of node a's series.
+  const auto pts = store.range("x{node=a}", 2 * kSecond, 3 * kSecond);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].t, 2 * kSecond);
+  EXPECT_EQ(pts[1].t, 3 * kSecond);
+  obs::TsPoint latest;
+  ASSERT_TRUE(store.latest("x{node=b}", &latest));
+  EXPECT_DOUBLE_EQ(latest.v1, 8.0);
+  EXPECT_FALSE(store.latest("y{node=a}", &latest));
+  // aggregate_latest sums slot 1 of the freshest point across all nodes
+  // whose key starts with the prefix: 4 + 8.
+  EXPECT_DOUBLE_EQ(store.aggregate_latest("x", 1), 12.0);
+  EXPECT_DOUBLE_EQ(store.aggregate_latest("z", 1), 0.0);
+}
+
+TEST(TimeSeriesStoreTest, DownsamplePairMergesOldestHalfLosslesslyForCounters) {
+  obs::TimeSeriesStore store;
+  store.set_retention(8);
+  double total = 0;
+  for (int i = 1; i <= 32; ++i) {
+    total += i;
+    store.ingest(one_point_sample(1, i, i * kSecond, "x{node=a}",
+                                  obs::PointKind::kCounter, i, total));
+  }
+  const obs::TsSeries* s = store.series(1, "x{node=a}");
+  ASSERT_NE(s, nullptr);
+  EXPECT_GT(s->downsample_runs, 0u);
+  EXPECT_LT(s->points.size(), 32u);
+  // Counter deltas are merged by addition, so the sum over the stored
+  // points still equals the true total, and the cumulative slot of the
+  // last point is untouched.
+  double stored = 0;
+  for (const auto& p : s->points) stored += p.v0;
+  EXPECT_DOUBLE_EQ(stored, total);
+  EXPECT_DOUBLE_EQ(s->points.back().v1, total);
+  // Timestamps stay ascending through every merge.
+  for (size_t i = 1; i < s->points.size(); ++i) {
+    EXPECT_GT(s->points[i].t, s->points[i - 1].t);
+  }
+}
+
+// --- telemetry: SloEngine ------------------------------------------------
+
+TEST(SloEngineTest, FiresAfterConsecutiveWindowsOncePerEpisode) {
+  obs::SloEngine engine;
+  engine.add_rule(obs::SloRule::gauge_max("depth", "inbox.depth", 10.0, 2));
+  int fired = 0;
+  engine.set_handler([&](const obs::SloViolation&) { ++fired; });
+
+  auto breach = [&](uint64_t seq, Tick end, double hwm) {
+    engine.evaluate(one_point_sample(1, seq, end, "inbox.depth{node=a}",
+                                     obs::PointKind::kGauge, hwm, hwm));
+  };
+  breach(1, 1 * kSecond, 50);  // one breaching window: below the streak
+  EXPECT_EQ(fired, 0);
+  breach(2, 2 * kSecond, 50);  // second consecutive: fires
+  EXPECT_EQ(fired, 1);
+  breach(3, 3 * kSecond, 50);  // still breaching: same episode, silent
+  EXPECT_EQ(fired, 1);
+  breach(4, 4 * kSecond, 2);  // recovery resets the streak
+  breach(5, 5 * kSecond, 50);
+  EXPECT_EQ(fired, 1);
+  breach(6, 6 * kSecond, 50);  // new episode fires again
+  EXPECT_EQ(fired, 2);
+
+  ASSERT_EQ(engine.violations().size(), 2u);
+  EXPECT_EQ(engine.violations()[0].rule, "depth");
+  EXPECT_EQ(engine.violations()[0].time, 2 * kSecond);
+  EXPECT_EQ(engine.violations()[0].key, "inbox.depth{node=a}");
+  EXPECT_DOUBLE_EQ(engine.violations()[0].value, 50.0);
+}
+
+TEST(SloEngineTest, BareMetricNameMatchesEveryLabelSet) {
+  obs::SloEngine engine;
+  engine.add_rule(obs::SloRule::gauge_max("depth", "inbox.depth", 10.0));
+  engine.evaluate(one_point_sample(1, 1, 1 * kSecond, "inbox.depth{node=a}",
+                                   obs::PointKind::kGauge, 50, 50));
+  engine.evaluate(one_point_sample(2, 1, 1 * kSecond, "inbox.depth{node=b}",
+                                   obs::PointKind::kGauge, 50, 50));
+  // A different metric sharing the prefix must NOT match the bare name.
+  engine.evaluate(one_point_sample(3, 1, 1 * kSecond, "inbox.depth_peak{node=c}",
+                                   obs::PointKind::kGauge, 50, 50));
+  ASSERT_EQ(engine.violations().size(), 2u);
+  EXPECT_EQ(engine.violations()[0].node, 1u);
+  EXPECT_EQ(engine.violations()[1].node, 2u);
+}
+
+TEST(SloEngineTest, CounterRateRuleDividesByWindowLength) {
+  obs::SloEngine engine;
+  // 100/s limit over a 100 ms window: a delta of 20 is 200/s -> breach;
+  // a delta of 5 is 50/s -> fine.
+  engine.add_rule(obs::SloRule::counter_rate("rate", "tx", 100.0));
+  engine.evaluate(one_point_sample(1, 1, 1 * kSecond, "tx{node=a}",
+                                   obs::PointKind::kCounter, 5, 5));
+  EXPECT_TRUE(engine.violations().empty());
+  engine.evaluate(one_point_sample(1, 2, 2 * kSecond, "tx{node=a}",
+                                   obs::PointKind::kCounter, 20, 25));
+  ASSERT_EQ(engine.violations().size(), 1u);
+  EXPECT_DOUBLE_EQ(engine.violations()[0].value, 200.0);
 }
 
 }  // namespace

@@ -14,6 +14,8 @@
 #include "harness/cluster.h"
 #include "harness/load_client.h"
 #include "harness/report.h"
+#include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
 
 namespace epx {
 namespace {
@@ -166,6 +168,95 @@ TEST(ReportTest, JsonSnapshotRoundTripsToDisk) {
   EXPECT_NE(content.find("\"total\": 11"), std::string::npos);
   EXPECT_NE(content.find("\"snap.timer\""), std::string::npos);
   EXPECT_FALSE(harness::write_json_snapshot(metrics, "/nonexistent-dir/x.json"));
+}
+
+// --- timeline export (tools/epx-report) ----------------------------------
+
+obs::TelemetrySample telemetry_sample(uint32_t node, uint64_t seq, Tick end) {
+  obs::TelemetrySample sample;
+  sample.node = node;
+  sample.seq = seq;
+  sample.window_start = end - 100 * kMillisecond;
+  sample.window_end = end;
+  obs::TelemetryPoint p;
+  p.key = obs::intern_key("replica.delivered{node=replica1}");
+  p.kind = obs::PointKind::kCounter;
+  p.v0 = 5;
+  p.v1 = static_cast<double>(5 * seq);
+  sample.points.push_back(std::move(p));
+  return sample;
+}
+
+// Pins the epx-timeline/v1 shape that tools/epx-report/timeline_schema.json
+// declares and validate_timeline.py enforces in CI. A renderer change
+// that breaks any field here needs a schema bump, not a silent drift.
+TEST(ReportTest, TimelineJsonMatchesSchemaV1Shape) {
+  obs::TimeSeriesStore store;
+  store.ingest(telemetry_sample(7, 1, 100 * kMillisecond));
+  store.ingest(telemetry_sample(7, 2, 200 * kMillisecond));
+
+  obs::SloEngine slo;
+  slo.add_rule(obs::SloRule::counter_rate("burn", "replica.delivered", 1.0));
+  slo.evaluate(telemetry_sample(7, 3, 300 * kMillisecond));
+
+  obs::TraceEvent ev;
+  ev.time = 150 * kMillisecond;
+  ev.kind = obs::TraceKind::kCrash;
+  ev.node = 7;
+
+  const std::string json = obs::render_timeline_json(
+      store, {ev}, &slo, /*end=*/1 * kSecond, /*interval=*/100 * kMillisecond);
+
+  EXPECT_NE(json.find("\"schema\": \"epx-timeline/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"interval_ns\": 100000000"), std::string::npos);
+  EXPECT_NE(json.find("\"end_ns\": 1000000000"), std::string::npos);
+  EXPECT_NE(json.find("\"samples\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"points\": 2"), std::string::npos);
+  // events: the full TraceEvent tuple, kind by name.
+  EXPECT_NE(json.find("\"kind\": \"crash\""), std::string::npos);
+  EXPECT_NE(json.find("\"time_ns\": 150000000"), std::string::npos);
+  // series: key/node/kind/downsample_runs plus fixed-width point arrays.
+  EXPECT_NE(json.find("\"key\": \"replica.delivered{node=replica1}\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"node\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"downsample_runs\": 0"), std::string::npos);
+  EXPECT_NE(json.find("[100000000,5,5,0,0]"), std::string::npos);
+  // slo: declared rules and the fired violation referencing one.
+  EXPECT_NE(json.find("\"id\": \"burn\""), std::string::npos);
+  EXPECT_NE(json.find("\"as_rate\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"burn\""), std::string::npos);
+}
+
+// Pins the flight-dump "telemetry" section: a dump taken after an SLO
+// breach (or any reason) carries the trailing windows of every series
+// the monitor had ingested, capped by bind_telemetry's window count.
+TEST(ReportTest, FlightDumpCarriesTrailingTelemetryWindows) {
+  obs::MetricsRegistry metrics;
+  obs::Trace trace;
+  obs::FlightRecorder recorder(&metrics, &trace);
+
+  obs::TimeSeriesStore store;
+  for (uint64_t seq = 1; seq <= 8; ++seq) {
+    store.ingest(telemetry_sample(7, seq, seq * 100 * kMillisecond));
+  }
+  recorder.bind_telemetry(&store, /*windows=*/4);
+
+  const std::string json = recorder.dump("slo:burn", 800 * kMillisecond);
+  EXPECT_NE(json.find("\"reason\": \"slo:burn\""), std::string::npos);
+  const size_t telemetry_at = json.find("\"telemetry\": {\"series\": [");
+  ASSERT_NE(telemetry_at, std::string::npos);
+  EXPECT_NE(json.find("\"key\": \"replica.delivered{node=replica1}\""),
+            std::string::npos);
+  // Only the trailing 4 of the 8 ingested windows appear: the first kept
+  // point is window 5, and window 4 is absent.
+  EXPECT_NE(json.find("[500000000,5,25,0,0]"), std::string::npos);
+  EXPECT_EQ(json.find("[400000000,5,20,0,0]"), std::string::npos);
+  // Unbound recorders still emit the (empty) section, keeping the dump
+  // schema stable for consumers.
+  obs::FlightRecorder bare(&metrics, &trace);
+  EXPECT_NE(bare.dump("r", 1).find("\"telemetry\": {\"series\": []}"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,276 @@
+// In-sim telemetry plane, end to end (DESIGN.md §16): scrape agents on
+// every cluster process, samples shipped through the simulated network
+// into the MonitorService, the TimeSeriesStore query API, SLO breach ->
+// flight dump, scrape-under-churn (crash/restart, unsubscribe), and the
+// differential guarantee that a telemetry-enabled run's timeline is
+// bit-identical between the serial and parallel engines.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "harness/cluster.h"
+#include "harness/load_client.h"
+#include "obs/telemetry.h"
+#include "tests/test_util.h"
+
+namespace epx {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterOptions;
+using harness::LoadClient;
+
+ClusterOptions telemetry_options() {
+  ClusterOptions options;
+  options.telemetry.enabled = true;
+  return options;
+}
+
+LoadClient* add_client(Cluster& cluster, paxos::StreamId stream, size_t threads = 4) {
+  LoadClient::Config cfg;
+  cfg.threads = threads;
+  cfg.payload_bytes = 512;
+  cfg.route = [stream] { return stream; };
+  auto* client = cluster.spawn<LoadClient>("client", &cluster.directory(), cfg);
+  client->start();
+  return client;
+}
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::init_logging(); }
+};
+
+TEST_F(TelemetryTest, DisabledByDefault) {
+  Cluster cluster;
+  EXPECT_EQ(cluster.monitor_service(), nullptr);
+  const auto s1 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1});
+  // The master switch is off, so no process builds a scrape set and no
+  // telemetry message ever enters the network.
+  EXPECT_EQ(r1->scrape_set(), nullptr);
+  cluster.run_for(1 * kSecond);
+  EXPECT_EQ(cluster.sim().metrics().find_counter("telemetry.samples{node=monitor}"),
+            nullptr);
+}
+
+TEST_F(TelemetryTest, AgentsShipSamplesIntoTheStore) {
+  Cluster cluster(telemetry_options());
+  ASSERT_NE(cluster.monitor_service(), nullptr);
+  const auto s1 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1});
+  add_client(cluster, s1);
+  cluster.run_for(3 * kSecond);
+
+  const obs::TimeSeriesStore& store = cluster.monitor_service()->store();
+  // ~10 scrapes/sec/process at the default 100 ms interval.
+  EXPECT_GT(store.samples_ingested(), 50u);
+  EXPECT_GT(store.points_ingested(), store.samples_ingested());
+
+  // Every process is scraped: stream ring, replica, client.
+  EXPECT_GE(store.nodes().size(), 5u);
+
+  // The replica's delivery counter arrived as a per-window series.
+  const std::string key =
+      obs::metric_key("replica.delivered", {{"node", r1->name()}});
+  const obs::TsSeries* series = store.series(r1->id(), key);
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->kind, obs::PointKind::kCounter);
+  ASSERT_GT(series->points.size(), 10u);
+
+  // Window deltas (v0) sum to the cumulative total (v1) of the last
+  // point — nothing double-counted, nothing lost. The end-of-run counter
+  // can only be ahead by the final, not-yet-scraped partial window.
+  double delta_sum = 0;
+  for (const obs::TsPoint& p : series->points) delta_sum += p.v0;
+  EXPECT_DOUBLE_EQ(delta_sum, series->points.back().v1);
+  EXPECT_LE(delta_sum, static_cast<double>(r1->delivered()));
+  EXPECT_GT(delta_sum, 0.9 * static_cast<double>(r1->delivered()));
+
+  // Query API: latest and cross-node aggregation agree with the series.
+  obs::TsPoint latest;
+  ASSERT_TRUE(store.latest(key, &latest));
+  EXPECT_DOUBLE_EQ(latest.v1, series->points.back().v1);
+  EXPECT_GE(store.aggregate_latest("replica.delivered", 1), latest.v1);
+
+  // The monitor's own meta-counters match the store.
+  const obs::Counter* samples =
+      cluster.sim().metrics().find_counter("telemetry.samples{node=monitor}");
+  ASSERT_NE(samples, nullptr);
+  EXPECT_EQ(samples->total(), store.samples_ingested());
+}
+
+TEST_F(TelemetryTest, TimerPointsCarryWindowQuantiles) {
+  Cluster cluster(telemetry_options());
+  const auto s1 = cluster.add_stream();
+  cluster.add_replica(1, {s1});
+  auto* client = add_client(cluster, s1);
+  cluster.run_for(3 * kSecond);
+
+  const std::string key =
+      obs::metric_key("client.latency", {{"node", client->name()}});
+  const obs::TimeSeriesStore& store = cluster.monitor_service()->store();
+  const obs::TsSeries* series = store.series(client->id(), key);
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->kind, obs::PointKind::kTimer);
+  bool saw_window = false;
+  for (const obs::TsPoint& p : series->points) {
+    if (p.v0 == 0) continue;  // empty window: no quantiles
+    saw_window = true;
+    EXPECT_GT(p.v1, 0.0);    // p50
+    EXPECT_GE(p.v2, p.v1);   // p95 >= p50
+    EXPECT_GE(p.v3, p.v2);   // p99 >= p95
+  }
+  EXPECT_TRUE(saw_window);
+}
+
+TEST_F(TelemetryTest, CrashSilencesAgentAndRestartResumes) {
+  Cluster cluster(telemetry_options());
+  const auto s1 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1});
+  cluster.add_replica(1, {s1});
+  add_client(cluster, s1);
+  cluster.run_for(2 * kSecond);
+
+  // Crash mid-interval: the pending scrape tick is epoch-cancelled, so
+  // no partial window is ever emitted for the outage.
+  const Tick crash_time = cluster.now() + 50 * kMillisecond;
+  cluster.run_until(crash_time);
+  r1->crash();
+  cluster.run_for(1 * kSecond);
+
+  const obs::TimeSeriesStore& store = cluster.monitor_service()->store();
+  const std::string key = obs::metric_key("cpu.busy", {{"node", r1->name()}});
+  const obs::TsSeries* series = store.series(r1->id(), key);
+  ASSERT_NE(series, nullptr);
+  // Nothing scraped after the crash (the last pre-crash sample's window
+  // closed at or before the crash instant).
+  EXPECT_LE(series->points.back().t, crash_time);
+  const size_t points_during_outage = series->points.size();
+
+  const Tick restart_time = cluster.now();
+  r1->restart();
+  cluster.run_for(1 * kSecond);
+
+  // Scraping resumed through the restart listener...
+  ASSERT_GT(series->points.size(), points_during_outage);
+  const obs::TsPoint& first_after = series->points[points_during_outage];
+  EXPECT_GT(first_after.t, restart_time);
+  // ...and the first post-restart window was re-baselined at the restart
+  // instant: its delta covers one interval of work, not the whole
+  // pre-crash total folded into a bogus giant window.
+  EXPECT_LT(first_after.v0, first_after.v1);
+  // The replica's learner was rebuilt on restart; its watches re-bind
+  // to the same registry-owned instruments without duplication.
+  EXPECT_EQ(cluster.sim().flight_recorder().dumps(), 0u);
+}
+
+TEST_F(TelemetryTest, UnsubscribeKeepsSeriesQueryable) {
+  Cluster cluster(telemetry_options());
+  const auto s1 = cluster.add_stream();
+  const auto s2 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1, s2});
+  add_client(cluster, s1);
+  cluster.run_for(2 * kSecond);
+
+  // Unsubscribing destroys the stream's learner mid-run; its instruments
+  // are registry-owned, so the next scrape still reads them (frozen),
+  // rather than walking freed role state.
+  cluster.controller().unsubscribe(1, s2, s1);
+  cluster.run_for(2 * kSecond);
+
+  const std::string key = obs::metric_key(
+      "learner.delivered", {{"node", r1->name()}, {"stream", std::to_string(s2)}});
+  const obs::TsSeries* series =
+      cluster.monitor_service()->store().series(r1->id(), key);
+  ASSERT_NE(series, nullptr);
+  ASSERT_GT(series->points.size(), 2u);
+  // Post-unsubscribe windows exist and their deltas are zero.
+  EXPECT_GT(series->points.back().t, cluster.now() - kSecond);
+  EXPECT_DOUBLE_EQ(series->points.back().v0, 0.0);
+}
+
+// The differential contract: same seed, same topology -> byte-identical
+// timeline JSON on the serial engine and the 4-shard parallel engine
+// (telemetry does not force the serial fallback the way spans do).
+std::string run_and_render(size_t threads) {
+  ClusterOptions options = telemetry_options();
+  options.threads = threads;
+  Cluster cluster(options);
+  const auto s1 = cluster.add_stream();
+  const auto s2 = cluster.add_stream();
+  cluster.add_replica(1, {s1});
+  auto* r2 = cluster.add_replica(1, {s1});
+  add_client(cluster, s1);
+  cluster.run_for(2 * kSecond);
+  // Mid-run churn so the timeline carries annotations: subscribe the
+  // group to the second stream, then crash/restart a replica.
+  cluster.controller().subscribe(1, s2, s1);
+  cluster.run_for(1 * kSecond);
+  r2->crash();
+  cluster.run_for(300 * kMillisecond);
+  r2->restart();
+  cluster.run_for(1 * kSecond);
+
+  auto* monitor = cluster.monitor_service();
+  monitor->flush_pending_dumps();
+  return obs::render_timeline_json(monitor->store(),
+                                   cluster.sim().trace().annotations(),
+                                   &monitor->slo(), cluster.now(),
+                                   options.telemetry.interval);
+}
+
+TEST_F(TelemetryTest, TimelineBitIdenticalSerialVsFourShards) {
+  const std::string serial = run_and_render(1);
+  const std::string sharded = run_and_render(4);
+  EXPECT_GT(serial.size(), 1000u);
+  EXPECT_EQ(serial, sharded);
+}
+
+TEST_F(TelemetryTest, SloBreachArmsTheFlightRecorder) {
+  Cluster cluster(telemetry_options());
+  const auto s1 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(1, {s1});
+  add_client(cluster, s1);
+
+  // A rule that must breach: any CPU use at all on the replica, for two
+  // consecutive windows (exercises the streak debouncing too).
+  obs::SloRule rule = obs::SloRule::counter_rate("replica-cpu-burn", "cpu.busy",
+                                                 /*limit=*/1.0, /*windows=*/2);
+  cluster.monitor_service()->slo().add_rule(rule);
+  const std::string prefix = ::testing::TempDir() + "telemetry_slo_dump.";
+  cluster.sim().flight_recorder().set_path_prefix(prefix);
+
+  cluster.run_for(2 * kSecond);
+  cluster.monitor_service()->flush_pending_dumps();
+
+  const auto& violations = cluster.monitor_service()->slo().violations();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().rule, "replica-cpu-burn");
+
+  // The violation recorded a trace event...
+  bool traced = false;
+  for (const auto& ev : cluster.sim().trace().events(obs::TraceKind::kLog)) {
+    if (std::string(ev.detail).find("slo.violation:replica-cpu-burn") == 0) {
+      traced = true;
+    }
+  }
+  EXPECT_TRUE(traced);
+
+  // ...and exactly one dump, carrying the telemetry windows that explain
+  // the breach (the replica's scraped cpu.busy series among them).
+  EXPECT_EQ(cluster.sim().flight_recorder().dumps(), 1u);
+  ASSERT_FALSE(cluster.sim().flight_recorder().last_path().empty());
+  std::ifstream in(cluster.sim().flight_recorder().last_path());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string dump = buffer.str();
+  EXPECT_NE(dump.find("\"reason\": \"slo:replica-cpu-burn\""), std::string::npos);
+  EXPECT_NE(dump.find("\"telemetry\""), std::string::npos);
+  EXPECT_NE(dump.find(obs::metric_key("cpu.busy", {{"node", r1->name()}})),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace epx

@@ -207,6 +207,42 @@ TEST(HistogramTest, MergeOfDisjointRanges) {
   EXPECT_EQ(empty.min(), 100);
 }
 
+TEST(HistogramTest, AdvanceWindowMatchesDeltaSinceQuantiles) {
+  // The scrape path's one-pass windowed quantiles must reproduce exactly
+  // what materialising the delta histogram would report, window after
+  // window, across very different value distributions per window.
+  Histogram h;
+  Histogram snap;
+  static constexpr double kQs[3] = {0.50, 0.95, 0.99};
+  uint64_t x = 0x243f6a8885a308d3ULL;  // deterministic xorshift stream
+  for (int window = 0; window < 5; ++window) {
+    const Histogram before = h;  // reference snapshot for delta_since
+    const int n = 37 + 211 * window;
+    for (int i = 0; i < n; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      // Windows 0,2,4 cluster near 1ms; windows 1,3 span up to ~4s.
+      const Tick v = window % 2 == 0 ? kMillisecond + static_cast<Tick>(x % kMillisecond)
+                                     : static_cast<Tick>(x % (4 * kSecond));
+      h.record(v);
+    }
+    Tick q[3];
+    const uint64_t total = h.advance_window(snap, kQs, 3, q);
+    const Histogram delta = h.delta_since(before);
+    EXPECT_EQ(total, delta.count()) << "window " << window;
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_EQ(q[k], delta.quantile(kQs[k])) << "window " << window << " q=" << kQs[k];
+    }
+  }
+  // advance_window left `snap` current: an immediately repeated window is
+  // empty and reports all-zero quantiles.
+  Tick q[3] = {1, 1, 1};
+  EXPECT_EQ(h.advance_window(snap, kQs, 3, q), 0u);
+  EXPECT_EQ(q[0], 0);
+  EXPECT_EQ(q[2], 0);
+}
+
 TEST(HistogramTest, RecordNWithHugeCountsDoesNotOverflowCount) {
   Histogram h;
   const uint64_t huge = 1ULL << 62;

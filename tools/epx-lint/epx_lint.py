@@ -115,6 +115,7 @@ NAME_DOCS = {
     "registry.puts": "configuration writes accepted by the registry",
     "replica.bytes": "decision payload bytes applied by replicas",
     "replica.delivered": "decisions applied by replicas",
+    "slo.violations": "SLO rules fired by the telemetry monitor",
     "span.apply": "span stage: replica apply time",
     "span.client_rtt": "span stage: client-observed round trip",
     "span.durable_wait": "span stage: journal barrier wait",
@@ -127,6 +128,8 @@ NAME_DOCS = {
     "storage.fsync_bytes": "bytes made durable per fsync",
     "storage.fsync_wait": "time appends waited on the journal device",
     "storage.queue": "journal device queue depth",
+    "telemetry.points": "telemetry series points ingested by the monitor",
+    "telemetry.samples": "telemetry scrape samples ingested by the monitor",
     "trace.dropped": "trace events dropped by the bounded ring",
     "wal.appends": "write-ahead journal appends",
     "wal.bytes": "live bytes in the write-ahead journal",

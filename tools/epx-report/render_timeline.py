@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Renders an epx-timeline/v1 file as a self-contained HTML dashboard.
+
+Usage: render_timeline.py TIMELINE.json [-o DASHBOARD.html]
+
+The dashboard is a sparkline grid — one row per metric name, one cell
+per (metric, node) series — with cluster annotations (subscribes, merge
+points, splits, crashes, restarts) drawn as vertical markers across
+every cell and SLO violations highlighted in red. Everything is inline
+SVG; the file has no external references and opens offline.
+
+Counter cells plot the per-window rate (v0 / window), gauge cells the
+scraped value (v0), timer cells the window p99 in milliseconds (v3).
+"""
+import argparse
+import html
+import json
+import sys
+
+# Annotation kinds worth a marker, with display colours. Crash/restart
+# are the loudest; subscribe/merge/takeover tell the elasticity story.
+EVENT_STYLE = {
+    "crash": ("#c0392b", "✖"),
+    "restart": ("#27ae60", "●"),
+    "subscribe-begin": ("#2980b9", "▶"),
+    "subscribe-complete": ("#2980b9", "■"),
+    "merge-point": ("#8e44ad", "◆"),
+    "unsubscribe": ("#7f8c8d", "◀"),
+    "takeover-begin": ("#e67e22", "▲"),
+    "takeover-complete": ("#e67e22", "△"),
+}
+
+CELL_W, CELL_H, PAD = 260, 64, 4
+
+
+def series_value(kind, point, interval_ns):
+    """The plotted scalar for one stored point."""
+    if kind == "counter":
+        window_s = interval_ns / 1e9 if interval_ns else 1.0
+        return point[1] / window_s  # v0 = window delta -> rate/s
+    if kind == "timer":
+        return point[4] / 1e6  # v3 = p99 ticks -> ms
+    return point[1]  # gauge: v0 = value at scrape
+
+
+def metric_name(key):
+    return key.split("{", 1)[0]
+
+
+def sparkline(series, interval_ns, end_ns, violations):
+    """One series cell as SVG elements (no outer <svg>)."""
+    kind = series["kind"]
+    pts = series["points"]
+    values = [series_value(kind, p, interval_ns) for p in pts]
+    vmax = max(values) if values else 0.0
+    vmin = min(values + [0.0])
+    span = (vmax - vmin) or 1.0
+    x_span = end_ns or 1
+
+    def xy(i):
+        x = PAD + (pts[i][0] / x_span) * (CELL_W - 2 * PAD)
+        y = CELL_H - PAD - ((values[i] - vmin) / span) * (CELL_H - 2 * PAD)
+        return f"{x:.1f},{y:.1f}"
+
+    parts = []
+    if pts:
+        polyline = " ".join(xy(i) for i in range(len(pts)))
+        parts.append(f'<polyline points="{polyline}" fill="none" '
+                     'stroke="#2c3e50" stroke-width="1.2"/>')
+    for v in violations:
+        x = PAD + (v["time_ns"] / x_span) * (CELL_W - 2 * PAD)
+        parts.append(f'<line x1="{x:.1f}" y1="{PAD}" x2="{x:.1f}" '
+                     f'y2="{CELL_H - PAD}" stroke="#c0392b" '
+                     'stroke-width="1.5" stroke-dasharray="2,2"/>')
+    unit = {"counter": "/s", "gauge": "", "timer": "ms p99"}[kind]
+    label = f"n{series['node']}  max {vmax:.4g}{unit}"
+    parts.append(f'<text x="{PAD}" y="{PAD + 8}" font-size="8" '
+                 f'fill="#7f8c8d">{html.escape(label)}</text>')
+    return "".join(parts)
+
+
+def event_markers(events, end_ns):
+    """Vertical markers drawn in every cell's background."""
+    parts = []
+    x_span = end_ns or 1
+    for ev in events:
+        style = EVENT_STYLE.get(ev["kind"])
+        if style is None:
+            continue
+        color, _ = style
+        x = PAD + (ev["time_ns"] / x_span) * (CELL_W - 2 * PAD)
+        parts.append(f'<line x1="{x:.1f}" y1="0" x2="{x:.1f}" y2="{CELL_H}" '
+                     f'stroke="{color}" stroke-width="0.8" opacity="0.45"/>')
+    return "".join(parts)
+
+
+def legend(events):
+    seen = []
+    for ev in events:
+        if ev["kind"] in EVENT_STYLE and ev["kind"] not in seen:
+            seen.append(ev["kind"])
+    items = []
+    for kind in seen:
+        color, glyph = EVENT_STYLE[kind]
+        items.append(f'<span style="color:{color}">{glyph} '
+                     f'{html.escape(kind)}</span>')
+    return " &nbsp; ".join(items)
+
+
+def render(doc):
+    interval_ns = doc["interval_ns"]
+    end_ns = doc["end_ns"]
+    events = [e for e in doc["events"] if e["kind"] in EVENT_STYLE]
+    violations = doc["slo"]["violations"]
+
+    by_name = {}
+    for s in doc["series"]:
+        by_name.setdefault(metric_name(s["key"]), []).append(s)
+
+    markers = event_markers(events, end_ns)
+    out = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>epx run timeline</title>",
+        "<style>body{font-family:sans-serif;margin:16px;color:#2c3e50}"
+        "table{border-collapse:collapse}td,th{padding:2px 6px;vertical-align:top}"
+        "th{text-align:left;font-size:12px}svg{background:#fdfefe;"
+        "border:1px solid #ecf0f1}.meta{color:#7f8c8d;font-size:12px}"
+        ".viol{color:#c0392b;font-size:12px}</style></head><body>",
+        "<h2>epx run timeline</h2>",
+        f"<div class='meta'>{end_ns / 1e9:.1f} s of virtual time, "
+        f"scrape interval {interval_ns / 1e6:.0f} ms, "
+        f"{doc['samples']} samples / {doc['points']} points, "
+        f"{len(doc['series'])} series, {len(events)} annotations</div>",
+        f"<div class='meta'>{legend(events)}</div>",
+    ]
+    if violations:
+        out.append("<h3>SLO violations</h3>")
+        for v in violations:
+            out.append(f"<div class='viol'>t={v['time_ns'] / 1e9:.2f}s "
+                       f"rule <b>{html.escape(v['rule'])}</b> on "
+                       f"{html.escape(v['key'])} (node {v['node']}): "
+                       f"value {v['value']:.4g}</div>")
+    out.append("<table>")
+    for name in sorted(by_name):
+        cells = []
+        for s in sorted(by_name[name], key=lambda s: (s["node"], s["key"])):
+            svg = (f'<svg width="{CELL_W}" height="{CELL_H}">' + markers +
+                   sparkline(s, interval_ns, end_ns,
+                             [v for v in violations if v["key"] == s["key"] and
+                              v["node"] == s["node"]]) +
+                   "</svg>")
+            cells.append(f"<td title='{html.escape(s['key'])}'>{svg}</td>")
+        out.append(f"<tr><th>{html.escape(name)}</th>{''.join(cells)}</tr>")
+    out.append("</table></body></html>")
+    return "\n".join(out)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("timeline", help="epx-timeline/v1 JSON file")
+    parser.add_argument("-o", "--output", help="output HTML path "
+                        "(default: TIMELINE with .html extension)")
+    args = parser.parse_args(argv[1:])
+
+    with open(args.timeline, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "epx-timeline/v1":
+        print(f"{args.timeline}: not an epx-timeline/v1 file", file=sys.stderr)
+        return 1
+    out_path = args.output
+    if out_path is None:
+        base = args.timeline[:-5] if args.timeline.endswith(".json") else args.timeline
+        out_path = base + ".html"
+    html_text = render(doc)
+    with open(out_path, "w", encoding="utf-8") as f:
+        f.write(html_text)
+    print(f"wrote {out_path} ({len(html_text)} bytes, "
+          f"{len(doc['series'])} series)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validates an epx-timeline/v1 file against timeline_schema.json.
+
+Usage: validate_timeline.py TIMELINE.json [TIMELINE2.json ...]
+
+Exit status 0 when every file validates, 1 otherwise. Implements the
+small JSON-Schema subset the timeline schema uses (type, const, enum,
+required, properties, additionalProperties, items, minItems, maxItems,
+minimum, maximum, $ref into definitions) so CI needs nothing beyond the
+standard library.
+
+Beyond the schema, a handful of semantic invariants are checked that a
+structural schema cannot express: point timestamps are ascending within
+a series and bounded by end_ns, events are totally ordered, and every
+SLO violation names a declared rule.
+"""
+import json
+import os
+import sys
+
+SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "timeline_schema.json")
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "boolean": lambda v: isinstance(v, bool),
+    # bool is an int subclass in Python; a schema integer/number must not
+    # accept true/false.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+}
+
+
+def resolve(schema, root):
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref {ref!r}")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema, root, path, errors):
+    schema = resolve(schema, root)
+
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+        return
+
+    expected = schema.get("type")
+    if expected is not None and not TYPE_CHECKS[expected](value):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(f"{path}: {value} > maximum {schema['maximum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required property {key!r}")
+        props = schema.get("properties", {})
+        for key, sub in value.items():
+            if key in props:
+                validate(sub, props[key], root, f"{path}.{key}", errors)
+            elif schema.get("additionalProperties") is False:
+                errors.append(f"{path}: unexpected property {key!r}")
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: {len(value)} items < minItems {schema['minItems']}")
+        if "maxItems" in schema and len(value) > schema["maxItems"]:
+            errors.append(f"{path}: {len(value)} items > maxItems {schema['maxItems']}")
+        items = schema.get("items")
+        if items is not None:
+            for i, sub in enumerate(value):
+                validate(sub, items, root, f"{path}[{i}]", errors)
+
+
+def semantic_checks(doc, errors):
+    end_ns = doc.get("end_ns", 0)
+    total_points = 0
+    for i, series in enumerate(doc.get("series", [])):
+        pts = series.get("points", [])
+        total_points += len(pts)
+        times = [p[0] for p in pts if isinstance(p, list) and p]
+        if times != sorted(times):
+            errors.append(f"$.series[{i}] ({series.get('key')}): "
+                          "timestamps not ascending")
+        if times and times[-1] > end_ns:
+            errors.append(f"$.series[{i}] ({series.get('key')}): "
+                          f"point at {times[-1]} past end_ns {end_ns}")
+    event_times = [e.get("time_ns", 0) for e in doc.get("events", [])]
+    if event_times != sorted(event_times):
+        errors.append("$.events: not ordered by time_ns")
+    rules = {r.get("id") for r in doc.get("slo", {}).get("rules", [])}
+    for i, v in enumerate(doc.get("slo", {}).get("violations", [])):
+        if v.get("rule") not in rules:
+            errors.append(f"$.slo.violations[{i}]: unknown rule {v.get('rule')!r}")
+    # Stored points never exceed ingested points (downsampling only merges).
+    if total_points > doc.get("points", 0):
+        errors.append(f"$: {total_points} stored points exceed "
+                      f"{doc.get('points', 0)} ingested")
+
+
+def validate_file(path, schema):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"$: {exc}"]
+    errors = []
+    validate(doc, schema, schema, "$", errors)
+    if not errors:
+        semantic_checks(doc, errors)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    with open(SCHEMA_PATH, encoding="utf-8") as f:
+        schema = json.load(f)
+    failed = False
+    for path in argv[1:]:
+        errors = validate_file(path, schema)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID")
+            for err in errors[:20]:
+                print(f"  {err}")
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more")
+        else:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            print(f"{path}: ok ({len(doc['series'])} series, "
+                  f"{len(doc['events'])} events, "
+                  f"{len(doc['slo']['violations'])} violations)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

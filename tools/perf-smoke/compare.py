@@ -14,6 +14,24 @@ Usage:
   compare.py --baseline BENCH_micro.json --current fresh.json \
              [--threshold 0.30] [--keys BM_A,BM_B,...]
 
+A/B mode gates one key against another WITHIN the current run instead of
+against the baseline file:
+
+  compare.py --current fresh.json \
+             --ab BM_SimulatedClusterSecond:BM_SimulatedClusterSecondTelemetry \
+             --ab-threshold 0.02
+
+Both keys come from the same binary invocation on the same runner, so
+the noise is correlated and the threshold can be far tighter than the
+cross-run gate — this is how CI holds the telemetry plane to a small
+single-digit overhead over the disabled twin. A/B mode prefers the
+"<key>_min" entries the benchmark binary emits under
+--benchmark_repetitions: run times on a shared runner are a stable
+floor plus one-sided noise, so the fastest repetition of each key (with
+--benchmark_enable_random_interleaving so both keys sample the same
+machine conditions) estimates that floor, and the ratio of floors is
+far steadier than the ratio of medians.
+
 Exit status: 0 when every gated key is present in both files and within
 threshold, 1 on a regression or a missing key. Prints one line per key
 either way so the CI log doubles as the report.
@@ -37,10 +55,14 @@ def load(path):
         return json.load(f)
 
 
-def ns_per_op(results, key):
-    """Look up a benchmark, preferring the median aggregate when the run
-    was recorded with --benchmark_repetitions (keys come out suffixed)."""
-    for name in (key + "_median", key):
+def ns_per_op(results, key, prefer_min=False):
+    """Look up a benchmark, preferring the suffixed aggregates written
+    when the run was recorded with --benchmark_repetitions: the minimum
+    for A/B floor comparisons, the median for cross-run gates."""
+    names = [key + "_median", key]
+    if prefer_min:
+        names.insert(0, key + "_min")
+    for name in names:
         if name in results:
             return results[name].get("ns_per_op")
     return None
@@ -48,18 +70,49 @@ def ns_per_op(results, key):
 
 def main(argv):
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True, help="committed BENCH_micro.json")
+    ap.add_argument("--baseline", help="committed BENCH_micro.json")
     ap.add_argument("--current", required=True, help="freshly recorded run")
     ap.add_argument("--threshold", type=float, default=0.30,
                     help="max allowed ns/op regression fraction (default 0.30)")
     ap.add_argument("--keys", default=",".join(DEFAULT_KEYS),
                     help="comma-separated benchmark names to gate")
+    ap.add_argument("--ab", action="append", default=[],
+                    metavar="BASE_KEY:NEW_KEY",
+                    help="gate NEW_KEY against BASE_KEY within --current "
+                         "(repeatable); uses --ab-threshold")
+    ap.add_argument("--ab-threshold", type=float, default=0.02,
+                    help="max allowed A/B overhead fraction (default 0.02)")
     args = ap.parse_args(argv)
 
-    baseline = load(args.baseline)
     current = load(args.current)
-
     failed = False
+
+    for pair in args.ab:
+        base_key, _, new_key = pair.partition(":")
+        if not new_key:
+            print(f"FAIL --ab {pair!r}: expected BASE_KEY:NEW_KEY")
+            failed = True
+            continue
+        base = ns_per_op(current, base_key, prefer_min=True)
+        cur = ns_per_op(current, new_key, prefer_min=True)
+        if base is None or cur is None:
+            missing = base_key if base is None else new_key
+            print(f"FAIL {missing}: missing from {args.current}")
+            failed = True
+            continue
+        delta = (cur - base) / base
+        verdict = "FAIL" if delta > args.ab_threshold else "ok"
+        print(f"{verdict:4} {new_key} vs {base_key}: {base:.0f} ns/op -> "
+              f"{cur:.0f} ns/op ({delta:+.1%}, threshold +{args.ab_threshold:.0%})")
+        failed = failed or verdict == "FAIL"
+
+    if args.baseline is None:
+        if not args.ab:
+            print("FAIL: --baseline is required unless --ab is given")
+            return 1
+        return 1 if failed else 0
+
+    baseline = load(args.baseline)
     for key in [k for k in args.keys.split(",") if k]:
         base = ns_per_op(baseline, key)
         cur = ns_per_op(current, key)
