@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "harness/cluster.h"
 #include "harness/kv_cluster.h"
@@ -71,6 +72,63 @@ inline harness::ClusterOptions kv_options() {
 }
 
 inline void bench_logging() { log::set_level(log::Level::kWarn); }
+
+/// Four-region WAN topology for the geo thread-scaling series
+/// (DESIGN.md §17): fast intra-region links, a heterogeneous WAN mesh
+/// with one-way latencies in the 32-90 ms band (roughly the public
+/// us-east / us-west / eu / ap figures). Region-affine allocation puts
+/// each region's clique on its own shard, so every cross-shard link is
+/// WAN-wide and the per-shard-pair lookahead matrix — not the global
+/// minimum — sets the conservative window widths.
+inline sim::Topology geo_topology() {
+  sim::Topology topo;
+  const auto us_east = topo.add_region("us-east");
+  const auto us_west = topo.add_region("us-west");
+  const auto eu = topo.add_region("eu");
+  const auto ap = topo.add_region("ap");
+  for (auto r : {us_east, us_west, eu, ap}) {
+    topo.set_intra_region_link(r, {100 * kMicrosecond, 20 * kMicrosecond});
+  }
+  topo.set_region_link_symmetric(us_east, us_west, {32 * kMillisecond, kMillisecond});
+  topo.set_region_link_symmetric(us_east, eu, {38 * kMillisecond, kMillisecond});
+  topo.set_region_link_symmetric(us_east, ap, {90 * kMillisecond, 2 * kMillisecond});
+  topo.set_region_link_symmetric(us_west, eu, {70 * kMillisecond, 2 * kMillisecond});
+  topo.set_region_link_symmetric(us_west, ap, {51 * kMillisecond, kMillisecond});
+  topo.set_region_link_symmetric(eu, ap, {80 * kMillisecond, 2 * kMillisecond});
+  return topo;
+}
+
+/// Populates a cluster built with geo_topology(): one stream, one
+/// replica and one 8-thread load client per region, each region's
+/// processes pinned to its shard. The last region's replica also merges
+/// the first region's stream, so steady state includes cross-region
+/// (hence cross-shard, WAN-latency) delivery traffic rather than four
+/// independent islands. Returns the replicas for delivered() harvesting.
+inline std::vector<elastic::Replica*> build_geo_cluster(harness::Cluster& cluster) {
+  const size_t regions = cluster.options().topology.region_count();
+  std::vector<paxos::StreamId> streams;
+  std::vector<elastic::Replica*> replicas;
+  for (sim::Topology::RegionId r = 0; r < regions; ++r) {
+    cluster.set_build_region(r);
+    streams.push_back(cluster.add_stream());
+  }
+  for (sim::Topology::RegionId r = 0; r < regions; ++r) {
+    cluster.set_build_region(r);
+    std::vector<paxos::StreamId> subs{streams[r]};
+    if (r + 1 == regions && regions > 1) subs.push_back(streams[0]);
+    replicas.push_back(
+        cluster.add_replica(static_cast<paxos::GroupId>(r + 1), subs));
+    harness::LoadClient::Config cfg;
+    cfg.threads = 8;
+    cfg.payload_bytes = 1024;
+    const paxos::StreamId s = streams[r];
+    cfg.route = [s] { return s; };
+    auto* client = cluster.spawn<harness::LoadClient>(
+        "geo_client" + std::to_string(r + 1), &cluster.directory(), cfg);
+    client->start();
+  }
+  return replicas;
+}
 
 /// Sums a counter metric across all label sets (all nodes).
 inline uint64_t sum_counters(const obs::MetricsRegistry& metrics,

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "elastic/elastic_merger.h"
 #include "harness/cluster.h"
 #include "harness/load_client.h"
@@ -558,6 +559,33 @@ BENCHMARK(BM_SimulatedClusterSecondThreads)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8);
+
+/// Geo twin of the thread-scaling series: bench::geo_topology()'s four
+/// WAN-separated regions on region-affine shards. Cross-shard lookahead
+/// is 32-90 ms here, so the per-shard-pair matrix lets each shard batch
+/// tens of virtual milliseconds per window — the workload the matrix
+/// exists for. Reported as BM_SimulatedClusterSecondGeo/T:N; the name
+/// substring-matches CI's perf-smoke --benchmark_filter, and the T:4
+/// point is a gated key in tools/perf-smoke/compare.py.
+void BM_SimulatedClusterSecondGeoThreads(benchmark::State& state) {
+  log::set_level(log::Level::kOff);
+  harness::ClusterOptions options;
+  options.threads = static_cast<size_t>(state.range(0));
+  options.topology = bench::geo_topology();
+  harness::Cluster cluster(options);
+  const std::vector<elastic::Replica*> replicas = bench::build_geo_cluster(cluster);
+  for (auto _ : state) {
+    cluster.run_for(kSecond);
+  }
+  uint64_t delivered = 0;
+  for (auto* r : replicas) delivered += r->delivered();
+  state.SetItemsProcessed(static_cast<int64_t>(delivered));
+}
+BENCHMARK(BM_SimulatedClusterSecondGeoThreads)
+    ->Name("BM_SimulatedClusterSecondGeo")
+    ->ArgName("T")
+    ->Arg(1)
+    ->Arg(4);
 
 }  // namespace
 

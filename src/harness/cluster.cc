@@ -21,6 +21,11 @@ Cluster::Cluster(ClusterOptions options)
     return id < node_shard_.size() ? node_shard_[id] : id;
   });
   net_.set_default_link(options_.link);
+  if (options_.topology.region_count() > 0) {
+    // options_ outlives net_ (declared first), so pointing the network
+    // at the embedded topology is safe for the cluster's lifetime.
+    net_.set_topology(&options_.topology);
+  }
   if (options_.node_bandwidth_bps > 0.0) {
     net_.set_default_bandwidth(options_.node_bandwidth_bps);
   }

@@ -41,6 +41,15 @@ struct ClusterOptions {
   /// select the parallel engine (identical results, see DESIGN.md §13).
   size_t threads = 0;
   sim::LinkParams link{200 * kMicrosecond, 50 * kMicrosecond};
+  /// Region topology (DESIGN.md §17). When populated (region_count() >
+  /// 0) the cluster installs it as the network's default link layer and
+  /// node allocation turns region-affine: call set_build_region() before
+  /// building each region's processes so they are placed in — and
+  /// sharded with — that region. Whole regions share an engine shard,
+  /// so every cross-shard path is a WAN link and the parallel engine's
+  /// windows open to WAN width. Left empty (the default), the cluster
+  /// is flat and `link` applies to every pair.
+  sim::Topology topology;
   /// Per-node NIC egress bandwidth in bits/sec (0 = unlimited).
   double node_bandwidth_bps = 0.0;
   paxos::Params params;
@@ -124,6 +133,21 @@ class Cluster {
   /// elasticity controller; its slo() takes breach rules.
   registry::MonitorService* monitor_service() { return monitor_.get(); }
 
+  /// The live topology (empty for flat clusters). Mutating it mid-run
+  /// is a control-time operation, like Network::set_link; the engine's
+  /// lookahead matrix follows at the next window barrier.
+  sim::Topology& topology() { return options_.topology; }
+  bool topology_enabled() const {
+    return options_.topology.region_count() > 0;
+  }
+
+  /// Region cursor for region-affine allocation: every node created
+  /// after this call is placed in `region` and pinned to that region's
+  /// shard (Topology::shard_for_region). No-op for flat clusters.
+  void set_build_region(sim::Topology::RegionId region) {
+    build_region_ = region;
+  }
+
   /// Crashes a stream's coordinator and promotes a standby (tests).
   NodeId allocate_node_id() { return allocate_node_on(next_rr_shard_++); }
 
@@ -135,10 +159,16 @@ class Cluster {
   /// Allocates a node id pinned to `shard` (modulo the thread count).
   /// A stream's whole ring shares one shard so intra-stream traffic is
   /// never staged across the window barrier; replicas, clients and the
-  /// controller round-robin. The choice affects performance only —
+  /// controller round-robin. With a topology and an active build-region
+  /// cursor, region affinity wins: the node is placed in the region and
+  /// pinned to the region's shard. The choice affects performance only —
   /// delivery order is identical for every assignment.
   NodeId allocate_node_on(size_t shard) {
     const NodeId id = next_node_id_++;
+    if (topology_enabled() && build_region_ != kNoRegion) {
+      options_.topology.place(id, build_region_);
+      shard = options_.topology.shard_for_region(build_region_, sim_.threads());
+    }
     if (node_shard_.size() <= id) node_shard_.resize(id + 1, 0);
     node_shard_[id] = shard;
     return id;
@@ -157,6 +187,9 @@ class Cluster {
   StreamId next_stream_id_ = 1;
   std::vector<size_t> node_shard_;
   size_t next_rr_shard_ = 0;
+  static constexpr sim::Topology::RegionId kNoRegion =
+      static_cast<sim::Topology::RegionId>(-1);
+  sim::Topology::RegionId build_region_ = kNoRegion;
 
   struct StreamProcs {
     StreamId id;

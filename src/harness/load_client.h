@@ -53,8 +53,8 @@ class LoadClient : public sim::Process {
   // `client.completions{node=}` and `client.retries{node=}` (counters).
   const Histogram& latency() const { return latency_->total(); }
   const WindowedCounter& completions() const { return completions_->series(); }
-  /// Per-window latency histograms (for latency-over-time panels).
-  const std::vector<Histogram>& latency_windows() const { return latency_->windows(); }
+  /// Windowed latency timer (bounded ring; latency-over-time panels).
+  const obs::Timer& latency_timer() const { return *latency_; }
   uint64_t completed() const { return completions_->total(); }
   uint64_t retries() const { return retries_->total(); }
 

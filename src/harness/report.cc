@@ -96,8 +96,10 @@ std::string render_latency_table(const obs::MetricsRegistry& metrics,
       const obs::Timer* timer = metrics.find_timer(c.metric);
       const auto idx = static_cast<size_t>(t / kSecond);
       double ms = 0.0;
-      if (timer != nullptr && idx < timer->windows().size()) {
-        ms = to_millis(timer->windows()[idx].quantile(c.quantile));
+      const Histogram* h =
+          timer == nullptr ? nullptr : timer->window_at(idx);
+      if (h != nullptr) {
+        ms = to_millis(h->quantile(c.quantile));
       }
       appendf(&out, " %12.2f", ms);
     }

@@ -65,7 +65,8 @@ class KvClient : public sim::Process {
   // Registry-backed: `client.latency{node=}` (timer),
   // `client.completions{node=}` and `client.retries{node=}` (counters).
   const Histogram& latency() const { return latency_->total(); }
-  const std::vector<Histogram>& latency_windows() const { return latency_->windows(); }
+  /// Windowed latency timer (bounded ring; latency-over-time panels).
+  const obs::Timer& latency_timer() const { return *latency_; }
   const WindowedCounter& completions() const { return completions_->series(); }
   uint64_t completed() const { return completions_->total(); }
   uint64_t retries() const { return retries_->total(); }

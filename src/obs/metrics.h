@@ -78,26 +78,59 @@ class Gauge {
   double max_ = 0.0;
 };
 
-/// Latency recorder: cumulative histogram + per-second window histograms.
+/// Latency recorder: cumulative histogram + per-window histograms held
+/// in a bounded ring. The ring keeps the most recent `max_windows`
+/// window slots (default 1024 — ~17 virtual minutes at the 1 s default
+/// width), so a timer's footprint is bounded no matter how long the run;
+/// the old dense vector grew one ~8 KB histogram per elapsed window
+/// forever. Windows that aged out of the ring — or were skipped by a
+/// time jump wider than it — read as absent (window_at() == nullptr),
+/// which every consumer treats the same as an empty window.
 class Timer {
  public:
-  explicit Timer(Tick window = kSecond) : window_(window) {}
+  static constexpr size_t kDefaultMaxWindows = 1024;
+
+  explicit Timer(Tick window = kSecond,
+                 size_t max_windows = kDefaultMaxWindows)
+      : window_(window), cap_(max_windows == 0 ? 1 : max_windows) {}
 
   void record(Tick now, Tick value) {
     total_.record(value);
-    const auto idx = static_cast<size_t>(now / window_);
-    if (windows_.size() <= idx) windows_.resize(idx + 1);
-    windows_[idx].record(value);
+    window_slot(static_cast<size_t>(now / window_)).record(value);
   }
 
   const Histogram& total() const { return total_; }
-  const std::vector<Histogram>& windows() const { return windows_; }
   Tick window() const { return window_; }
 
+  /// One past the newest window index started so far (0 before the
+  /// first record) — the bound report loops iterate to.
+  size_t window_count() const { return ring_.empty() ? 0 : last_ + 1; }
+  /// Oldest window index still retained in the ring.
+  size_t first_retained() const { return first_; }
+  size_t max_windows() const { return cap_; }
+
+  /// Histogram for window `idx`, or nullptr when the window aged out of
+  /// the ring or lies beyond the newest recorded window. Callers treat
+  /// nullptr as an empty window.
+  const Histogram* window_at(size_t idx) const {
+    if (ring_.empty() || idx < first_ || idx > last_) return nullptr;
+    return &ring_[(head_ + (idx - first_)) % ring_.size()];
+  }
+
  private:
+  Histogram& window_slot(size_t idx);
+
   Tick window_;
+  size_t cap_;
   Histogram total_;
-  std::vector<Histogram> windows_;
+  /// Slots for windows [first_, last_]; ring_[head_] holds first_'s
+  /// histogram. Growth is append-only while ring_.size() < cap_, during
+  /// which head_ stays 0 (slots are linear, no wraparound); only a full
+  /// ring rotates.
+  std::vector<Histogram> ring_;
+  size_t first_ = 0;
+  size_t last_ = 0;
+  size_t head_ = 0;
 };
 
 class MetricsRegistry {

@@ -5,6 +5,7 @@
 
 #include "sim/process.h"
 #include "util/logging.h"
+#include "util/sorted.h"
 
 namespace epx::sim {
 
@@ -32,8 +33,7 @@ struct RecordAfter {
 };
 }  // namespace
 
-Network::Network(Simulation* sim, uint64_t seed)
-    : sim_(sim), seed_(seed), link_min_latency_(std::numeric_limits<Tick>::max()) {
+Network::Network(Simulation* sim, uint64_t seed) : sim_(sim), seed_(seed) {
   messages_sent_ = &sim_->metrics().counter("net.messages_sent");
   messages_dropped_ = &sim_->metrics().counter("net.messages_dropped");
   bytes_sent_ = &sim_->metrics().counter("net.bytes_sent");
@@ -45,6 +45,7 @@ void Network::attach(Process* process) {
   if (id >= endpoints_.size()) {
     const size_t old_size = sender_rng_.size();
     endpoints_.resize(id + 1, nullptr);
+    ever_attached_.resize(id + 1, 0);
     egress_bytes_.resize(id + 1, nullptr);
     egress_free_at_.resize(id + 1, 0);
     sender_seq_.resize(id + 1, 0);
@@ -59,16 +60,32 @@ void Network::attach(Process* process) {
     }
   }
   endpoints_[id] = process;
+  ever_attached_[id] = 1;
   egress_bytes_[id] = &sim_->metrics().counter("net.egress_bytes", {{"node", process->name()}});
+  invalidate_lookahead();
 }
 
 void Network::detach(NodeId id) {
   if (id < endpoints_.size()) endpoints_[id] = nullptr;
+  // Detached ids stay in the matrix scan: their channels still accept
+  // records (dropped at pump time), which schedule events on their
+  // shard's queue — so their links still bound that shard's horizon.
+  invalidate_lookahead();
+}
+
+void Network::set_default_link(LinkParams params) {
+  default_link_ = params;
+  invalidate_lookahead();
 }
 
 void Network::set_link(NodeId from, NodeId to, LinkParams params) {
   links_[link_key(from, to)] = params;
-  link_min_latency_ = std::min(link_min_latency_, params.latency);
+  invalidate_lookahead();
+}
+
+void Network::set_topology(const Topology* topo) {
+  topology_ = topo;
+  invalidate_lookahead();
 }
 
 void Network::set_node_bandwidth(NodeId id, double bits_per_second) {
@@ -91,9 +108,18 @@ bool Network::crosses_partition(NodeId from, NodeId to) const {
 }
 
 LinkParams Network::link_for(NodeId from, NodeId to) const {
-  if (links_.empty()) return default_link_;
-  auto it = links_.find(link_key(from, to));
-  return it != links_.end() ? it->second : default_link_;
+  // Explicit per-link override, then the region topology for placed
+  // pairs, then the global default.
+  if (links_.empty() && topology_ == nullptr) return default_link_;
+  if (!links_.empty()) {
+    auto it = links_.find(link_key(from, to));
+    if (it != links_.end()) return it->second;
+  }
+  if (topology_ != nullptr) {
+    LinkParams params;
+    if (topology_->link_between(from, to, &params)) return params;
+  }
+  return default_link_;
 }
 
 double Network::bandwidth_for(NodeId id) const {
@@ -102,10 +128,64 @@ double Network::bandwidth_for(NodeId id) const {
   return it != bandwidth_.end() ? it->second : default_bw_;
 }
 
-Tick Network::lookahead() const {
-  // Raising a latency cannot raise the bound back up (link_min_latency_
-  // only falls); a stale-low bound shrinks windows but stays correct.
-  return std::min(default_link_.latency, link_min_latency_);
+void Network::rebuild_lookahead_matrix(size_t shards) const {
+  constexpr Tick kUnconstrained = std::numeric_limits<Tick>::max();
+  matrix_shards_ = shards;
+  lookahead_matrix_.assign(shards * shards, kUnconstrained);
+  // Every id that ever attached participates, currently-detached ones
+  // included (their channels still pump; see detach()). Ids that never
+  // attached — gaps in the harness's allocation — are excluded: they
+  // cannot send, and attaching one later is itself an epoch bump that
+  // re-derives the matrix. O(N²) link_for scans, but it runs only when
+  // links, the topology, or the endpoint set actually changed —
+  // steady-state windows hit the cache.
+  const size_t n = endpoints_.size();
+  std::vector<size_t> shard_of(n);
+  for (size_t id = 0; id < n; ++id) {
+    shard_of[id] = sim_->shard_for(static_cast<NodeId>(id));
+  }
+  for (size_t from = 0; from < n; ++from) {
+    if (ever_attached_[from] == 0) continue;
+    const size_t row = shard_of[from] * shards;
+    for (size_t to = 0; to < n; ++to) {
+      if (from == to || shard_of[from] == shard_of[to]) continue;
+      if (ever_attached_[to] == 0) continue;
+      Tick& cell = lookahead_matrix_[row + shard_of[to]];
+      cell = std::min(cell, link_for(static_cast<NodeId>(from),
+                                     static_cast<NodeId>(to))
+                                .latency);
+    }
+  }
+  // Fold in explicit links whose endpoints the node scan missed (ids
+  // beyond the attached range): lowering an entry is always safe, and a
+  // fast explicit link must bound its shard pair even before either
+  // endpoint attaches.
+  for (const auto& [key, params] : util::sorted_items(links_)) {
+    const auto from = static_cast<NodeId>(key >> 32);
+    const auto to = static_cast<NodeId>(key & 0xffffffffu);
+    if (from < n && to < n) continue;  // covered above
+    const size_t sf = sim_->shard_for(from);
+    const size_t st = sim_->shard_for(to);
+    if (sf == st) continue;
+    Tick& cell = lookahead_matrix_[sf * shards + st];
+    cell = std::min(cell, params->latency);
+  }
+  matrix_link_epoch_ = link_epoch_;
+  matrix_topo_version_ = topology_ != nullptr ? topology_->version() : 0;
+  matrix_valid_ = true;
+}
+
+Tick Network::lookahead(size_t src_shard, size_t dst_shard) const {
+  const size_t shards = sim_->threads();
+  const uint64_t topo_version = topology_ != nullptr ? topology_->version() : 0;
+  if (!matrix_valid_ || matrix_link_epoch_ != link_epoch_ ||
+      matrix_topo_version_ != topo_version || matrix_shards_ != shards) {
+    rebuild_lookahead_matrix(shards);
+  }
+  if (src_shard >= matrix_shards_ || dst_shard >= matrix_shards_) {
+    return default_link_.latency;
+  }
+  return lookahead_matrix_[src_shard * matrix_shards_ + dst_shard];
 }
 
 void Network::begin_parallel(size_t shards) {
@@ -190,12 +270,17 @@ void Network::pump(NodeId to) {
   }
 }
 
-void Network::exchange() {
+bool Network::exchange() {
   // Splice every staged cross-shard record into the channels in the
   // canonical order, so channel-heap and pump-event construction do not
-  // depend on the shard partitioning.
+  // depend on the shard partitioning. Thinned barriers — nothing staged
+  // anywhere, the common case once shards advance asynchronously — skip
+  // the splice and sort entirely and report false so the engine can
+  // count them.
+  bool did_work = false;
   auto& all = exchange_scratch_;
   for (auto& staged : staged_) {
+    if (staged.empty()) continue;
     for (auto& rec : staged) all.push_back(std::move(rec));
     staged.clear();
   }
@@ -203,15 +288,19 @@ void Network::exchange() {
     std::sort(all.begin(), all.end(), RecordBefore{});
     for (auto& rec : all) channel_push(std::move(rec));
     all.clear();
+    did_work = true;
   }
   for (auto& stages : staged_counts_) {
+    if (stages.empty()) continue;
     for (const CounterStage& s : stages) {
       if (s.sent != 0) messages_sent_->add(s.window_start, s.sent);
       if (s.bytes != 0) bytes_sent_->add(s.window_start, s.bytes);
       if (s.dropped != 0) messages_dropped_->add(s.window_start, s.dropped);
     }
     stages.clear();
+    did_work = true;
   }
+  return did_work;
 }
 
 void Network::send(NodeId from, NodeId to, MessagePtr msg, Tick earliest) {

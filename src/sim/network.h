@@ -22,7 +22,12 @@
 // As the simulation's cross-shard fabric (sim::ParallelClient), the
 // network stages worker-thread sends whose destination lives on another
 // shard and splices them into the channels at window barriers; shared
-// counters are staged per shard and flushed at the same points.
+// counters are staged per shard and flushed at the same points. It also
+// feeds the engine's conservative windows: a per-shard-pair lookahead
+// matrix (min link latency over every node pair mapping to that shard
+// pair), epoch-rebuilt whenever links, the topology, or the endpoint
+// set change — so mid-run latency raises widen the next window instead
+// of being ignored by a stale monotone bound.
 #pragma once
 
 #include <cstdint>
@@ -33,17 +38,13 @@
 #include "net/message.h"
 #include "obs/metrics.h"
 #include "sim/simulation.h"
+#include "sim/topology.h"
 #include "util/rng.h"
 
 namespace epx::sim {
 
 using net::MessagePtr;
 using net::NodeId;
-
-struct LinkParams {
-  Tick latency = 100 * kMicrosecond;  ///< one-way propagation delay
-  Tick jitter = 20 * kMicrosecond;    ///< uniform extra delay in [0, jitter]
-};
 
 class Process;
 
@@ -64,8 +65,17 @@ class Network : public ParallelClient {
   void send(NodeId from, NodeId to, MessagePtr msg, Tick earliest);
 
   // --- configuration ---------------------------------------------------
-  void set_default_link(LinkParams params) { default_link_ = params; }
+  void set_default_link(LinkParams params);
   void set_link(NodeId from, NodeId to, LinkParams params);
+
+  /// Installs a region topology as the link-parameter default layer:
+  /// explicit set_link overrides win, then the topology's region-pair
+  /// parameters for placed node pairs, then default_link_. The topology
+  /// must outlive the network (the harness Cluster owns both). Mutating
+  /// it mid-run is a control-time operation, like set_link; the
+  /// lookahead matrix follows its version() at the next window.
+  void set_topology(const Topology* topo);
+  const Topology* topology() const { return topology_; }
 
   /// Egress bandwidth for a node in bits/second; 0 = unlimited.
   void set_node_bandwidth(NodeId id, double bits_per_second);
@@ -90,11 +100,16 @@ class Network : public ParallelClient {
   Simulation& simulation() { return *sim_; }
 
   // --- sim::ParallelClient ----------------------------------------------
-  /// Conservative window bound: the smallest propagation latency any
-  /// message can experience (bandwidth and jitter only add delay).
-  Tick lookahead() const override;
+  /// Conservative window bound for the (src, dst) shard pair: the
+  /// smallest propagation latency any message from a node on `src_shard`
+  /// to a node on `dst_shard` can experience (bandwidth and jitter only
+  /// add delay). Served from a lazily rebuilt shards×shards matrix,
+  /// invalidated by set_link / set_default_link / set_topology / attach /
+  /// detach and by topology mutations (version()-tracked). Pairs with no
+  /// node pair mapped to them are unconstrained (Tick max).
+  Tick lookahead(size_t src_shard, size_t dst_shard) const override;
   void begin_parallel(size_t shards) override;
-  void exchange() override;
+  bool exchange() override;
 
  private:
   /// One in-flight message in a destination's canonical channel. The
@@ -131,6 +146,8 @@ class Network : public ParallelClient {
   bool crosses_partition(NodeId from, NodeId to) const;
   LinkParams link_for(NodeId from, NodeId to) const;
   double bandwidth_for(NodeId id) const;
+  void invalidate_lookahead() { ++link_epoch_; }
+  void rebuild_lookahead_matrix(size_t shards) const;
 
   void channel_push(ChannelRecord rec);
   void pump(NodeId to);
@@ -154,11 +171,32 @@ class Network : public ParallelClient {
 
   Simulation* sim_;
   uint64_t seed_;
-  // epx-lint: cross-shard(attach, detach, endpoint)
+  // epx-lint: cross-shard(attach, detach, endpoint, rebuild_lookahead_matrix)
   std::vector<Process*> endpoints_;                 // indexed by NodeId
+  /// Ids that attached at least once (never cleared by detach): the
+  /// lookahead-matrix scan covers exactly these. All writes happen at
+  /// control time inside attach().
+  // epx-lint: cross-shard(attach, rebuild_lookahead_matrix)
+  std::vector<uint8_t> ever_attached_;              // indexed by NodeId
   std::unordered_map<uint64_t, LinkParams> links_;  // key = from<<32|to
   LinkParams default_link_;
-  Tick link_min_latency_;  // min over explicit links (monotone lower bound)
+  // Region topology consulted by link_for as the default layer. Workers
+  // read it during windows; all mutation (set_topology, Topology edits)
+  // is control-time, so reads race with nothing.
+  // epx-lint: cross-shard(set_topology, link_for, lookahead, rebuild_lookahead_matrix, topology)
+  const Topology* topology_ = nullptr;
+
+  // Lookahead-matrix cache (coordinator context only: lookahead() runs
+  // between windows with every worker parked). link_epoch_ counts
+  // link/endpoint mutations; the cache re-derives itself when it, the
+  // topology version, or the shard count moves.
+  uint64_t link_epoch_ = 0;
+  mutable uint64_t matrix_link_epoch_ = 0;
+  mutable uint64_t matrix_topo_version_ = 0;
+  mutable size_t matrix_shards_ = 0;
+  mutable bool matrix_valid_ = false;
+  mutable std::vector<Tick> lookahead_matrix_;  // shards × shards, row-major
+
   std::unordered_map<NodeId, double> bandwidth_;
   double default_bw_ = 0.0;  // unlimited
   double loss_probability_ = 0.0;

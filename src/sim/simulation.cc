@@ -46,7 +46,11 @@ struct Simulation::WorkerPool {
   std::vector<std::thread> threads;
   std::atomic<uint64_t> epoch{0};
   std::atomic<size_t> remaining{0};
-  std::atomic<Tick> horizon{0};
+  /// Per-shard window horizons, indexed by shard. Plain storage: the
+  /// coordinator writes it while every worker is parked (remaining == 0)
+  /// and the epoch release/acquire pair publishes it — workers read
+  /// their slot only after acquiring the new epoch.
+  std::vector<Tick> horizons;
   std::atomic<bool> shutdown{false};
   /// Spins before parking. Zero on oversubscribed hosts (fewer cores
   /// than engine threads), where a spinning thread only delays the peer
@@ -149,18 +153,51 @@ void Simulation::begin_parallel_run() {
   for (ParallelClient* c : clients_) c->begin_parallel(shards_.size());
 }
 
-void Simulation::exchange_all() {
-  for (ParallelClient* c : clients_) c->exchange();
+void Simulation::tally_exchange() {
+  bool any = false;
+  for (ParallelClient* c : clients_) any = c->exchange() || any;
+  if (any) {
+    ++engine_stats_.exchanges;
+  } else {
+    ++engine_stats_.exchanges_skipped;
+  }
 }
 
-// The conservative windowed schedule. Invariants (see DESIGN.md §13):
+// The conservative windowed schedule. Invariants (see DESIGN.md §13/§17):
 //
-//   * Window: with L = min cross-shard delay, every shard may run events
-//     with time < H = min(t_min + L, t_ctrl + 1, t_limit + 1), because
-//     anything a shard sends during the window arrives at or after
-//     t_min + L >= H — no cross-shard event can land inside the window
-//     being executed. Cross-shard sends are staged and exchanged at the
-//     barrier in canonical (arrival, sender, seq) order.
+//   * Window: each shard i gets its own horizon
+//       H_i = min(t_ctrl + 1, t_limit + 1,
+//                 min over shards j with work of t_min_j + D(j, i))
+//     where D is the min-plus closure (all-pairs shortest path) of the
+//     per-shard-pair lookahead matrix L reported by the clients, with
+//     the diagonal left unconstrained going in — so D(i, i) comes out
+//     of the closure as the cheapest CYCLE through i (min round trip
+//     via any other shard), not zero. The closure, not the raw edge, is
+//     what makes the bound transitive: an event on shard j at time t
+//     can cause an event on shard i no earlier than t + D(j, i) even
+//     through a CHAIN of intermediate shards — j sends to k
+//     (>= t + L(j,k)), k executes and forwards to i
+//     (>= t + L(j,k) + L(k,i) >= t + D(j,i)). A shard with an empty
+//     queue is therefore still covered: whatever lands on it later is
+//     itself bounded by some currently queued event plus a path cost.
+//     The j == i term is the reflection bound and is NOT optional: an
+//     event shard i executes at time t can provoke a remote shard into
+//     replying, and that reply lands back on i no earlier than
+//     t + D(i, i) — without it, a shard whose only near-term work is
+//     its own traffic would run past the echo of its own sends (the
+//     classic request/response ping-pong) and the reply would splice
+//     into its executed past. Every event shard j executes inside its
+//     window has time >= t_min_j, so nothing it causes can reach shard
+//     i before t_min_j + D(j, i) >= H_i — no cross-shard event can
+//     land inside the window shard i is executing, even though shard
+//     clocks drift arbitrarily far apart within one window. Progress:
+//     the shard holding the globally minimal t_min always has
+//     H_i > t_min_i (every bound constraining it is t_min_j + D with
+//     D >= 1, and t_min_j >= t_min_i), so each window executes at
+//     least one event. Cross-shard sends are staged and exchanged at
+//     the barrier in canonical (arrival, sender, seq) order; a staged
+//     arrival is >= the destination's horizon, so splicing can never
+//     schedule into a shard's executed past.
 //
 //   * Control lane: events scheduled from outside process context live
 //     in the coordinator's own queue and run only once every shard has
@@ -180,11 +217,17 @@ void Simulation::run_until_windowed(Tick t, bool to_completion) {
   if (use_workers && pool_ == nullptr) start_workers();
 
   const Tick limit = to_completion ? kTickMax : t;
+  const size_t n = shards_.size();
+  tmin_scratch_.assign(n, kTickMax);
+  horizon_scratch_.assign(n, kTickMax);
   bool warned_zero_lookahead = false;
   for (;;) {
     Tick tmin = kTickMax;
-    for (const auto& s : shards_)
-      if (!s->queue.empty()) tmin = std::min(tmin, s->queue.next_time());
+    for (size_t i = 0; i < n; ++i) {
+      Shard& s = *shards_[i];
+      tmin_scratch_[i] = s.queue.empty() ? kTickMax : s.queue.next_time();
+      tmin = std::min(tmin, tmin_scratch_[i]);
+    }
     const Tick tctrl = queue_.empty() ? kTickMax : queue_.next_time();
     if (tmin == kTickMax && tctrl == kTickMax) break;  // fully drained
     if (tmin > limit && tctrl > limit) break;
@@ -194,32 +237,69 @@ void Simulation::run_until_windowed(Tick t, bool to_completion) {
       now_ = tctrl;
       for (const auto& s : shards_) s->now = std::max(s->now, tctrl);
       ++processed_;
+      ++engine_stats_.control_drains;
       queue_.pop_and_run();
       drain_shards_through(tctrl);
-      exchange_all();
+      tally_exchange();
       continue;
     }
 
-    // Lookahead is re-read every window: control events may retune link
-    // latencies mid-run and the window must shrink with them.
-    Tick lookahead = kTickMax;
-    for (ParallelClient* c : clients_) lookahead = std::min(lookahead, c->lookahead());
-    if (lookahead <= 0) {
-      // A zero-delay link collapses windows to single ticks; still
-      // correct and deterministic, but same-tick send->deliver chains
-      // order by window passes rather than the serial heap. No topology
-      // in the repo does this; warn once so a future one is noticed.
-      if (!warned_zero_lookahead) {
-        warned_zero_lookahead = true;
-        EPX_WARN << "parallel run with zero lookahead: windows degrade to single ticks";
+    // Horizons are re-derived every window from live lookahead queries:
+    // control events may retune link latencies or the topology mid-run,
+    // and the next window must both shrink with lowered latencies and
+    // WIDEN with raised ones (the matrix is epoch-rebuilt, never a
+    // monotone bound). The control cap applies to every shard — a
+    // control event at t_ctrl must precede all later shard events.
+    // Gather the edge matrix, then min-plus-close it (Floyd-Warshall
+    // over n <= threads shards — a few hundred adds) so the per-shard
+    // bound covers causal chains through intermediate shards, not just
+    // direct sends.
+    auto& d = closure_scratch_;
+    d.assign(n * n, kTickMax);
+    for (size_t src = 0; src < n; ++src) {
+      for (size_t dst = 0; dst < n; ++dst) {
+        if (src == dst) continue;
+        Tick lk = kTickMax;
+        for (ParallelClient* c : clients_)
+          lk = std::min(lk, c->lookahead(src, dst));
+        if (lk <= 0) {
+          // A zero-delay link collapses windows to single ticks; still
+          // correct and deterministic, but same-tick send->deliver
+          // chains order by window passes rather than the serial heap.
+          // No topology in the repo does this; warn once so a future
+          // one is noticed.
+          if (!warned_zero_lookahead) {
+            warned_zero_lookahead = true;
+            EPX_WARN << "parallel run with zero lookahead: windows degrade to single ticks";
+          }
+          lk = 1;
+        }
+        d[src * n + dst] = lk;
       }
-      lookahead = 1;
     }
-
-    const Tick horizon = std::min(saturating_add(tmin, lookahead),
-                                  std::min(saturating_add(tctrl, 1), saturating_add(limit, 1)));
-    execute_window(horizon, use_workers);
-    exchange_all();
+    for (size_t k = 0; k < n; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        const Tick dik = d[i * n + k];
+        if (dik == kTickMax) continue;
+        for (size_t j = 0; j < n; ++j) {
+          const Tick via = saturating_add(dik, d[k * n + j]);
+          if (via < d[i * n + j]) d[i * n + j] = via;
+        }
+      }
+    }
+    const Tick cap =
+        std::min(saturating_add(tctrl, 1), saturating_add(limit, 1));
+    for (size_t dst = 0; dst < n; ++dst) {
+      Tick h = cap;
+      for (size_t src = 0; src < n; ++src) {
+        if (tmin_scratch_[src] == kTickMax) continue;
+        h = std::min(h, saturating_add(tmin_scratch_[src], d[src * n + dst]));
+      }
+      horizon_scratch_[dst] = h;
+    }
+    ++engine_stats_.windows;
+    execute_window(horizon_scratch_, use_workers);
+    tally_exchange();
   }
 
   if (!to_completion) {
@@ -230,19 +310,29 @@ void Simulation::run_until_windowed(Tick t, bool to_completion) {
   }
 }
 
-void Simulation::execute_window(Tick horizon, bool use_workers) {
-  if (!use_workers || pool_ == nullptr) {
-    for (const auto& s : shards_) run_shard_window(*s, horizon);
+void Simulation::execute_window(const std::vector<Tick>& horizons,
+                                bool use_workers) {
+  // Barrier thinning: a window where at most one shard has runnable
+  // work (common on skewed geo topologies, where one region's shard
+  // races far ahead) runs inline — no wake, no barrier wait.
+  size_t active = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    EventQueue& q = shards_[i]->queue;
+    if (!q.empty() && q.next_time() < horizons[i]) ++active;
+  }
+  if (!use_workers || pool_ == nullptr || active <= 1) {
+    for (size_t i = 0; i < shards_.size(); ++i)
+      run_shard_window(*shards_[i], horizons[i]);
     return;
   }
   WorkerPool& p = *pool_;
-  p.horizon.store(horizon, std::memory_order_relaxed);
+  p.horizons = horizons;
   p.remaining.store(shards_.size() - 1, std::memory_order_relaxed);
   p.epoch.fetch_add(1, std::memory_order_release);
   p.epoch.notify_all();
   // Shard 0 always runs on the coordinating thread: one fewer worker,
   // and the coordinator does useful work instead of waiting.
-  run_shard_window(*shards_[0], horizon);
+  run_shard_window(*shards_[0], horizons[0]);
   int spins = 0;
   for (;;) {
     const size_t rem = p.remaining.load(std::memory_order_acquire);
@@ -315,7 +405,7 @@ void Simulation::worker_loop(size_t index) {
     }
     seen = e;
     if (p.shutdown.load(std::memory_order_acquire)) return;
-    run_shard_window(*shards_[index], p.horizon.load(std::memory_order_relaxed));
+    run_shard_window(*shards_[index], p.horizons[index]);
     if (p.remaining.fetch_sub(1, std::memory_order_release) == 1) {
       p.remaining.notify_all();
     }

@@ -17,15 +17,20 @@
 //
 //   * parallel (set_threads(n > 1)): processes are partitioned into n
 //     shards, each with its own event queue and clock, advancing in
-//     conservative windows bounded by the network's minimum cross-shard
-//     link latency (the lookahead). Cross-shard messages travel through
-//     the network's canonical per-destination channels and are exchanged
-//     at window barriers; events scheduled from outside process context
-//     form a control lane that runs with all shards quiescent. Same-tick
-//     ordering is by event class (deliveries < timers < dispatches <
-//     control), which together with the canonical channels makes the
-//     parallel schedule reproduce the serial one exactly: identical
-//     seed ⇒ identical delivery order and metrics in both modes.
+//     conservative windows. Each shard gets its own horizon from the
+//     per-shard-pair lookahead matrix (DESIGN.md §17): shard i may run
+//     up to min over sending shards j of tmin_j + L(j, i), so shards
+//     separated only by WAN links advance tens of milliseconds while a
+//     local clique stays tightly coupled — clocks drift apart inside a
+//     window instead of marching in lockstep behind the globally fastest
+//     link. Cross-shard messages travel through the network's canonical
+//     per-destination channels and are exchanged at window barriers;
+//     events scheduled from outside process context form a control lane
+//     that runs with all shards quiescent. Same-tick ordering is by
+//     event class (deliveries < timers < dispatches < control), which
+//     together with the canonical channels makes the parallel schedule
+//     reproduce the serial one exactly: identical seed ⇒ identical
+//     delivery order and metrics in both modes.
 //     When spans or monitors are armed the windowed schedule still runs
 //     but on the calling thread only (those subsystems are not
 //     shard-confined), so traced runs stay valid — just not faster.
@@ -54,14 +59,32 @@ namespace epx::sim {
 class ParallelClient {
  public:
   virtual ~ParallelClient() = default;
-  /// Minimum delay of any cross-shard interaction, in ticks; the
-  /// conservative window length. Must be > 0 for parallel execution to
-  /// preserve the serial schedule.
-  virtual Tick lookahead() const = 0;
+  /// Minimum delay, in ticks, of a DIRECT interaction originating on
+  /// shard `src_shard` and landing on shard `dst_shard` — the engine
+  /// min-plus-closes the matrix itself, so implementations report
+  /// single-hop bounds only. Tick-max "unconstrained" values are fine
+  /// for pairs that cannot interact directly; every reachable pair must
+  /// be > 0 for parallel execution to preserve the serial schedule.
+  /// Called only between windows (coordinator context), so
+  /// implementations may lazily rebuild caches here.
+  virtual Tick lookahead(size_t src_shard, size_t dst_shard) const = 0;
   /// Called once per parallel run start with the shard count.
   virtual void begin_parallel(size_t shards) = 0;
-  /// Runs at every window barrier and after every control drain.
-  virtual void exchange() = 0;
+  /// Runs at every window barrier and after every control drain. Returns
+  /// true when any staged work was actually spliced or flushed, so the
+  /// engine can account thinned (no-op) barriers separately.
+  virtual bool exchange() = 0;
+};
+
+/// Parallel-engine execution counters, exposed for tests and benches.
+/// Deliberately NOT registry metrics: the differential suite compares
+/// the full metrics JSON between serial and parallel runs, and these
+/// exist only when the windowed engine runs.
+struct EngineStats {
+  uint64_t windows = 0;           ///< conservative windows executed
+  uint64_t control_drains = 0;    ///< control-lane events run
+  uint64_t exchanges = 0;         ///< barriers that moved staged work
+  uint64_t exchanges_skipped = 0; ///< thinned barriers (nothing staged)
 };
 
 class Simulation {
@@ -162,6 +185,9 @@ class Simulation {
   size_t pending_events() const;
   uint64_t events_processed() const;
 
+  /// Windowed-engine counters (all zero after pure-serial runs).
+  const EngineStats& engine_stats() const { return engine_stats_; }
+
   EventQueue& event_queue() { return queue_; }
 
   // --- observability ---------------------------------------------------
@@ -215,10 +241,12 @@ class Simulation {
   static thread_local Shard* tls_shard_;
 
   void run_until_windowed(Tick t, bool to_completion);
-  void execute_window(Tick horizon, bool use_workers);
+  void execute_window(const std::vector<Tick>& horizons, bool use_workers);
   void run_shard_window(Shard& s, Tick horizon);
   void drain_shards_through(Tick t);
-  void exchange_all();
+  /// Runs every client's exchange() and tallies whether the barrier did
+  /// real work (engine_stats_.exchanges vs .exchanges_skipped).
+  void tally_exchange();
   void begin_parallel_run();
   void start_workers();
   void stop_workers();
@@ -233,8 +261,14 @@ class Simulation {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::function<size_t(uint32_t)> assignment_;
   std::vector<ParallelClient*> clients_;
-  Tick lookahead_ = 0;
   bool parallel_started_ = false;
+  EngineStats engine_stats_;
+  // Per-round scratch (coordinator only): next event time and computed
+  // horizon per shard, plus the min-plus closure of the lookahead
+  // matrix. Members so the window loop never reallocates.
+  std::vector<Tick> tmin_scratch_;
+  std::vector<Tick> horizon_scratch_;
+  std::vector<Tick> closure_scratch_;
   struct WorkerPool;  // threads + barrier state (defined in .cc)
   std::unique_ptr<WorkerPool> pool_;
 

@@ -1,0 +1,78 @@
+#include "sim/topology.h"
+
+namespace epx::sim {
+
+Topology::RegionId Topology::add_region(std::string name) {
+  const RegionId id = static_cast<RegionId>(regions_.size());
+  regions_.push_back(std::move(name));
+  // Grow the dense matrix in place, preserving existing entries at their
+  // new row-major offsets (old rows are shorter than new rows, so copy
+  // back-to-front).
+  const size_t old_n = id;
+  const size_t new_n = regions_.size();
+  links_.resize(new_n * new_n);
+  has_link_.resize(new_n * new_n, 0);
+  for (size_t r = old_n; r-- > 0;) {
+    for (size_t c = old_n; c-- > 0;) {
+      links_[r * new_n + c] = links_[r * old_n + c];
+      has_link_[r * new_n + c] = has_link_[r * old_n + c];
+    }
+    for (size_t c = old_n; c < new_n; ++c) has_link_[r * new_n + c] = 0;
+  }
+  ++version_;
+  return id;
+}
+
+void Topology::set_region_link(RegionId from, RegionId to, LinkParams params) {
+  const size_t n = regions_.size();
+  links_[from * n + to] = params;
+  has_link_[from * n + to] = 1;
+  ++version_;
+}
+
+void Topology::set_region_link_symmetric(RegionId a, RegionId b,
+                                         LinkParams params) {
+  set_region_link(a, b, params);
+  set_region_link(b, a, params);
+}
+
+bool Topology::region_link(RegionId from, RegionId to, LinkParams* out) const {
+  const size_t n = regions_.size();
+  if (from >= n || to >= n || !has_link_[from * n + to]) return false;
+  *out = links_[from * n + to];
+  return true;
+}
+
+void Topology::place(net::NodeId node, RegionId region) {
+  if (node >= node_region_.size()) node_region_.resize(node + 1, kUnplaced);
+  node_region_[node] = region;
+  ++version_;
+}
+
+bool Topology::link_between(net::NodeId from, net::NodeId to,
+                            LinkParams* out) const {
+  if (!placed(from) || !placed(to)) return false;
+  return region_link(node_region_[from], node_region_[to], out);
+}
+
+size_t Topology::shard_for_region(RegionId r, size_t shards) const {
+  const size_t n = regions_.size();
+  if (n == 0 || shards == 0) return 0;
+  if (r >= n) return r % shards;
+  // Contiguous blocks: regions [k*n/S, (k+1)*n/S) land on shard k, so a
+  // region never straddles two shards.
+  return (static_cast<size_t>(r) * shards) / n;
+}
+
+Topology Topology::uniform(size_t n, LinkParams local, LinkParams wan) {
+  Topology t;
+  for (size_t i = 0; i < n; ++i) t.add_region("r" + std::to_string(i));
+  for (RegionId a = 0; a < n; ++a) {
+    for (RegionId b = 0; b < n; ++b) {
+      t.set_region_link(a, b, a == b ? local : wan);
+    }
+  }
+  return t;
+}
+
+}  // namespace epx::sim

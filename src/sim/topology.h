@@ -1,0 +1,104 @@
+// Region/topology model: the geo substrate under the simulated network.
+//
+// A Topology is a set of named regions (datacenters), a dense
+// region-to-region link-parameter matrix, and a node-to-region placement
+// map. The Network consults it as the *default* link parameters for any
+// node pair whose endpoints are both placed (explicit per-link overrides
+// still win), so a preset like "4 regions, 100 µs inside a DC, 30-90 ms
+// between DCs" is a handful of calls instead of O(N²) set_link wiring —
+// and nodes provisioned mid-run inherit their region's links
+// automatically.
+//
+// The topology also carries the *region-affine shard assignment*: all of
+// a region's nodes map onto one engine shard, so the low-latency intra-DC
+// clique never crosses a shard boundary and every cross-shard network
+// path is a WAN link. That is what lets the parallel engine's per-shard-
+// pair lookahead matrix (sim/network.h) open conservative windows tens of
+// milliseconds wide instead of collapsing to the global minimum link
+// latency. Placement and assignment affect performance only — delivery
+// order is identical for every topology/shard mapping (differentially
+// tested in tests/parallel_sim_test.cc).
+//
+// Every mutation bumps version(): the network's lookahead matrix is
+// epoch-cached against it, so raising a region latency mid-run WIDENS the
+// conservative window at the next barrier (the pre-matrix engine kept a
+// monotone lower bound that could only shrink).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "util/units.h"
+
+namespace epx::sim {
+
+struct LinkParams {
+  Tick latency = 100 * kMicrosecond;  ///< one-way propagation delay
+  Tick jitter = 20 * kMicrosecond;    ///< uniform extra delay in [0, jitter]
+};
+
+class Topology {
+ public:
+  using RegionId = uint32_t;
+
+  /// Adds a region and returns its id (ids are dense, in add order).
+  RegionId add_region(std::string name);
+  size_t region_count() const { return regions_.size(); }
+  const std::string& region_name(RegionId r) const { return regions_[r]; }
+
+  /// Directed region-pair link parameters. `from == to` sets the
+  /// intra-region link.
+  void set_region_link(RegionId from, RegionId to, LinkParams params);
+  /// Convenience: sets both directions.
+  void set_region_link_symmetric(RegionId a, RegionId b, LinkParams params);
+  void set_intra_region_link(RegionId r, LinkParams params) {
+    set_region_link(r, r, params);
+  }
+
+  /// Looks up the region-pair link; false when that pair was never set
+  /// (caller falls back to its own default).
+  bool region_link(RegionId from, RegionId to, LinkParams* out) const;
+
+  /// Places a node in a region (re-placing overwrites). In parallel runs
+  /// placement is a topology mutation and must happen at control time,
+  /// like Network::attach.
+  void place(net::NodeId node, RegionId region);
+  bool placed(net::NodeId node) const {
+    return node < node_region_.size() && node_region_[node] != kUnplaced;
+  }
+  RegionId region_of(net::NodeId node) const { return node_region_[node]; }
+
+  /// Link parameters for a node pair via their regions; false when
+  /// either end is unplaced or the region pair has no configured link.
+  bool link_between(net::NodeId from, net::NodeId to, LinkParams* out) const;
+
+  /// Monotone mutation counter; the network's per-shard-pair lookahead
+  /// matrix re-derives itself when this moves (epoch-based recompute).
+  uint64_t version() const { return version_; }
+
+  /// Region-affine shard mapping: contiguous blocks of region ids share
+  /// a shard when regions outnumber shards, one shard per region
+  /// otherwise. Keeping *whole* regions on one shard is the point — a
+  /// region's fast intra-DC links then never constrain any cross-shard
+  /// lookahead entry.
+  size_t shard_for_region(RegionId r, size_t shards) const;
+
+  /// Preset: `n` regions named "r0".."rN", `local` links inside every
+  /// region, `wan` links between every ordered pair.
+  static Topology uniform(size_t n, LinkParams local, LinkParams wan);
+
+ private:
+  static constexpr RegionId kUnplaced = static_cast<RegionId>(-1);
+
+  std::vector<std::string> regions_;
+  /// Dense region×region matrix, row-major; has_link_ flags entries that
+  /// were explicitly configured.
+  std::vector<LinkParams> links_;
+  std::vector<uint8_t> has_link_;
+  std::vector<RegionId> node_region_;  // indexed by NodeId
+  uint64_t version_ = 0;
+};
+
+}  // namespace epx::sim

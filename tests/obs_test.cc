@@ -108,19 +108,48 @@ TEST(TimerTest, WindowBoundaryRecords) {
   // window 1: they must land in different window histograms.
   t.record(kSecond - 1, 10);
   t.record(kSecond, 20);
-  ASSERT_EQ(t.windows().size(), 2u);
-  EXPECT_EQ(t.windows()[0].count(), 1u);
-  EXPECT_EQ(t.windows()[1].count(), 1u);
+  ASSERT_EQ(t.window_count(), 2u);
+  EXPECT_EQ(t.window_at(0)->count(), 1u);
+  EXPECT_EQ(t.window_at(1)->count(), 1u);
   EXPECT_EQ(t.total().count(), 2u);
 }
 
 TEST(TimerTest, SparseWindowsAreZeroFilled) {
   obs::Timer t;
   t.record(3 * kSecond + 5, 1 * kMillisecond);
-  ASSERT_EQ(t.windows().size(), 4u);
-  EXPECT_EQ(t.windows()[0].count(), 0u);
-  EXPECT_EQ(t.windows()[2].count(), 0u);
-  EXPECT_EQ(t.windows()[3].count(), 1u);
+  ASSERT_EQ(t.window_count(), 4u);
+  EXPECT_EQ(t.window_at(0)->count(), 0u);
+  EXPECT_EQ(t.window_at(2)->count(), 0u);
+  EXPECT_EQ(t.window_at(3)->count(), 1u);
+  EXPECT_EQ(t.window_at(4), nullptr);
+}
+
+TEST(TimerTest, RingBoundsWindowsOverLongHorizons) {
+  // An 8-slot ring recording across 100 windows: only the newest 8 stay
+  // resident, everything older reads as absent, and totals still cover
+  // every sample. This is the memory bound for long-horizon runs — the
+  // ring never grows past max_windows no matter how far time advances.
+  obs::Timer t(kSecond, /*max_windows=*/8);
+  for (size_t w = 0; w < 100; ++w) {
+    t.record(w * kSecond + 5, 2 * kMillisecond);
+  }
+  EXPECT_EQ(t.window_count(), 100u);
+  EXPECT_EQ(t.first_retained(), 92u);
+  EXPECT_EQ(t.window_at(91), nullptr);
+  ASSERT_NE(t.window_at(92), nullptr);
+  EXPECT_EQ(t.window_at(92)->count(), 1u);
+  EXPECT_EQ(t.window_at(99)->count(), 1u);
+  EXPECT_EQ(t.total().count(), 100u);
+
+  // A jump wider than the ring ages every retained window out at once;
+  // retention restarts at the jump target without allocating the gap.
+  t.record(100000 * kSecond, 5 * kMillisecond);
+  EXPECT_EQ(t.window_count(), 100001u);
+  EXPECT_EQ(t.first_retained(), 100000u);
+  EXPECT_EQ(t.window_at(99), nullptr);
+  EXPECT_EQ(t.window_at(99999), nullptr);
+  ASSERT_NE(t.window_at(100000), nullptr);
+  EXPECT_EQ(t.window_at(100000)->count(), 1u);
 }
 
 // --- JSON snapshot -------------------------------------------------------

@@ -1,0 +1,169 @@
+// Topology model unit tests plus the lookahead-matrix regression the
+// per-shard-pair engine exists to get right: link latencies raised
+// mid-run must WIDEN the next conservative window (the pre-matrix
+// engine kept a monotone lower bound that could only shrink — a raised
+// latency left the engine running needlessly narrow windows forever,
+// and a lowered one was outright unsound to ignore).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace epx {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterOptions;
+using sim::LinkParams;
+using sim::Topology;
+
+TEST(TopologyTest, RegionLinksAndPlacement) {
+  Topology topo;
+  const auto east = topo.add_region("east");
+  const auto west = topo.add_region("west");
+  EXPECT_EQ(topo.region_count(), 2u);
+  EXPECT_EQ(topo.region_name(east), "east");
+
+  topo.set_intra_region_link(east, {50 * kMicrosecond, 5 * kMicrosecond});
+  topo.set_region_link_symmetric(east, west, {30 * kMillisecond, kMillisecond});
+
+  LinkParams p;
+  ASSERT_TRUE(topo.region_link(east, east, &p));
+  EXPECT_EQ(p.latency, 50 * kMicrosecond);
+  ASSERT_TRUE(topo.region_link(west, east, &p));
+  EXPECT_EQ(p.latency, 30 * kMillisecond);
+  EXPECT_FALSE(topo.region_link(west, west, &p)) << "never configured";
+
+  topo.place(/*node=*/3, east);
+  topo.place(/*node=*/9, west);
+  EXPECT_TRUE(topo.placed(3));
+  EXPECT_FALSE(topo.placed(4));
+  EXPECT_EQ(topo.region_of(9), west);
+
+  ASSERT_TRUE(topo.link_between(3, 9, &p));
+  EXPECT_EQ(p.latency, 30 * kMillisecond);
+  EXPECT_FALSE(topo.link_between(3, 4, &p)) << "unplaced endpoint";
+  EXPECT_FALSE(topo.link_between(9, 9, &p)) << "intra-west never configured";
+}
+
+TEST(TopologyTest, MutationsBumpVersion) {
+  Topology topo;
+  const uint64_t v0 = topo.version();
+  const auto r = topo.add_region("r");
+  EXPECT_GT(topo.version(), v0);
+  uint64_t v = topo.version();
+  topo.set_intra_region_link(r, {});
+  EXPECT_GT(topo.version(), v);
+  v = topo.version();
+  topo.place(1, r);
+  EXPECT_GT(topo.version(), v);
+}
+
+TEST(TopologyTest, RegionAffineShardMapping) {
+  Topology topo = Topology::uniform(4, {100 * kMicrosecond, 0},
+                                    {20 * kMillisecond, 0});
+  // One shard per region when counts match.
+  for (Topology::RegionId r = 0; r < 4; ++r) {
+    EXPECT_EQ(topo.shard_for_region(r, 4), r);
+  }
+  // Regions fold into contiguous blocks when they outnumber shards, so
+  // a region never straddles two shards.
+  EXPECT_EQ(topo.shard_for_region(0, 2), 0u);
+  EXPECT_EQ(topo.shard_for_region(1, 2), 0u);
+  EXPECT_EQ(topo.shard_for_region(2, 2), 1u);
+  EXPECT_EQ(topo.shard_for_region(3, 2), 1u);
+  // More shards than regions: high shards simply stay empty.
+  EXPECT_EQ(topo.shard_for_region(3, 8), 6u);
+}
+
+TEST(TopologyTest, UniformPresetWiresEveryPair) {
+  Topology topo = Topology::uniform(3, {100 * kMicrosecond, 0},
+                                    {20 * kMillisecond, 0});
+  EXPECT_EQ(topo.region_count(), 3u);
+  LinkParams p;
+  for (Topology::RegionId a = 0; a < 3; ++a) {
+    for (Topology::RegionId b = 0; b < 3; ++b) {
+      ASSERT_TRUE(topo.region_link(a, b, &p));
+      EXPECT_EQ(p.latency, a == b ? 100 * kMicrosecond : 20 * kMillisecond);
+    }
+  }
+}
+
+// Two regions on two shards: the cross-shard lookahead must equal the
+// WAN latency (not the fast intra-region link), because region-affine
+// allocation keeps each region's clique on its own shard.
+TEST(TopologyLookaheadTest, CrossShardLookaheadIsWanLatency) {
+  testing::init_logging();
+  ClusterOptions options;
+  options.threads = 2;
+  Topology& topo = options.topology;
+  const auto east = topo.add_region("east");
+  const auto west = topo.add_region("west");
+  topo.set_intra_region_link(east, {100 * kMicrosecond, 20 * kMicrosecond});
+  topo.set_intra_region_link(west, {100 * kMicrosecond, 20 * kMicrosecond});
+  topo.set_region_link_symmetric(east, west, {25 * kMillisecond, kMillisecond});
+
+  Cluster cluster(options);
+  cluster.set_build_region(east);
+  const auto s1 = cluster.add_stream();
+  cluster.add_replica(/*group=*/1, {s1});
+  cluster.set_build_region(west);
+  cluster.add_replica(/*group=*/2, {s1});
+
+  EXPECT_EQ(cluster.net().lookahead(0, 1), 25 * kMillisecond);
+  EXPECT_EQ(cluster.net().lookahead(1, 0), 25 * kMillisecond);
+}
+
+// The stale-low regression: raise the WAN latency mid-run and the
+// matrix must follow at the next epoch — and a lowered one must shrink
+// it (that direction is a soundness requirement, not a tuning one).
+TEST(TopologyLookaheadTest, MidRunLinkChangeRetunesLookahead) {
+  testing::init_logging();
+  ClusterOptions options;
+  options.threads = 2;
+  Topology& topo = options.topology;
+  const auto east = topo.add_region("east");
+  const auto west = topo.add_region("west");
+  topo.set_intra_region_link(east, {100 * kMicrosecond, 20 * kMicrosecond});
+  topo.set_intra_region_link(west, {100 * kMicrosecond, 20 * kMicrosecond});
+  topo.set_region_link_symmetric(east, west, {10 * kMillisecond, kMillisecond});
+
+  Cluster cluster(options);
+  cluster.set_build_region(east);
+  const auto s1 = cluster.add_stream();
+  auto* r1 = cluster.add_replica(/*group=*/1, {s1});
+  cluster.set_build_region(west);
+  auto* r2 = cluster.add_replica(/*group=*/2, {s1});
+  ASSERT_NE(r1, nullptr);
+  ASSERT_NE(r2, nullptr);
+
+  EXPECT_EQ(cluster.net().lookahead(0, 1), 10 * kMillisecond);
+
+  cluster.sim().schedule_at(200 * kMillisecond, [&cluster, east, west] {
+    cluster.topology().set_region_link_symmetric(
+        east, west, {40 * kMillisecond, kMillisecond});
+  });
+  cluster.run_for(500 * kMillisecond);
+  EXPECT_EQ(cluster.net().lookahead(0, 1), 40 * kMillisecond)
+      << "raised WAN latency must widen the lookahead (stale-low bound)";
+  EXPECT_GT(cluster.sim().engine_stats().windows, 0u);
+
+  cluster.sim().schedule_at(cluster.now() + 100 * kMillisecond,
+                            [&cluster, east, west] {
+                              cluster.topology().set_region_link_symmetric(
+                                  east, west, {5 * kMillisecond, kMillisecond});
+                            });
+  cluster.run_for(300 * kMillisecond);
+  EXPECT_EQ(cluster.net().lookahead(0, 1), 5 * kMillisecond)
+      << "lowered WAN latency must shrink the lookahead";
+
+  // An explicit node-pair link tighter than any region pair bounds the
+  // whole shard pair: the matrix is a min over both layers.
+  cluster.net().set_link(r1->id(), r2->id(),
+                         {2 * kMillisecond, 100 * kMicrosecond});
+  EXPECT_EQ(cluster.net().lookahead(0, 1), 2 * kMillisecond);
+  EXPECT_EQ(cluster.net().lookahead(1, 0), 5 * kMillisecond)
+      << "reverse direction keeps the region bound";
+}
+
+}  // namespace
+}  // namespace epx

@@ -5,9 +5,10 @@ committed baseline (BENCH_micro.json at the repo root).
 Only a small set of end-to-end-ish keys is gated -- individual
 micro-benchmarks are too noisy on shared CI runners to gate tightly,
 so we pick the handful that summarise the protocol hot path (one Paxos
-round trip, the merger pump, a simulated cluster-second on both the
-serial and the 4-shard parallel engine, and a group-committed WAL
-append) and allow a generous regression threshold (default 30%).
+round trip, the merger pump, a simulated cluster-second on the serial
+engine and the 4-shard parallel engine — flat and geo/WAN topology —
+and a group-committed WAL append) and allow a generous regression
+threshold (default 30%).
 Improvements never fail.
 
 Usage:
@@ -46,6 +47,7 @@ DEFAULT_KEYS = [
     "BM_MergerPump/4",
     "BM_SimulatedClusterSecond",
     "BM_SimulatedClusterSecond/T:4",
+    "BM_SimulatedClusterSecondGeo/T:4",
     "BM_AcceptorWalAppend/100",
 ]
 
